@@ -1,0 +1,427 @@
+// Repository-level benchmarks: one testing.B benchmark per table and figure
+// of the paper's evaluation (§VII), plus ablation benches for the design
+// choices called out in DESIGN.md. `go test -bench=. -benchmem` runs reduced
+// parameter sweeps; `cmd/ppcd-bench` prints the full paper-style series.
+package ppcd
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"testing"
+
+	"ppcd/internal/baseline/direct"
+	"ppcd/internal/baseline/lkh"
+	"ppcd/internal/baseline/marker"
+	"ppcd/internal/core"
+	"ppcd/internal/experiments"
+	"ppcd/internal/ocbe"
+	"ppcd/internal/pedersen"
+)
+
+var (
+	benchOnce     sync.Once
+	benchJacobian *CommitmentParams
+	benchSchnorr  *CommitmentParams
+)
+
+func benchParams(b *testing.B) (*CommitmentParams, *CommitmentParams) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		benchJacobian, err = Setup(PaperCurve(), []byte("bench"))
+		if err != nil {
+			panic(err)
+		}
+		benchSchnorr, err = Setup(SchnorrGroup(), []byte("bench"))
+		if err != nil {
+			panic(err)
+		}
+	})
+	return benchJacobian, benchSchnorr
+}
+
+// --- Figure 2: GE-OCBE step times vs ℓ (paper: 5…40; reduced sweep here) ---
+
+func BenchmarkFig2_GEOCBE(b *testing.B) {
+	jac, _ := benchParams(b)
+	for _, ell := range []int{5, 10, 20} {
+		b.Run(fmt.Sprintf("ell=%d", ell), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.MeasureOCBE(jac, true, ell, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table II: EQ-OCBE step times over the paper's Jacobian group ---
+
+func BenchmarkTable2_EQOCBE_Compose(b *testing.B) {
+	jac, _ := benchParams(b)
+	x := big.NewInt(28)
+	_, r, err := jac.CommitRandom(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv := ocbe.NewReceiver(jac, x, r)
+	pred := ocbe.Predicate{Op: ocbe.EQ, X0: x}
+	_, req, err := recv.Prepare(pred, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ocbe.Compose(jac, pred, 0, req, []byte("css")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_EQOCBE_Open(b *testing.B) {
+	jac, _ := benchParams(b)
+	x := big.NewInt(28)
+	_, r, err := jac.CommitRandom(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recv := ocbe.NewReceiver(jac, x, r)
+	pred := ocbe.Predicate{Op: ocbe.EQ, X0: x}
+	wit, req, err := recv.Prepare(pred, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := ocbe.Compose(jac, pred, 0, req, []byte("css"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := recv.Open(env, wit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 3-5: ACV generation, key derivation, header size vs N ---
+
+func benchRows(b *testing.B, subs, conds int) [][]core.CSS {
+	b.Helper()
+	rows, err := experiments.GKMWorkload(subs, 25, conds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+func BenchmarkFig3_ACVGen(b *testing.B) {
+	for _, n := range []int{100, 250, 500} {
+		for _, fill := range []int{25, 100} {
+			subs := n * fill / 100
+			rows := benchRows(b, subs, 2)
+			b.Run(fmt.Sprintf("N=%d/fill=%d%%", n, fill), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.Build(rows, n); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkFig4_KeyDerive(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		rows := benchRows(b, n/4, 2)
+		hdr, key, err := core.Build(rows, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k, err := core.DeriveKey(rows[i%len(rows)], hdr)
+				if err != nil || k != key {
+					b.Fatalf("derive failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig5_HeaderSize(b *testing.B) {
+	// Size is deterministic; this bench reports it as a custom metric so the
+	// series appears in benchmark output.
+	for _, n := range []int{100, 500, 1000} {
+		rows := benchRows(b, n/4, 2)
+		hdr, _, err := core.Build(rows, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = hdr.Size()
+			}
+			b.ReportMetric(float64(hdr.Size())/1024, "KB/header")
+		})
+	}
+}
+
+// --- Figure 6: vs conditions per policy (N = 500 fixed) ---
+
+func BenchmarkFig6_ACVGenVsConds(b *testing.B) {
+	for _, conds := range []int{1, 5, 10} {
+		rows := benchRows(b, 500, conds)
+		b.Run(fmt.Sprintf("conds=%d", conds), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Build(rows, 500); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6_KeyDeriveVsConds(b *testing.B) {
+	for _, conds := range []int{1, 5, 10} {
+		rows := benchRows(b, 500, conds)
+		hdr, _, err := core.Build(rows, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("conds=%d", conds), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DeriveKey(rows[i%len(rows)], hdr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md): GKM scheme comparison and group choice ---
+
+func BenchmarkAblation_GKMRekey(b *testing.B) {
+	const n = 200
+	rows := benchRows(b, n, 2)
+	b.Run("acv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Build(rows, n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("marker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := marker.Build(rows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		d := direct.New()
+		nyms := make([]string, n)
+		for i := range nyms {
+			nyms[i] = fmt.Sprintf("pn-%d", i)
+			if err := d.RegisterUser(nyms[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := d.Rekey(nyms); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lkh", func(b *testing.B) {
+		tree, err := lkh.New(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := tree.Join(fmt.Sprintf("pn-%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			nym := fmt.Sprintf("pn-%d", i%n)
+			if _, err := tree.Leave(nym); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tree.Join(nym); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblation_GKMDerive(b *testing.B) {
+	const n = 200
+	rows := benchRows(b, n, 2)
+	acvHdr, _, err := core.Build(rows, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mHdr, _, err := marker.Build(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("acv", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DeriveKey(rows[i%n], acvHdr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("marker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := marker.DeriveKey(rows[i%n], mHdr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAblation_GroupChoiceEQOCBE(b *testing.B) {
+	jac, sch := benchParams(b)
+	for _, tc := range []struct {
+		name   string
+		params *pedersen.Params
+	}{{"jacobian", jac}, {"schnorr", sch}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.MeasureOCBE(tc.params, false, 0, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_GroupedBuild measures the §VIII-C scalability strategy:
+// g groups of size N/g cost N³/g² solve work instead of N³, trading a
+// slightly larger broadcast.
+func BenchmarkAblation_GroupedBuild(b *testing.B) {
+	const n = 1000
+	rows := benchRows(b, n, 2)
+	for _, groupSize := range []int{1000, 250, 100} {
+		b.Run(fmt.Sprintf("groupSize=%d", groupSize), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.BuildGrouped(rows, groupSize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SharedSession measures the §VIII-D multi-document
+// optimisation: amortising the matrix build over several documents and the
+// KEV hashing over several derivations.
+func BenchmarkAblation_SharedSession(b *testing.B) {
+	const n, docs = 200, 10
+	rows := benchRows(b, n, 2)
+	b.Run("separate-builds", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for d := 0; d < docs; d++ {
+				if _, _, err := core.Build(rows, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("build-multi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.BuildMulti(rows, n, docs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	headers, _, err := core.BuildMulti(rows, n, docs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("derive-uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, hdr := range headers {
+				if _, err := core.DeriveKey(rows[0], hdr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("derive-kev-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cache, err := core.NewKEVCache(rows[0], headers[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, hdr := range headers {
+				if _, err := cache.Derive(hdr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkAblation_KernelField(b *testing.B) {
+	b.Run("ff64", func(b *testing.B) {
+		rows := benchRows(b, 100, 2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Build(rows, 100); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- End-to-end: full publish/decrypt cycle through the public API ---
+
+func BenchmarkEndToEndPublish(b *testing.B) {
+	_, sch := benchParams(b)
+	idmgr, err := NewIdentityManager(sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acp, err := NewPolicy("adults", "age >= 18", "news", "body")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := NewPublisher(sch, idmgr.PublicKey(), []*Policy{acp}, Options{Ell: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub, err := NewSubscriber("pn-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tok, sec, err := idmgr.IssueString("pn-bench", "age", "30")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sub.AddToken(tok, sec); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sub.RegisterAll(pub); err != nil {
+		b.Fatal(err)
+	}
+	doc, err := NewDocument("news", Subdocument{Name: "body", Content: make([]byte, 4096)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc, err := pub.Publish(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := sub.Decrypt(bc)
+		if err != nil || len(got) != 1 {
+			b.Fatalf("decrypt failed: %v", err)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Command ppcd-bench regenerates every table and figure of the paper's
+// evaluation section (§VII) plus the DESIGN.md ablations, printing the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	ppcd-bench -all                 # everything (slow: full sweeps)
+//	ppcd-bench -fig 2 [-rounds 3]   # GE-OCBE step times vs ℓ
+//	ppcd-bench -table 2             # EQ-OCBE step times
+//	ppcd-bench -fig 3|4|5           # ACV gen / key derive / ACV size vs N
+//	ppcd-bench -fig 6               # vs conditions per policy
+//	ppcd-bench -ablation            # ACV vs marker vs direct vs LKH
+//	ppcd-bench -group schnorr       # run OCBE figures over the Schnorr group
+//	ppcd-bench -quick               # reduced sweeps for smoke testing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ppcd/internal/experiments"
+	"ppcd/internal/g2"
+	"ppcd/internal/group"
+	"ppcd/internal/pedersen"
+	"ppcd/internal/schnorr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppcd-bench: ")
+
+	var (
+		fig       = flag.Int("fig", 0, "figure to regenerate (2-6)")
+		table     = flag.Int("table", 0, "table to regenerate (2)")
+		all       = flag.Bool("all", false, "regenerate everything")
+		ablation  = flag.Bool("ablation", false, "run GKM ablation comparison")
+		rounds    = flag.Int("rounds", 3, "OCBE protocol rounds per point (paper: 50)")
+		groupName = flag.String("group", "jacobian", "commitment group for OCBE figures: jacobian (paper) or schnorr")
+		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
+	)
+	flag.Parse()
+
+	if !*all && *fig == 0 && *table == 0 && !*ablation {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("\n=== %s ===\n", name)
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("--- completed in %v ---\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	grp := func() group.Group {
+		if *groupName == "schnorr" {
+			return schnorr.Must2048()
+		}
+		return g2.MustPaperCurve()
+	}
+
+	if *all || *fig == 2 {
+		run("Figure 2: GE-OCBE step times vs ell", func() error { return runFig2(grp(), *rounds, *quick) })
+	}
+	if *all || *table == 2 {
+		run("Table II: EQ-OCBE step times", func() error { return runTable2(grp(), *rounds) })
+	}
+	if *all || *fig == 3 || *fig == 4 || *fig == 5 {
+		run("Figures 3-5: ACV generation / key derivation / ACV size vs N", func() error { return runFig3to5(*quick) })
+	}
+	if *all || *fig == 6 {
+		run("Figure 6: ACV generation and key derivation vs conditions per policy", func() error { return runFig6(*quick) })
+	}
+	if *all || *ablation {
+		run("Ablation: ACV vs marker vs direct vs LKH", runAblation)
+		run("Ablation: kernel field choice (ff64 vs big.Int)", runFieldAblation)
+	}
+}
+
+func runFig2(g group.Group, rounds int, quick bool) error {
+	params, err := pedersen.Setup(g, []byte("ppcd-bench"))
+	if err != nil {
+		return err
+	}
+	ells := []int{5, 10, 15, 20, 25, 30, 35, 40}
+	if quick {
+		ells = []int{5, 10, 20}
+	}
+	fmt.Printf("group=%s rounds=%d (paper: G2HEC jacobian, 50 rounds)\n", g.Name(), rounds)
+	fmt.Printf("%4s  %28s  %22s  %20s\n", "ell", "CreateExtraCommitments(Sub)", "ComposeEnvelope(Pub)", "OpenEnvelope(Sub)")
+	for _, ell := range ells {
+		r, err := experiments.MeasureOCBE(params, true, ell, rounds)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%4d  %28s  %22s  %20s\n", ell,
+			r.CreateCommit.Round(time.Microsecond),
+			r.Compose.Round(time.Microsecond),
+			r.Open.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runTable2(g group.Group, rounds int) error {
+	params, err := pedersen.Setup(g, []byte("ppcd-bench"))
+	if err != nil {
+		return err
+	}
+	r, err := experiments.MeasureOCBE(params, false, 0, rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("group=%s rounds=%d (paper: 0.00 / 11.80 / 35.25 ms)\n", g.Name(), rounds)
+	fmt.Printf("Create Extra Commitments (Sub): %v\n", r.CreateCommit.Round(time.Microsecond))
+	fmt.Printf("Compose Envelope (Pub):         %v\n", r.Compose.Round(time.Microsecond))
+	fmt.Printf("Open Envelope (Sub):            %v\n", r.Open.Round(time.Microsecond))
+	return nil
+}
+
+func runFig3to5(quick bool) error {
+	ns := []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	fills := []int{25, 50, 75, 100}
+	if quick {
+		ns = []int{100, 300, 500}
+	}
+	fmt.Printf("workload: 25 policies, 2 conditions/policy (paper §VII-B)\n")
+	fmt.Printf("%6s  %5s  %14s  %14s  %12s\n", "N", "fill%", "ACVgen(Fig3)", "derive(Fig4)", "size(Fig5)")
+	for _, n := range ns {
+		for _, fill := range fills {
+			r, err := experiments.Fig3to5Point(n, fill)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%6d  %5d  %14s  %14s  %10.2fKB\n", n, fill,
+				r.ACVGen.Round(time.Millisecond),
+				r.KeyDerive.Round(time.Microsecond),
+				float64(r.HeaderSize)/1024)
+		}
+	}
+	return nil
+}
+
+func runFig6(quick bool) error {
+	conds := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if quick {
+		conds = []int{1, 4, 8}
+	}
+	fmt.Printf("workload: 25 policies, N=500, 100%% fill (paper §VII-B)\n")
+	fmt.Printf("%6s  %16s  %16s\n", "conds", "ACV generation", "key derivation")
+	for _, c := range conds {
+		r, err := experiments.Fig6Point(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%6d  %16s  %16s\n", c,
+			r.ACVGen.Round(time.Millisecond),
+			r.KeyDerive.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func runAblation() error {
+	for _, n := range []int{100, 500, 1000} {
+		res, err := experiments.Ablation(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nn = %d subscribers\n", n)
+		fmt.Printf("%8s  %12s  %12s  %14s  %12s\n", "scheme", "rekey", "derive", "broadcast", "unicasts")
+		for _, r := range res {
+			fmt.Printf("%8s  %12s  %12s  %12.1fKB  %12d\n", r.Scheme,
+				r.RekeyTime.Round(time.Microsecond),
+				r.DeriveTime.Round(time.Microsecond),
+				float64(r.BroadcastSize)/1024, r.UnicastMsgs)
+		}
+	}
+	return nil
+}
+
+func runFieldAblation() error {
+	for _, n := range []int{100, 200, 400} {
+		fast, slow, err := experiments.KernelFieldComparison(n)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("N=%4d  ff64 build: %10s   big.Int elimination: %10s   speedup: %.1fx\n",
+			n, fast.Round(time.Millisecond), slow.Round(time.Millisecond),
+			float64(slow)/float64(fast))
+	}
+	return nil
+}

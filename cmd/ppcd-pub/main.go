@@ -1,0 +1,213 @@
+// Command ppcd-pub runs a publisher daemon: it loads a policy file, serves
+// registrations over TCP, publishes documents dropped on stdin commands, and
+// persists its CSS table across restarts.
+//
+// Policy file format (one policy per line):
+//
+//	<id> | <conjunction> | <document> | <subdoc>[,<subdoc>...]
+//	acp4 | role = nur && level >= 59 | EHR.xml | ContactInfo,Medication
+//
+// Lines starting with '#' are comments. Interactive commands on stdin:
+//
+//	publish <path> <mark>[,<mark>...]   segment an XML file and broadcast it
+//	revoke <nym>                        revoke a subscription and rekey
+//	revoke-cred <nym> <condition>       revoke one credential
+//	save <path>                         persist the CSS table
+//	status                              print table statistics
+//	quit
+//
+// The IdMgr public key is read from -idmgr-key (hex); generate one with
+// ppcd-sub -issue.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ppcd"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppcd-pub: ")
+
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7468", "listen address")
+		policyPath = flag.String("policies", "", "policy file (required)")
+		statePath  = flag.String("state", "", "CSS table state file to load (optional)")
+		idmgrKey   = flag.String("idmgr-key", "", "IdMgr public key, hex (required)")
+		seed       = flag.String("seed", "ppcd-system", "Pedersen parameter seed (must match subscribers)")
+		ell        = flag.Int("ell", 16, "bit bound for inequality conditions")
+		groupName  = flag.String("group", "schnorr", "commitment group: schnorr or jacobian")
+	)
+	flag.Parse()
+
+	if *policyPath == "" || *idmgrKey == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	key, err := hex.DecodeString(*idmgrKey)
+	if err != nil {
+		log.Fatalf("bad -idmgr-key: %v", err)
+	}
+
+	grp := ppcd.SchnorrGroup()
+	if *groupName == "jacobian" {
+		grp = ppcd.PaperCurve()
+	}
+	params, err := ppcd.Setup(grp, []byte(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	acps, err := loadPolicies(*policyPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d policies from %s", len(acps), *policyPath)
+
+	pub, err := ppcd.NewPublisher(params, key, acps, ppcd.Options{Ell: *ell})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *statePath != "" {
+		if data, err := os.ReadFile(*statePath); err == nil {
+			if err := pub.ImportState(data); err != nil {
+				log.Fatalf("restoring state: %v", err)
+			}
+			log.Printf("restored %d subscribers from %s", pub.SubscriberCount(), *statePath)
+		}
+	}
+
+	srv, err := ppcd.NewServer(pub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("serving registrations and broadcasts on %s", bound)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		if err := dispatch(pub, srv, fields); err != nil {
+			if err == errQuit {
+				return
+			}
+			log.Printf("error: %v", err)
+		}
+		fmt.Print("> ")
+	}
+}
+
+var errQuit = fmt.Errorf("quit")
+
+func dispatch(pub *ppcd.Publisher, srv *ppcd.Server, fields []string) error {
+	switch fields[0] {
+	case "publish":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: publish <path> <mark>[,...]")
+		}
+		data, err := os.ReadFile(fields[1])
+		if err != nil {
+			return err
+		}
+		doc, err := ppcd.SplitXML(fields[1], data, strings.Split(fields[2], ","))
+		if err != nil {
+			return err
+		}
+		b, err := pub.Publish(doc)
+		if err != nil {
+			return err
+		}
+		if err := srv.PublishBroadcast(b); err != nil {
+			return err
+		}
+		log.Printf("published %s: %d subdocuments, %d configurations", doc.Name, len(doc.Subdocs), len(b.Configs))
+		return nil
+	case "revoke":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: revoke <nym>")
+		}
+		if err := pub.RevokeSubscription(fields[1]); err != nil {
+			return err
+		}
+		log.Printf("revoked %s; next publish rekeys", fields[1])
+		return nil
+	case "revoke-cred":
+		if len(fields) < 3 {
+			return fmt.Errorf("usage: revoke-cred <nym> <condition>")
+		}
+		cond := strings.Join(fields[2:], " ")
+		if err := pub.RevokeCredential(fields[1], cond); err != nil {
+			return err
+		}
+		log.Printf("revoked credential %q of %s", cond, fields[1])
+		return nil
+	case "save":
+		if len(fields) != 2 {
+			return fmt.Errorf("usage: save <path>")
+		}
+		data, err := pub.ExportState()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(fields[1], data, 0o600); err != nil {
+			return err
+		}
+		log.Printf("saved CSS table (%d bytes, secret material) to %s", len(data), fields[1])
+		return nil
+	case "status":
+		log.Printf("%d registered pseudonyms, %d conditions, %d policies",
+			pub.SubscriberCount(), len(pub.Conditions()), len(pub.Policies()))
+		return nil
+	case "quit", "exit":
+		return errQuit
+	default:
+		return fmt.Errorf("unknown command %q", fields[0])
+	}
+}
+
+func loadPolicies(path string) ([]*ppcd.Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []*ppcd.Policy
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("%s:%d: want 'id | conds | doc | objects'", path, lineNo+1)
+		}
+		objs := strings.Split(strings.TrimSpace(parts[3]), ",")
+		for i := range objs {
+			objs[i] = strings.TrimSpace(objs[i])
+		}
+		acp, err := ppcd.NewPolicy(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), strings.TrimSpace(parts[2]), objs...)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo+1, err)
+		}
+		out = append(out, acp)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no policies", path)
+	}
+	return out, nil
+}

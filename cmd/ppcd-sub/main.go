@@ -1,0 +1,232 @@
+// Command ppcd-sub is the subscriber-side CLI. Together with ppcd-pub it
+// runs the full protocol across processes:
+//
+//	# one-time: create an identity manager seed and issue a token
+//	ppcd-sub idmgr-init -idmgr-seed-file idmgr.seed
+//	ppcd-sub issue -idmgr-seed-file idmgr.seed -nym pn-1 -tag age -value 30 -out token.json
+//
+//	# register at a running ppcd-pub and fetch + decrypt the latest broadcast
+//	ppcd-sub register -addr 127.0.0.1:7468 -token token.json
+//	ppcd-sub fetch    -addr 127.0.0.1:7468 -token token.json -outdir ./plain
+//
+// Token files contain the PRIVATE opening (value + blinding); they never
+// leave the subscriber's machine — registration only transmits commitments.
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/big"
+	"os"
+	"path/filepath"
+
+	"ppcd"
+	"ppcd/internal/idtoken"
+)
+
+// tokenFile is the on-disk subscriber credential: the public token plus the
+// private opening.
+type tokenFile struct {
+	Nym        string `json:"nym"`
+	Tag        string `json:"tag"`
+	Commitment string `json:"commitment"` // hex
+	Sig        string `json:"sig"`        // hex
+	Value      string `json:"value"`      // decimal; PRIVATE
+	Blinding   string `json:"blinding"`   // decimal; PRIVATE
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ppcd-sub: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7468", "publisher address")
+		seedFile  = fs.String("idmgr-seed-file", "idmgr.seed", "identity manager seed file")
+		nym       = fs.String("nym", "", "pseudonym")
+		tag       = fs.String("tag", "", "attribute tag")
+		value     = fs.String("value", "", "attribute value (kept private)")
+		out       = fs.String("out", "token.json", "output token file")
+		tokens    = fs.String("token", "token.json", "comma-unsupported: one token file")
+		outdir    = fs.String("outdir", ".", "directory for decrypted subdocuments")
+		seed      = fs.String("seed", "ppcd-system", "Pedersen parameter seed (must match publisher)")
+		groupName = fs.String("group", "schnorr", "commitment group: schnorr or jacobian")
+	)
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+
+	grp := ppcd.SchnorrGroup()
+	if *groupName == "jacobian" {
+		grp = ppcd.PaperCurve()
+	}
+	params, err := ppcd.Setup(grp, []byte(*seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch cmd {
+	case "idmgr-init":
+		s := make([]byte, 32)
+		if _, err := rand.Read(s); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*seedFile, []byte(hex.EncodeToString(s)), 0o600); err != nil {
+			log.Fatal(err)
+		}
+		mgr := loadIdMgr(params, *seedFile)
+		fmt.Printf("identity manager initialised; public key (give to ppcd-pub -idmgr-key):\n%s\n",
+			hex.EncodeToString(mgr.PublicKey()))
+	case "idmgr-pubkey":
+		mgr := loadIdMgr(params, *seedFile)
+		fmt.Println(hex.EncodeToString(mgr.PublicKey()))
+	case "issue":
+		if *nym == "" || *tag == "" || *value == "" {
+			log.Fatal("issue requires -nym, -tag and -value")
+		}
+		mgr := loadIdMgr(params, *seedFile)
+		tok, sec, err := mgr.IssueString(*nym, *tag, *value)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tf := tokenFile{
+			Nym: tok.Nym, Tag: tok.Tag,
+			Commitment: hex.EncodeToString(tok.Commitment),
+			Sig:        hex.EncodeToString(tok.Sig),
+			Value:      sec.Value.String(),
+			Blinding:   sec.Blinding.String(),
+		}
+		data, err := json.MarshalIndent(tf, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o600); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("issued token for %s (%s); written to %s — keep it private", *nym, *tag, *out)
+	case "register":
+		sub := loadSubscriber(*tokens)
+		client, err := ppcd.Dial(*addr, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		n, err := sub.RegisterAll(client)
+		if err != nil {
+			log.Fatal(err)
+		}
+		state, err := sub.ExportCSS()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(cssPath(*tokens), state, 0o600); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("registered against %d conditions; extracted %d CSS(s); state saved to %s",
+			len(client.Conditions()), n, cssPath(*tokens))
+	case "fetch":
+		sub := loadSubscriber(*tokens)
+		state, err := os.ReadFile(cssPath(*tokens))
+		if err != nil {
+			log.Fatalf("no CSS state (%v) — run register first", err)
+		}
+		if err := sub.ImportCSS(state); err != nil {
+			log.Fatal(err)
+		}
+		client, err := ppcd.Dial(*addr, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		b, err := client.Fetch("")
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := sub.Decrypt(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for name, content := range got {
+			path := filepath.Join(*outdir, name+".dec")
+			if err := os.WriteFile(path, content, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("decrypted %s → %s (%d bytes)", name, path, len(content))
+		}
+		log.Printf("authorized for %d of %d subdocuments of %q", len(got), len(b.Items), b.DocName)
+	default:
+		usage()
+	}
+}
+
+// cssPath derives the CSS state file path from the token file path.
+func cssPath(tokenPath string) string { return tokenPath + ".css" }
+
+func loadIdMgr(params *ppcd.CommitmentParams, seedFile string) *ppcd.IdentityManager {
+	data, err := os.ReadFile(seedFile)
+	if err != nil {
+		log.Fatalf("reading IdMgr seed: %v (run idmgr-init first)", err)
+	}
+	s, err := hex.DecodeString(string(data))
+	if err != nil {
+		log.Fatalf("bad seed file: %v", err)
+	}
+	mgr, err := idtoken.NewManagerFromSeed(params, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return mgr
+}
+
+func loadSubscriber(tokenPath string) *ppcd.Subscriber {
+	data, err := os.ReadFile(tokenPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tf tokenFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		log.Fatalf("parsing token file: %v", err)
+	}
+	sub, err := ppcd.NewSubscriber(tf.Nym)
+	if err != nil {
+		log.Fatal(err)
+	}
+	commitment, err := hex.DecodeString(tf.Commitment)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sigBytes, err := hex.DecodeString(tf.Sig)
+	if err != nil {
+		log.Fatal(err)
+	}
+	val, ok := new(big.Int).SetString(tf.Value, 10)
+	if !ok {
+		log.Fatal("bad value in token file")
+	}
+	blind, ok := new(big.Int).SetString(tf.Blinding, 10)
+	if !ok {
+		log.Fatal("bad blinding in token file")
+	}
+	tok := &ppcd.Token{Nym: tf.Nym, Tag: tf.Tag, Commitment: commitment, Sig: sigBytes}
+	sec := &ppcd.TokenSecret{Value: val, Blinding: blind}
+	if err := sub.AddToken(tok, sec); err != nil {
+		log.Fatal(err)
+	}
+	return sub
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ppcd-sub <idmgr-init|idmgr-pubkey|issue|register|fetch> [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,113 @@
+// Package direct implements the "simplistic approach" the paper argues
+// against (§VIII-B): the publisher delivers every configuration key directly
+// to every qualified subscriber over a per-subscriber secure channel. Rekey
+// therefore costs one message per qualified subscriber, and subscribers must
+// store one key per policy configuration — the ablation benchmarks measure
+// both against the ACV scheme's single broadcast.
+package direct
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"ppcd/internal/sym"
+)
+
+// Scheme models the publisher side of the direct-delivery baseline.
+type Scheme struct {
+	channels map[string][sym.KeySize]byte // per-subscriber channel keys
+}
+
+// New creates an empty scheme.
+func New() *Scheme {
+	return &Scheme{channels: make(map[string][sym.KeySize]byte)}
+}
+
+// RegisterUser establishes the per-subscriber secure channel (in a real
+// deployment: a TLS session or pre-shared key — here a random key the
+// subscriber is assumed to share).
+func (s *Scheme) RegisterUser(nym string) error {
+	if nym == "" {
+		return errors.New("direct: empty nym")
+	}
+	var key [sym.KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return fmt.Errorf("direct: channel key: %w", err)
+	}
+	s.channels[nym] = key
+	return nil
+}
+
+// RemoveUser tears down a subscriber's channel.
+func (s *Scheme) RemoveUser(nym string) {
+	delete(s.channels, nym)
+}
+
+// Users returns the number of registered subscribers.
+func (s *Scheme) Users() int { return len(s.channels) }
+
+// Message is one point-to-point rekey message.
+type Message struct {
+	Nym        string
+	Ciphertext []byte
+}
+
+// Rekey generates a fresh configuration key and produces one message per
+// qualified subscriber — the O(n) communication cost the paper criticises.
+func (s *Scheme) Rekey(qualified []string) ([]Message, [sym.KeySize]byte, error) {
+	var key [sym.KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return nil, key, fmt.Errorf("direct: session key: %w", err)
+	}
+	msgs := make([]Message, 0, len(qualified))
+	for _, nym := range qualified {
+		ch, ok := s.channels[nym]
+		if !ok {
+			return nil, key, fmt.Errorf("direct: unknown subscriber %q", nym)
+		}
+		ct, err := sym.Encrypt(ch, key[:])
+		if err != nil {
+			return nil, key, err
+		}
+		msgs = append(msgs, Message{Nym: nym, Ciphertext: ct})
+	}
+	return msgs, key, nil
+}
+
+// ChannelKey returns a subscriber's channel key (the subscriber-side copy).
+func (s *Scheme) ChannelKey(nym string) ([sym.KeySize]byte, bool) {
+	k, ok := s.channels[nym]
+	return k, ok
+}
+
+// DeriveKey is the subscriber side: find the message addressed to nym and
+// decrypt it with the channel key.
+func DeriveKey(nym string, channel [sym.KeySize]byte, msgs []Message) ([sym.KeySize]byte, error) {
+	var out [sym.KeySize]byte
+	for _, m := range msgs {
+		if m.Nym != nym {
+			continue
+		}
+		pt, err := sym.Decrypt(channel, m.Ciphertext)
+		if err != nil {
+			return out, err
+		}
+		if len(pt) != sym.KeySize {
+			return out, errors.New("direct: malformed key message")
+		}
+		copy(out[:], pt)
+		return out, nil
+	}
+	return out, errors.New("direct: no message addressed to subscriber")
+}
+
+// BytesOnWire sums the size of the rekey messages (broadcast-overhead
+// analogue for Fig. 5 comparisons).
+func BytesOnWire(msgs []Message) int {
+	n := 0
+	for _, m := range msgs {
+		n += len(m.Nym) + len(m.Ciphertext)
+	}
+	return n
+}

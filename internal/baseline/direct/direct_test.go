@@ -1,0 +1,89 @@
+package direct
+
+import (
+	"testing"
+)
+
+func TestRekeyAndDerive(t *testing.T) {
+	s := New()
+	for _, u := range []string{"a", "b", "c"} {
+		if err := s.RegisterUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, key, err := s.Rekey([]string{"a", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("rekey produced %d messages, want 2", len(msgs))
+	}
+	chA, _ := s.ChannelKey("a")
+	got, err := DeriveKey("a", chA, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Error("derived key mismatch")
+	}
+	// b is not qualified: no message addressed to it.
+	chB, _ := s.ChannelKey("b")
+	if _, err := DeriveKey("b", chB, msgs); err == nil {
+		t.Error("unqualified user derived key")
+	}
+}
+
+func TestRekeyCostIsLinear(t *testing.T) {
+	s := New()
+	users := make([]string, 50)
+	for i := range users {
+		users[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+		if err := s.RegisterUser(users[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs, _, err := s.Rekey(users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != len(users) {
+		t.Errorf("messages = %d, want %d (O(n) cost)", len(msgs), len(users))
+	}
+	if BytesOnWire(msgs) == 0 {
+		t.Error("BytesOnWire = 0")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := New()
+	if err := s.RegisterUser(""); err == nil {
+		t.Error("empty nym accepted")
+	}
+	if _, _, err := s.Rekey([]string{"ghost"}); err == nil {
+		t.Error("unknown subscriber accepted")
+	}
+	s.RegisterUser("x")
+	if s.Users() != 1 {
+		t.Error("Users wrong")
+	}
+	s.RemoveUser("x")
+	if s.Users() != 0 {
+		t.Error("RemoveUser failed")
+	}
+	if _, ok := s.ChannelKey("x"); ok {
+		t.Error("removed user still has channel")
+	}
+}
+
+func TestWrongChannelKeyFails(t *testing.T) {
+	s := New()
+	s.RegisterUser("a")
+	msgs, _, err := s.Rekey([]string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong [32]byte
+	if _, err := DeriveKey("a", wrong, msgs); err == nil {
+		t.Error("wrong channel key decrypted rekey message")
+	}
+}

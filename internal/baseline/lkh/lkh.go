@@ -1,0 +1,200 @@
+// Package lkh implements a Logical Key Hierarchy — the classic hierarchical
+// group key management scheme the paper's related-work section compares
+// against ([17] Wong & Lam "Keystone", [18] Sherman & McGrew OFT). Users sit
+// at the leaves of a binary key tree and hold the keys on their root path
+// (O(log n) keys each); the root key is the group key. Revoking a user
+// replaces every key on its path and announces each new key encrypted under
+// the keys of the unaffected child subtrees — O(log n) rekey messages,
+// versus O(1) broadcast for the paper's ACV scheme and O(n) for direct
+// delivery.
+package lkh
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"ppcd/internal/sym"
+)
+
+// Tree is a complete binary key tree with a fixed leaf capacity.
+type Tree struct {
+	capacity int // number of leaves, power of two
+	keys     [][sym.KeySize]byte
+	leafOf   map[string]int // nym → leaf index (0-based among leaves)
+	freeLeaf []int
+}
+
+// New creates a key tree with capacity rounded up to the next power of two.
+func New(capacity int) (*Tree, error) {
+	if capacity < 1 {
+		return nil, errors.New("lkh: capacity must be positive")
+	}
+	cap2 := 1
+	for cap2 < capacity {
+		cap2 *= 2
+	}
+	t := &Tree{
+		capacity: cap2,
+		keys:     make([][sym.KeySize]byte, 2*cap2), // 1-based heap layout
+		leafOf:   make(map[string]int),
+	}
+	for i := cap2 - 1; i >= 0; i-- {
+		t.freeLeaf = append(t.freeLeaf, i)
+	}
+	for i := 1; i < len(t.keys); i++ {
+		if _, err := rand.Read(t.keys[i][:]); err != nil {
+			return nil, fmt.Errorf("lkh: init keys: %w", err)
+		}
+	}
+	return t, nil
+}
+
+// Capacity returns the leaf capacity (rounded up).
+func (t *Tree) Capacity() int { return t.capacity }
+
+// Users returns the number of joined users.
+func (t *Tree) Users() int { return len(t.leafOf) }
+
+// GroupKey returns the current root (group) key.
+func (t *Tree) GroupKey() [sym.KeySize]byte { return t.keys[1] }
+
+// nodeOfLeaf converts a leaf index to its 1-based heap node.
+func (t *Tree) nodeOfLeaf(leaf int) int { return t.capacity + leaf }
+
+// PathKeys returns the keys a user holds: every key on the path from its
+// leaf to the root (leaf first). This is the O(log n) per-user storage the
+// paper contrasts with its O(1)-per-condition CSSs.
+func (t *Tree) PathKeys(nym string) ([][sym.KeySize]byte, error) {
+	leaf, ok := t.leafOf[nym]
+	if !ok {
+		return nil, fmt.Errorf("lkh: unknown user %q", nym)
+	}
+	var out [][sym.KeySize]byte
+	for node := t.nodeOfLeaf(leaf); node >= 1; node /= 2 {
+		out = append(out, t.keys[node])
+	}
+	return out, nil
+}
+
+// Message is one rekey message: a new key for node Node, encrypted under the
+// key of node Under.
+type Message struct {
+	Node       int
+	Under      int
+	Ciphertext []byte
+}
+
+// Join adds a user and rekeys its path (backward secrecy): every key from
+// the leaf's parent to the root is refreshed.
+func (t *Tree) Join(nym string) ([]Message, error) {
+	if _, ok := t.leafOf[nym]; ok {
+		return nil, fmt.Errorf("lkh: user %q already joined", nym)
+	}
+	if len(t.freeLeaf) == 0 {
+		return nil, errors.New("lkh: tree full")
+	}
+	leaf := t.freeLeaf[len(t.freeLeaf)-1]
+	t.freeLeaf = t.freeLeaf[:len(t.freeLeaf)-1]
+	t.leafOf[nym] = leaf
+	// Fresh leaf key for the newcomer (delivered over its join channel).
+	if _, err := rand.Read(t.keys[t.nodeOfLeaf(leaf)][:]); err != nil {
+		return nil, err
+	}
+	return t.rekeyPath(t.nodeOfLeaf(leaf))
+}
+
+// Leave revokes a user and rekeys its path (forward secrecy).
+func (t *Tree) Leave(nym string) ([]Message, error) {
+	leaf, ok := t.leafOf[nym]
+	if !ok {
+		return nil, fmt.Errorf("lkh: unknown user %q", nym)
+	}
+	delete(t.leafOf, nym)
+	t.freeLeaf = append(t.freeLeaf, leaf)
+	node := t.nodeOfLeaf(leaf)
+	// Invalidate the departed leaf key so the old holder cannot decrypt
+	// rekey messages addressed to that leaf.
+	if _, err := rand.Read(t.keys[node][:]); err != nil {
+		return nil, err
+	}
+	return t.rekeyPath(node)
+}
+
+// rekeyPath refreshes every key strictly above node and emits one message
+// per (refreshed key, child) pair — the O(log n) rekey traffic.
+func (t *Tree) rekeyPath(node int) ([]Message, error) {
+	var msgs []Message
+	for parent := node / 2; parent >= 1; parent /= 2 {
+		var fresh [sym.KeySize]byte
+		if _, err := rand.Read(fresh[:]); err != nil {
+			return nil, err
+		}
+		t.keys[parent] = fresh
+		for _, child := range []int{2 * parent, 2*parent + 1} {
+			if child >= len(t.keys) {
+				continue
+			}
+			ct, err := sym.Encrypt(t.keys[child], fresh[:])
+			if err != nil {
+				return nil, err
+			}
+			msgs = append(msgs, Message{Node: parent, Under: child, Ciphertext: ct})
+		}
+	}
+	return msgs, nil
+}
+
+// ApplyMessages is the user side of a rekey: starting from the keys it
+// holds, a user decrypts every message it can and learns the refreshed path
+// keys, ending with the new group key. It returns the new group key or an
+// error if the user has been locked out.
+func ApplyMessages(pathKeys [][sym.KeySize]byte, msgs []Message) ([sym.KeySize]byte, error) {
+	known := make(map[string]bool)
+	keyset := append([][sym.KeySize]byte(nil), pathKeys...)
+	_ = known
+	progress := true
+	for progress {
+		progress = false
+		for _, m := range msgs {
+			for _, k := range keyset {
+				pt, err := sym.Decrypt(k, m.Ciphertext)
+				if err != nil || len(pt) != sym.KeySize {
+					continue
+				}
+				var nk [sym.KeySize]byte
+				copy(nk[:], pt)
+				if !containsKey(keyset, nk) {
+					keyset = append(keyset, nk)
+					progress = true
+				}
+				break
+			}
+		}
+	}
+	// The group key is the key announced for node 1, if reachable.
+	for _, m := range msgs {
+		if m.Node != 1 {
+			continue
+		}
+		for _, k := range keyset {
+			pt, err := sym.Decrypt(k, m.Ciphertext)
+			if err == nil && len(pt) == sym.KeySize {
+				var out [sym.KeySize]byte
+				copy(out[:], pt)
+				return out, nil
+			}
+		}
+	}
+	var zero [sym.KeySize]byte
+	return zero, errors.New("lkh: cannot recover new group key (revoked?)")
+}
+
+func containsKey(set [][sym.KeySize]byte, k [sym.KeySize]byte) bool {
+	for _, x := range set {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}

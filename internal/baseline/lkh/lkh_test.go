@@ -1,0 +1,160 @@
+package lkh
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	tr, err := New(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Capacity() != 8 {
+		t.Errorf("capacity = %d, want 8", tr.Capacity())
+	}
+}
+
+func TestJoinLeaveLifecycle(t *testing.T) {
+	tr, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Join("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Join("alice"); err == nil {
+		t.Error("double join accepted")
+	}
+	if tr.Users() != 1 {
+		t.Error("Users wrong")
+	}
+	if _, err := tr.Leave("ghost"); err == nil {
+		t.Error("leave of unknown user accepted")
+	}
+	if _, err := tr.Leave("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Users() != 0 {
+		t.Error("Users after leave wrong")
+	}
+}
+
+func TestTreeFull(t *testing.T) {
+	tr, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Join("a")
+	tr.Join("b")
+	if _, err := tr.Join("c"); err == nil {
+		t.Error("overfull join accepted")
+	}
+}
+
+func TestMembersTrackGroupKeyThroughRekeys(t *testing.T) {
+	tr, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := []string{"u0", "u1", "u2", "u3", "u4"}
+	for _, u := range users {
+		if _, err := tr.Join(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// After a leave, every remaining member reconstructs the new group key
+	// from its old path keys plus the rekey messages; the departed member
+	// cannot.
+	leaverPath, err := tr.PathKeys("u2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stayPaths := map[string][][32]byte{}
+	for _, u := range []string{"u0", "u1", "u3", "u4"} {
+		pk, err := tr.PathKeys(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stayPaths[u] = pk
+	}
+	msgs, err := tr.Leave("u2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.GroupKey()
+	for u, pk := range stayPaths {
+		got, err := ApplyMessages(pk, msgs)
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		if got != want {
+			t.Fatalf("%s: wrong group key", u)
+		}
+	}
+	if _, err := ApplyMessages(leaverPath, msgs); err == nil {
+		t.Error("revoked user recovered the new group key")
+	}
+}
+
+func TestRekeyCostIsLogarithmic(t *testing.T) {
+	// For capacity 2^k the number of rekey messages per leave is at most
+	// 2·k (two children per refreshed node on a path of length k).
+	for _, capacity := range []int{4, 16, 64, 256} {
+		tr, err := New(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < capacity; i++ {
+			if _, err := tr.Join(fmt.Sprintf("u%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		msgs, err := tr.Leave("u0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 2 * int(math.Log2(float64(capacity)))
+		if len(msgs) > bound {
+			t.Errorf("capacity %d: %d messages > bound %d", capacity, len(msgs), bound)
+		}
+	}
+}
+
+func TestPathKeysLength(t *testing.T) {
+	tr, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Join("a")
+	pk, err := tr.PathKeys("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leaf to root inclusive: log2(16) + 1 = 5 keys.
+	if len(pk) != 5 {
+		t.Errorf("path keys = %d, want 5", len(pk))
+	}
+	if _, err := tr.PathKeys("ghost"); err == nil {
+		t.Error("unknown user accepted")
+	}
+}
+
+func TestJoinProvidesBackwardSecrecy(t *testing.T) {
+	tr, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Join("old")
+	oldGroupKey := tr.GroupKey()
+	if _, err := tr.Join("new"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.GroupKey() == oldGroupKey {
+		t.Error("group key unchanged after join (no backward secrecy)")
+	}
+}

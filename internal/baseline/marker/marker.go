@@ -1,0 +1,125 @@
+// Package marker implements the alternative group key management scheme
+// sketched in §VIII-D of the paper (proposed by an anonymous ICDE reviewer):
+// for each subscriber×policy row the publisher publishes
+//
+//	(k ‖ m) ⊕ H(r_1 ‖ … ‖ r_w ‖ z)
+//
+// where m is a well-known marker. A qualified subscriber hashes its CSSs
+// with the nonce z, XORs against every slot, and recognises the key by the
+// marker. Costs are O(N) at the publisher (no linear solve) and O(N) at the
+// subscriber (scan all slots) — the ablation benchmarks contrast this with
+// the paper's ACV scheme. The paper also notes its key-reuse weakness across
+// same-z sessions, which TestSameNonceLeaksRelation demonstrates.
+package marker
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"ppcd/internal/core"
+)
+
+const (
+	// KeyLen is the session key length. Key plus marker must not exceed one
+	// hash output (§VIII-D: "the length of the key must be strictly less
+	// than that of the hash output").
+	KeyLen = 16
+	// markerLen completes the SHA-256 output size.
+	markerLen = sha256.Size - KeyLen
+)
+
+// wellKnownMarker is the public marker m.
+var wellKnownMarker = bytes.Repeat([]byte{0xA5}, markerLen)
+
+// Header is the public broadcast material: the nonce z and one slot per
+// subscriber×policy row.
+type Header struct {
+	Z     []byte
+	Slots [][]byte
+}
+
+// Size returns the broadcast overhead in bytes (Fig. 5 analogue).
+func (h *Header) Size() int {
+	n := len(h.Z)
+	for _, s := range h.Slots {
+		n += len(s)
+	}
+	return n
+}
+
+// Errors returned by the scheme.
+var (
+	ErrNoRows  = errors.New("marker: no subscriber rows")
+	ErrNoMatch = errors.New("marker: no slot matched (not authorized)")
+)
+
+// pad computes H(r_1 ‖ … ‖ r_w ‖ z).
+func pad(css []core.CSS, z []byte) []byte {
+	h := sha256.New()
+	for _, r := range css {
+		h.Write(r.Bytes())
+	}
+	h.Write(z)
+	return h.Sum(nil)
+}
+
+// Build draws a fresh session key and produces the header for the given
+// subscriber×policy rows.
+func Build(rows [][]core.CSS) (*Header, []byte, error) {
+	if len(rows) == 0 {
+		return nil, nil, ErrNoRows
+	}
+	key := make([]byte, KeyLen)
+	if _, err := rand.Read(key); err != nil {
+		return nil, nil, fmt.Errorf("marker: key: %w", err)
+	}
+	z := make([]byte, 16)
+	if _, err := rand.Read(z); err != nil {
+		return nil, nil, fmt.Errorf("marker: nonce: %w", err)
+	}
+	return BuildWithKey(rows, key, z)
+}
+
+// BuildWithKey is Build with caller-chosen key and nonce; it exists so tests
+// can demonstrate the cross-session weakness the paper describes.
+func BuildWithKey(rows [][]core.CSS, key, z []byte) (*Header, []byte, error) {
+	if len(rows) == 0 {
+		return nil, nil, ErrNoRows
+	}
+	if len(key) != KeyLen {
+		return nil, nil, fmt.Errorf("marker: key must be %d bytes", KeyLen)
+	}
+	plain := append(append([]byte(nil), key...), wellKnownMarker...)
+	hdr := &Header{Z: append([]byte(nil), z...), Slots: make([][]byte, len(rows))}
+	for i, row := range rows {
+		p := pad(row, z)
+		slot := make([]byte, sha256.Size)
+		for j := range slot {
+			slot[j] = plain[j] ^ p[j]
+		}
+		hdr.Slots[i] = slot
+	}
+	return hdr, key, nil
+}
+
+// DeriveKey scans the header's slots with the subscriber's CSS list and
+// returns the session key when a slot reveals the well-known marker.
+func DeriveKey(css []core.CSS, hdr *Header) ([]byte, error) {
+	p := pad(css, hdr.Z)
+	for _, slot := range hdr.Slots {
+		if len(slot) != sha256.Size {
+			continue
+		}
+		out := make([]byte, sha256.Size)
+		for j := range out {
+			out[j] = slot[j] ^ p[j]
+		}
+		if bytes.Equal(out[KeyLen:], wellKnownMarker) {
+			return out[:KeyLen], nil
+		}
+	}
+	return nil, ErrNoMatch
+}

@@ -1,0 +1,132 @@
+package marker
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+)
+
+func randRows(rng *rand.Rand, n, maxConds int) [][]core.CSS {
+	rows := make([][]core.CSS, n)
+	for i := range rows {
+		m := 1 + rng.Intn(maxConds)
+		css := make([]core.CSS, m)
+		for j := range css {
+			css[j] = ff64.New(rng.Uint64() | 1)
+		}
+		rows[i] = css
+	}
+	return rows
+}
+
+func TestQualifiedDerive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := randRows(rng, 8, 3)
+	hdr, key, err := Build(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		got, err := DeriveKey(row, hdr)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if !bytes.Equal(got, key) {
+			t.Fatalf("row %d: wrong key", i)
+		}
+	}
+}
+
+func TestUnqualifiedFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := randRows(rng, 5, 2)
+	hdr, _, err := Build(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outsider := randRows(rng, 1, 2)[0]
+	if _, err := DeriveKey(outsider, hdr); err != ErrNoMatch {
+		t.Errorf("outsider derived key: %v", err)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, _, err := Build(nil); err != ErrNoRows {
+		t.Errorf("empty rows: %v", err)
+	}
+	if _, _, err := BuildWithKey(randRows(rand.New(rand.NewSource(3)), 1, 1), []byte{1}, []byte{2}); err == nil {
+		t.Error("short key accepted")
+	}
+}
+
+func TestHeaderSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rows := randRows(rng, 10, 2)
+	hdr, _, err := Build(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 16 + 10*32
+	if hdr.Size() != want {
+		t.Errorf("Size = %d, want %d", hdr.Size(), want)
+	}
+}
+
+func TestSameNonceLeaksRelation(t *testing.T) {
+	// The weakness the paper points out (§VIII-D): with the same z and CSSs,
+	// an attacker knowing k1 learns k2 from the two headers alone, because
+	// slot1 ⊕ slot2 = (k1‖m) ⊕ (k2‖m).
+	rng := rand.New(rand.NewSource(5))
+	rows := randRows(rng, 1, 2)
+	z := []byte("shared-nonce-16b")
+	k1 := bytes.Repeat([]byte{0x11}, KeyLen)
+	k2 := bytes.Repeat([]byte{0x22}, KeyLen)
+	h1, _, err := BuildWithKey(rows, k1, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _, err := BuildWithKey(rows, k2, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attacker: slot1 ⊕ slot2 ⊕ k1 (padded) reveals k2.
+	recovered := make([]byte, KeyLen)
+	for i := 0; i < KeyLen; i++ {
+		recovered[i] = h1.Slots[0][i] ^ h2.Slots[0][i] ^ k1[i]
+	}
+	if !bytes.Equal(recovered, k2) {
+		t.Error("expected the documented weakness to be demonstrable")
+	}
+}
+
+func TestRekeyChangesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rows := randRows(rng, 3, 2)
+	_, k1, err := Build(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, k2, err := Build(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k1, k2) {
+		t.Error("independent builds share a key")
+	}
+}
+
+func TestForwardSecrecy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := randRows(rng, 4, 2)
+	leaving := rows[3]
+	hdr, _, err := Build(rows[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DeriveKey(leaving, hdr); err != ErrNoMatch {
+		t.Error("revoked subscriber derived new key")
+	}
+}

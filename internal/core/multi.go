@@ -1,0 +1,221 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"ppcd/internal/ff64"
+	"ppcd/internal/linalg"
+)
+
+// BuildMulti generates `count` independent keys and headers that SHARE the
+// nonces z_1…z_N, for broadcasting several documents to the same policy
+// configuration (same subscriber rows) in one session. This is the
+// optimisation of §VIII-D: the publisher computes the matrix A and its null
+// space once, then picks `count` independent random ACVs from it; a
+// subscriber hashes its CSSs against the shared nonces once and reuses the
+// cached KEV for every document. Unlike the marker scheme, compromise of one
+// key reveals nothing about the others (the ACVs are independent kernel
+// samples).
+func BuildMulti(rows [][]CSS, n, count int) ([]*Header, []ff64.Elem, error) {
+	if count < 1 {
+		return nil, nil, fmt.Errorf("core: count must be positive, got %d", count)
+	}
+	if len(rows) == 0 {
+		return nil, nil, ErrNoRows
+	}
+	if n < len(rows) {
+		return nil, nil, fmt.Errorf("%w: N=%d < %d rows", ErrNTooSmall, n, len(rows))
+	}
+	for _, r := range rows {
+		if len(r) == 0 {
+			return nil, nil, ErrEmptyCSS
+		}
+	}
+
+	zs, a, err := buildMatrix(rows, n)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	headers := make([]*Header, 0, count)
+	keys := make([]ff64.Elem, 0, count)
+	for i := 0; i < count; i++ {
+		var hdr *Header
+		var key ff64.Elem
+		for attempt := 0; attempt < 8; attempt++ {
+			y, err := a.RandomKernelVector()
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: sampling ACV %d: %w", i, err)
+			}
+			k, err := ff64.RandNonZero()
+			if err != nil {
+				return nil, nil, err
+			}
+			x := y.Clone()
+			x[0] = ff64.Add(x[0], k)
+			if tailZero(x) {
+				continue
+			}
+			hdr = &Header{X: x, Zs: zs}
+			key = k
+			break
+		}
+		if hdr == nil {
+			return nil, nil, errDegenerate
+		}
+		headers = append(headers, hdr)
+		keys = append(keys, key)
+	}
+	return headers, keys, nil
+}
+
+// buildMatrix draws the nonces and assembles the subscriber matrix A.
+func buildMatrix(rows [][]CSS, n int) ([][]byte, *linalg.Matrix, error) {
+	zs := make([][]byte, n)
+	for j := range zs {
+		z := make([]byte, NonceSize)
+		if err := fillRandom(z); err != nil {
+			return nil, nil, err
+		}
+		zs[j] = z
+	}
+	a := linalg.NewMatrix(len(rows), n+1)
+	for i, css := range rows {
+		a.Set(i, 0, ff64.One)
+		for j, z := range zs {
+			a.Set(i, j+1, HashRow(css, z))
+		}
+	}
+	return zs, a, nil
+}
+
+// KEVCache caches a subscriber's key extraction vector for one nonce set so
+// that derivations for multiple documents of a shared session cost one inner
+// product each instead of N hashes + one inner product (§VIII-D: "the Sub
+// can compute the hash values and cache the resultant vector for future
+// use").
+type KEVCache struct {
+	kev linalg.Vector
+}
+
+// NewKEVCache hashes the subscriber's CSS list against a header's nonces
+// once.
+func NewKEVCache(css []CSS, hdr *Header) (*KEVCache, error) {
+	kev, err := KEV(css, hdr)
+	if err != nil {
+		return nil, err
+	}
+	return &KEVCache{kev: kev}, nil
+}
+
+// Derive extracts the key from a header that shares the cache's nonce set.
+func (c *KEVCache) Derive(hdr *Header) (ff64.Elem, error) {
+	if len(hdr.X) != len(c.kev) {
+		return 0, fmt.Errorf("%w: cached KEV length %d, X length %d", ErrBadHeader, len(c.kev), len(hdr.X))
+	}
+	return c.kev.Dot(hdr.X)
+}
+
+// GroupedHeader is the broadcast material of a grouped build (§VIII-C): all
+// groups share one document key; each group gets its own small header.
+type GroupedHeader struct {
+	Groups []*Header
+}
+
+// Size returns the total broadcast overhead across groups.
+func (g *GroupedHeader) Size() int {
+	n := 0
+	for _, h := range g.Groups {
+		n += h.Size()
+	}
+	return n
+}
+
+// BuildGrouped splits the subscriber rows into groups of at most groupSize
+// and computes an independent ACV per group, all delivering the SAME key —
+// the scalability strategy of §VIII-C: solving g small N×N systems costs
+// g·(N/g)³ = N³/g² field operations instead of N³, at the price of g
+// headers. A subscriber derives the key from its own group's header; since
+// it does not know its group index, DeriveKeyGrouped scans the groups.
+func BuildGrouped(rows [][]CSS, groupSize int) (*GroupedHeader, ff64.Elem, error) {
+	if groupSize < 1 {
+		return nil, 0, fmt.Errorf("core: groupSize must be positive, got %d", groupSize)
+	}
+	if len(rows) == 0 {
+		return nil, 0, ErrNoRows
+	}
+	key, err := ff64.RandNonZero()
+	if err != nil {
+		return nil, 0, err
+	}
+	out := &GroupedHeader{}
+	for start := 0; start < len(rows); start += groupSize {
+		end := start + groupSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := rows[start:end]
+		hdr, err := buildWithKey(chunk, len(chunk), key)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: group starting at %d: %w", start, err)
+		}
+		out.Groups = append(out.Groups, hdr)
+	}
+	return out, key, nil
+}
+
+// buildWithKey is the Build core with a caller-fixed key.
+func buildWithKey(rows [][]CSS, n int, key ff64.Elem) (*Header, error) {
+	for _, r := range rows {
+		if len(r) == 0 {
+			return nil, ErrEmptyCSS
+		}
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		zs, a, err := buildMatrix(rows, n)
+		if err != nil {
+			return nil, err
+		}
+		y, err := a.RandomKernelVector()
+		if err != nil {
+			return nil, fmt.Errorf("core: solving AY=0: %w", err)
+		}
+		x := y.Clone()
+		x[0] = ff64.Add(x[0], key)
+		if tailZero(x) {
+			continue
+		}
+		return &Header{X: x, Zs: zs}, nil
+	}
+	return nil, errDegenerate
+}
+
+// DeriveKeyGrouped recovers the key from a grouped header by trying each
+// group. It returns the first successful derivation along with the group
+// index; verification of correctness happens — as everywhere in the system —
+// through authenticated decryption of the payload, so callers should try
+// groups in order until decryption succeeds. For convenience it returns all
+// candidate keys when verify is nil.
+func DeriveKeyGrouped(css []CSS, g *GroupedHeader, verify func(ff64.Elem) bool) (ff64.Elem, int, error) {
+	if g == nil || len(g.Groups) == 0 {
+		return 0, -1, ErrBadHeader
+	}
+	for i, hdr := range g.Groups {
+		k, err := DeriveKey(css, hdr)
+		if err != nil {
+			continue
+		}
+		if verify == nil || verify(k) {
+			return k, i, nil
+		}
+	}
+	return 0, -1, ErrBadKey
+}
+
+func fillRandom(b []byte) error {
+	if _, err := rand.Read(b); err != nil {
+		return fmt.Errorf("core: generating nonce: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Package document models broadcast documents and their segmentation into
+// subdocuments (paper §V-C). A document is an ordered list of named
+// subdocuments; SplitXML segments an XML file (such as the paper's EHR.xml)
+// by element name, so that access control policies can target XML elements
+// exactly as in Example 4.
+package document
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Subdocument is a named portion of a document; policies reference
+// subdocuments by name.
+type Subdocument struct {
+	Name    string
+	Content []byte
+}
+
+// Document is an ordered collection of subdocuments.
+type Document struct {
+	Name    string
+	Subdocs []Subdocument
+}
+
+// New builds a document from subdocuments, rejecting duplicate names.
+func New(name string, subdocs ...Subdocument) (*Document, error) {
+	if name == "" {
+		return nil, errors.New("document: empty document name")
+	}
+	seen := make(map[string]bool, len(subdocs))
+	for _, sd := range subdocs {
+		if sd.Name == "" {
+			return nil, errors.New("document: empty subdocument name")
+		}
+		if seen[sd.Name] {
+			return nil, fmt.Errorf("document: duplicate subdocument %q", sd.Name)
+		}
+		seen[sd.Name] = true
+	}
+	return &Document{Name: name, Subdocs: append([]Subdocument(nil), subdocs...)}, nil
+}
+
+// Names returns the subdocument names in order.
+func (d *Document) Names() []string {
+	out := make([]string, len(d.Subdocs))
+	for i, sd := range d.Subdocs {
+		out[i] = sd.Name
+	}
+	return out
+}
+
+// Get returns the subdocument with the given name.
+func (d *Document) Get(name string) (Subdocument, bool) {
+	for _, sd := range d.Subdocs {
+		if sd.Name == name {
+			return sd, true
+		}
+	}
+	return Subdocument{}, false
+}
+
+// RestName is the name given to document content outside every marked
+// element when splitting XML ("Other stuff" in the paper's Example 4).
+const RestName = "_rest"
+
+// SplitXML segments an XML document into subdocuments by element name: the
+// raw XML of each outermost occurrence of an element whose local name is in
+// marks becomes one subdocument (named after the element, with a numeric
+// suffix for repeats). Everything else is concatenated into the RestName
+// subdocument. Nested marked elements inside an already-captured element are
+// not re-captured.
+func SplitXML(name string, data []byte, marks []string) (*Document, error) {
+	markSet := make(map[string]bool, len(marks))
+	for _, m := range marks {
+		markSet[m] = true
+	}
+
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	var subdocs []Subdocument
+	var rest bytes.Buffer
+	counts := make(map[string]int)
+	lastOffset := int64(0)
+
+	for {
+		tokStart := dec.InputOffset()
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("document: parsing XML: %w", err)
+		}
+		se, ok := tok.(xml.StartElement)
+		if !ok || !markSet[se.Name.Local] {
+			continue
+		}
+		// Content before this element belongs to the rest.
+		rest.Write(data[lastOffset:tokStart])
+		// Skip to the matching end element; capture the raw bytes.
+		if err := dec.Skip(); err != nil {
+			return nil, fmt.Errorf("document: skipping element %s: %w", se.Name.Local, err)
+		}
+		end := dec.InputOffset()
+		raw := append([]byte(nil), data[tokStart:end]...)
+		counts[se.Name.Local]++
+		sdName := se.Name.Local
+		if counts[se.Name.Local] > 1 {
+			sdName = fmt.Sprintf("%s#%d", se.Name.Local, counts[se.Name.Local])
+		}
+		subdocs = append(subdocs, Subdocument{Name: sdName, Content: raw})
+		lastOffset = end
+	}
+	rest.Write(data[lastOffset:])
+	if restBytes := bytes.TrimSpace(rest.Bytes()); len(restBytes) > 0 {
+		subdocs = append(subdocs, Subdocument{Name: RestName, Content: rest.Bytes()})
+	}
+	return New(name, subdocs...)
+}

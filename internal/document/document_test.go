@@ -1,0 +1,157 @@
+package document
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const ehrXML = `<PatientRecord>
+  <ContactInfo>
+    <Name>John Doe</Name><Phone>555-0100</Phone>
+  </ContactInfo>
+  <BillingInfo>
+    <Insurer>Acme Health</Insurer>
+  </BillingInfo>
+  <ClinicalRecord>
+    <Medication>aspirin 100mg</Medication>
+    <PhysicalExams>BP 120/80</PhysicalExams>
+    <LabRecords>X-ray negative</LabRecords>
+    <Plan>follow-up in 2 weeks</Plan>
+  </ClinicalRecord>
+</PatientRecord>`
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New("d", Subdocument{Name: ""}); err == nil {
+		t.Error("empty subdoc name accepted")
+	}
+	if _, err := New("d", Subdocument{Name: "a"}, Subdocument{Name: "a"}); err == nil {
+		t.Error("duplicate subdoc accepted")
+	}
+}
+
+func TestNamesAndGet(t *testing.T) {
+	d, err := New("d", Subdocument{Name: "a", Content: []byte("1")}, Subdocument{Name: "b", Content: []byte("2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := d.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names = %v", names)
+	}
+	sd, ok := d.Get("b")
+	if !ok || string(sd.Content) != "2" {
+		t.Error("Get failed")
+	}
+	if _, ok := d.Get("zzz"); ok {
+		t.Error("Get found missing subdoc")
+	}
+}
+
+func TestSplitXMLEHR(t *testing.T) {
+	marks := []string{"ContactInfo", "BillingInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"}
+	doc, err := SplitXML("EHR.xml", []byte(ehrXML), marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := doc.Names()
+	want := []string{"ContactInfo", "BillingInfo", "Medication", "PhysicalExams", "LabRecords", "Plan", RestName}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+	ci, _ := doc.Get("ContactInfo")
+	if !bytes.Contains(ci.Content, []byte("John Doe")) {
+		t.Error("ContactInfo content missing")
+	}
+	if !bytes.HasPrefix(ci.Content, []byte("<ContactInfo>")) || !bytes.HasSuffix(ci.Content, []byte("</ContactInfo>")) {
+		t.Error("ContactInfo not captured as raw XML element")
+	}
+	med, _ := doc.Get("Medication")
+	if !bytes.Contains(med.Content, []byte("aspirin")) {
+		t.Error("Medication content missing")
+	}
+	rest, _ := doc.Get(RestName)
+	if !bytes.Contains(rest.Content, []byte("<PatientRecord>")) || !bytes.Contains(rest.Content, []byte("<ClinicalRecord>")) {
+		t.Error("rest should contain the unmarked wrapper elements")
+	}
+	if bytes.Contains(rest.Content, []byte("John Doe")) {
+		t.Error("rest leaked marked content")
+	}
+}
+
+func TestSplitXMLNestedMarks(t *testing.T) {
+	// Outer mark captures everything including an inner mark; the inner one
+	// is not split out separately.
+	xmlData := `<root><Outer><Inner>deep</Inner></Outer><Inner>shallow</Inner></root>`
+	doc, err := SplitXML("d", []byte(xmlData), []string{"Outer", "Inner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, ok := doc.Get("Outer")
+	if !ok || !bytes.Contains(outer.Content, []byte("deep")) {
+		t.Error("outer capture wrong")
+	}
+	inner, ok := doc.Get("Inner")
+	if !ok || !bytes.Contains(inner.Content, []byte("shallow")) {
+		t.Error("standalone inner not captured")
+	}
+	if strings.Count(string(inner.Content), "Inner") != 2 {
+		t.Error("inner capture shape wrong")
+	}
+}
+
+func TestSplitXMLRepeatedElements(t *testing.T) {
+	xmlData := `<r><Item>a</Item><Item>b</Item></r>`
+	doc, err := SplitXML("d", []byte(xmlData), []string{"Item"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.Get("Item"); !ok {
+		t.Error("first item missing")
+	}
+	second, ok := doc.Get("Item#2")
+	if !ok || !bytes.Contains(second.Content, []byte("b")) {
+		t.Error("second item not suffixed")
+	}
+}
+
+func TestSplitXMLNoMarks(t *testing.T) {
+	doc, err := SplitXML("d", []byte("<r><a>x</a></r>"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Subdocs) != 1 || doc.Subdocs[0].Name != RestName {
+		t.Errorf("subdocs = %v", doc.Names())
+	}
+}
+
+func TestSplitXMLMalformed(t *testing.T) {
+	if _, err := SplitXML("d", []byte("<r><unclosed></r>"), []string{"unclosed"}); err == nil {
+		t.Error("malformed XML accepted")
+	}
+}
+
+func TestSplitXMLReconstruction(t *testing.T) {
+	// The concatenation of captured pieces plus rest must contain every byte
+	// of the original payload data.
+	marks := []string{"ContactInfo", "BillingInfo"}
+	doc, err := SplitXML("EHR.xml", []byte(ehrXML), marks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, sd := range doc.Subdocs {
+		total += len(sd.Content)
+	}
+	if total != len(ehrXML) {
+		t.Errorf("captured %d bytes of %d", total, len(ehrXML))
+	}
+}

@@ -1,0 +1,193 @@
+package ffbig
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+var f17 = MustField(big.NewInt(17))
+
+func TestNewFieldValidation(t *testing.T) {
+	if _, err := NewField(nil); err == nil {
+		t.Error("nil modulus accepted")
+	}
+	if _, err := NewField(big.NewInt(1)); err == nil {
+		t.Error("modulus 1 accepted")
+	}
+	if _, err := NewField(big.NewInt(15)); err == nil {
+		t.Error("composite modulus accepted")
+	}
+	if _, err := NewField(big.NewInt(101)); err != nil {
+		t.Error("prime 101 rejected")
+	}
+}
+
+func TestMustFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustField on composite did not panic")
+		}
+	}()
+	MustField(big.NewInt(12))
+}
+
+func TestBasicOps(t *testing.T) {
+	a, b := big.NewInt(15), big.NewInt(4)
+	if f17.Add(a, b).Int64() != 2 {
+		t.Error("15+4 mod 17 != 2")
+	}
+	if f17.Sub(b, a).Int64() != 6 {
+		t.Error("4-15 mod 17 != 6")
+	}
+	if f17.Mul(a, b).Int64() != 9 {
+		t.Error("15*4 mod 17 != 9")
+	}
+	if f17.Neg(a).Int64() != 2 {
+		t.Error("-15 mod 17 != 2")
+	}
+	if f17.Sq(b).Int64() != 16 {
+		t.Error("4^2 mod 17 != 16")
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	if _, err := f17.Inv(big.NewInt(0)); err != ErrNoInverse {
+		t.Error("Inv(0) should return ErrNoInverse")
+	}
+	for i := int64(1); i < 17; i++ {
+		inv, err := f17.Inv(big.NewInt(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f17.Mul(big.NewInt(i), inv).Int64() != 1 {
+			t.Errorf("Inv(%d) wrong", i)
+		}
+	}
+	q, err := f17.Div(big.NewInt(8), big.NewInt(2))
+	if err != nil || q.Int64() != 4 {
+		t.Errorf("8/2 = %v (%v)", q, err)
+	}
+	if _, err := f17.Div(big.NewInt(1), big.NewInt(0)); err == nil {
+		t.Error("div by zero accepted")
+	}
+}
+
+func TestExp(t *testing.T) {
+	got, err := f17.Exp(big.NewInt(2), big.NewInt(10))
+	if err != nil || got.Int64() != 4 {
+		t.Errorf("2^10 mod 17 = %v, want 4", got)
+	}
+	// Negative exponent: 2^-1 = 9 mod 17.
+	got, err = f17.Exp(big.NewInt(2), big.NewInt(-1))
+	if err != nil || got.Int64() != 9 {
+		t.Errorf("2^-1 mod 17 = %v, want 9", got)
+	}
+	if _, err := f17.Exp(big.NewInt(0), big.NewInt(-1)); err == nil {
+		t.Error("0^-1 accepted")
+	}
+}
+
+func TestSqrtAndIsSquare(t *testing.T) {
+	// Squares mod 17: 1,2,4,8,9,13,15,16.
+	squares := map[int64]bool{1: true, 2: true, 4: true, 8: true, 9: true, 13: true, 15: true, 16: true}
+	for i := int64(1); i < 17; i++ {
+		a := big.NewInt(i)
+		if f17.IsSquare(a) != squares[i] {
+			t.Errorf("IsSquare(%d) = %v", i, !squares[i])
+		}
+		r, err := f17.Sqrt(a)
+		if squares[i] {
+			if err != nil {
+				t.Errorf("Sqrt(%d) failed: %v", i, err)
+				continue
+			}
+			if f17.Sq(r).Int64() != i {
+				t.Errorf("Sqrt(%d)^2 = %v", i, f17.Sq(r))
+			}
+		} else if err != ErrNoSqrt {
+			t.Errorf("Sqrt(%d) should fail, got %v %v", i, r, err)
+		}
+	}
+	if !f17.IsSquare(big.NewInt(0)) {
+		t.Error("0 should count as square")
+	}
+}
+
+func TestRandContained(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		x, err := f17.Rand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f17.Contains(x) {
+			t.Fatalf("Rand out of range: %v", x)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		x, err := f17.RandNonZero()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.Sign() == 0 {
+			t.Fatal("RandNonZero returned 0")
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	if f17.Contains(nil) {
+		t.Error("nil contained")
+	}
+	if f17.Contains(big.NewInt(-1)) {
+		t.Error("-1 contained")
+	}
+	if f17.Contains(big.NewInt(17)) {
+		t.Error("p contained")
+	}
+	if !f17.Contains(big.NewInt(16)) {
+		t.Error("16 not contained")
+	}
+}
+
+func TestFieldAxiomsLargePrime(t *testing.T) {
+	// 2^127 - 1 is prime (Mersenne).
+	p := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 127), big.NewInt(1))
+	f := MustField(p)
+	check := func(a, b, c int64) bool {
+		x := f.Reduce(big.NewInt(a))
+		y := f.Reduce(big.NewInt(b))
+		z := f.Reduce(big.NewInt(c))
+		// distributivity
+		lhs := f.Mul(x, f.Add(y, z))
+		rhs := f.Add(f.Mul(x, y), f.Mul(x, z))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	g := MustField(big.NewInt(17))
+	if !f17.Equal(g) {
+		t.Error("equal fields not equal")
+	}
+	if f17.Equal(MustField(big.NewInt(19))) {
+		t.Error("different fields equal")
+	}
+	if f17.String() == "" {
+		t.Error("empty String")
+	}
+	if f17.Bits() != 5 {
+		t.Errorf("Bits = %d", f17.Bits())
+	}
+}
+
+func TestPReturnsCopy(t *testing.T) {
+	p := f17.P()
+	p.SetInt64(99)
+	if f17.P().Int64() != 17 {
+		t.Error("P() leaked internal modulus")
+	}
+}

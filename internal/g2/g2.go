@@ -1,0 +1,356 @@
+// Package g2 implements the Jacobian group of a genus-2 hyperelliptic curve
+// y² = f(x) over a prime field, with divisors in Mumford representation and
+// the group law given by Cantor's algorithm. It is a from-scratch Go
+// reproduction of the G2HEC C++ library the paper's experiments are built on
+// (§VII): the default parameters are the paper's exact curve over
+// F_q, q = 5·10²⁴ + 8503491, whose Jacobian has the 164-bit prime order
+// p = 24999999999994130438600999402209463966197516075699 (Gaudry–Schost
+// secure random curve).
+package g2
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"ppcd/internal/ffbig"
+	"ppcd/internal/group"
+	"ppcd/internal/polyring"
+)
+
+// Curve is a genus-2 hyperelliptic curve y² = f(x) with f monic of degree 5
+// over a prime field F_q, together with the (prime) order of its Jacobian.
+// Curve implements group.Group; elements are *Divisor values.
+type Curve struct {
+	field *ffbig.Field
+	f     polyring.Poly // right-hand side, monic degree 5
+	order *big.Int      // Jacobian group order (prime)
+	gen   *Divisor
+	name  string
+}
+
+// Divisor is a reduced divisor in Mumford representation: a pair (u, v) with
+// u monic, deg u ≤ 2, deg v < deg u and u | f − v². The identity is (1, 0).
+type Divisor struct {
+	u, v polyring.Poly
+}
+
+// String implements group.Element.
+func (d *Divisor) String() string {
+	return fmt.Sprintf("div(u=%s, v=%s)", d.u, d.v)
+}
+
+// U returns the u polynomial of the Mumford pair.
+func (d *Divisor) U() polyring.Poly { return d.u }
+
+// V returns the v polynomial of the Mumford pair.
+func (d *Divisor) V() polyring.Poly { return d.v }
+
+// mustBig parses a base-10 integer literal; for package-level constants.
+func mustBig(s string) *big.Int {
+	n, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic("g2: bad integer literal " + s)
+	}
+	return n
+}
+
+// Paper curve data (§VII, from Gaudry–Schost 2004).
+var (
+	paperQ  = mustBig("5000000000000000008503491")
+	paperC3 = mustBig("2682810822839355644900736")
+	paperC2 = mustBig("226591355295993102902116")
+	paperC1 = mustBig("2547674715952929717899918")
+	paperC0 = mustBig("4797309959708489673059350")
+	// Order of the Jacobian group (prime, 164 bits).
+	paperOrder = mustBig("24999999999994130438600999402209463966197516075699")
+)
+
+// NewCurve constructs the Jacobian group of y² = f(x) over F_q, where f is
+// given by its coefficients in ascending degree (degree-5 coefficient is
+// implicitly 1) and order is the Jacobian group order. The generator is
+// derived deterministically by hashing.
+func NewCurve(q *big.Int, coeffs [5]*big.Int, order *big.Int, name string) (*Curve, error) {
+	field, err := ffbig.NewField(q)
+	if err != nil {
+		return nil, fmt.Errorf("g2: base field: %w", err)
+	}
+	if order == nil || !order.ProbablyPrime(32) {
+		return nil, errors.New("g2: Jacobian order must be prime")
+	}
+	f := polyring.New(field, coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4], big.NewInt(1))
+	c := &Curve{field: field, f: f, order: new(big.Int).Set(order), name: name}
+	gen, err := c.HashToElement([]byte("ppcd/g2/generator/v1"))
+	if err != nil {
+		return nil, fmt.Errorf("g2: deriving generator: %w", err)
+	}
+	c.gen = gen.(*Divisor)
+	return c, nil
+}
+
+// PaperCurve returns the exact curve used in the paper's experiments.
+func PaperCurve() (*Curve, error) {
+	return NewCurve(paperQ, [5]*big.Int{paperC0, paperC1, paperC2, paperC3, big.NewInt(0)}, paperOrder, "g2-jacobian-gaudry-schost")
+}
+
+// MustPaperCurve is PaperCurve panicking on error; the parameters are
+// compile-time constants so failure is a programming error.
+func MustPaperCurve() *Curve {
+	c, err := PaperCurve()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements group.Group.
+func (c *Curve) Name() string { return c.name }
+
+// Order implements group.Group.
+func (c *Curve) Order() *big.Int { return new(big.Int).Set(c.order) }
+
+// BaseField returns the field F_q the curve is defined over.
+func (c *Curve) BaseField() *ffbig.Field { return c.field }
+
+// Identity implements group.Group: the divisor (1, 0).
+func (c *Curve) Identity() group.Element {
+	return &Divisor{u: polyring.One(c.field), v: polyring.Zero(c.field)}
+}
+
+// Generator implements group.Group.
+func (c *Curve) Generator() group.Element {
+	return &Divisor{u: c.gen.u, v: c.gen.v}
+}
+
+// IsIdentity reports whether e is the neutral divisor.
+func (c *Curve) IsIdentity(e group.Element) bool {
+	d := c.div(e)
+	return d.u.IsOne() && d.v.IsZero()
+}
+
+func (c *Curve) div(e group.Element) *Divisor {
+	d, ok := e.(*Divisor)
+	if !ok {
+		panic(fmt.Sprintf("g2: foreign element %T", e))
+	}
+	return d
+}
+
+// IsValid reports whether e is a well-formed reduced divisor on this curve:
+// u monic with deg u ≤ 2, deg v < deg u, and u | f − v².
+func (c *Curve) IsValid(e group.Element) bool {
+	d, ok := e.(*Divisor)
+	if !ok {
+		return false
+	}
+	if d.u.IsZero() || d.u.Deg() > 2 || d.u.Lead().Cmp(big.NewInt(1)) != 0 {
+		return false
+	}
+	if d.v.Deg() >= d.u.Deg() && !(d.u.IsOne() && d.v.IsZero()) {
+		return false
+	}
+	diff := c.f.Sub(d.v.Mul(d.v))
+	rem, err := diff.Mod(d.u)
+	return err == nil && rem.IsZero()
+}
+
+// Op implements group.Group: Cantor composition followed by reduction.
+func (c *Curve) Op(a, b group.Element) group.Element {
+	d1, d2 := c.div(a), c.div(b)
+	out, err := c.cantorAdd(d1, d2)
+	if err != nil {
+		// Cantor's algorithm is total on valid divisors; an error indicates
+		// corrupt inputs, which is a programmer error.
+		panic(fmt.Sprintf("g2: Cantor addition failed: %v", err))
+	}
+	return out
+}
+
+// Inverse implements group.Group: (u, v) ↦ (u, −v mod u).
+func (c *Curve) Inverse(a group.Element) group.Element {
+	d := c.div(a)
+	negV, err := d.v.Neg().Mod(d.u)
+	if err != nil {
+		panic(fmt.Sprintf("g2: inverse: %v", err))
+	}
+	return &Divisor{u: d.u, v: negV}
+}
+
+// Exp implements group.Group by double-and-add; negative exponents use the
+// inverse.
+func (c *Curve) Exp(a group.Element, k *big.Int) group.Element {
+	d := c.div(a)
+	kk := new(big.Int).Mod(k, c.order)
+	result := c.Identity().(*Divisor)
+	base := &Divisor{u: d.u, v: d.v}
+	for i := 0; i < kk.BitLen(); i++ {
+		if kk.Bit(i) == 1 {
+			result = c.Op(result, base).(*Divisor)
+		}
+		if i+1 < kk.BitLen() {
+			base = c.Op(base, base).(*Divisor)
+		}
+	}
+	return result
+}
+
+// Equal implements group.Group.
+func (c *Curve) Equal(a, b group.Element) bool {
+	d1, d2 := c.div(a), c.div(b)
+	return d1.u.Equal(d2.u) && d1.v.Equal(d2.v)
+}
+
+// cantorAdd computes the reduced sum of two reduced divisors via Cantor's
+// algorithm (composition + reduction).
+func (c *Curve) cantorAdd(d1, d2 *Divisor) (*Divisor, error) {
+	// Composition.
+	// d1' = gcd(u1, u2) = e1·u1 + e2·u2
+	g1, e1, e2, err := polyring.XGCD(d1.u, d2.u)
+	if err != nil {
+		return nil, err
+	}
+	// d = gcd(d1', v1+v2) = c1·d1' + c2·(v1+v2)
+	vSum := d1.v.Add(d2.v)
+	d, c1, c2, err := polyring.XGCD(g1, vSum)
+	if err != nil {
+		return nil, err
+	}
+	s1 := c1.Mul(e1)
+	s2 := c1.Mul(e2)
+	s3 := c2
+
+	u, err := d1.u.Mul(d2.u).Div(d.Mul(d))
+	if err != nil {
+		return nil, fmt.Errorf("composing u: %w", err)
+	}
+	// v = (s1·u1·v2 + s2·u2·v1 + s3·(v1·v2 + f)) / d  mod u
+	num := s1.Mul(d1.u).Mul(d2.v).
+		Add(s2.Mul(d2.u).Mul(d1.v)).
+		Add(s3.Mul(d1.v.Mul(d2.v).Add(c.f)))
+	vPre, err := num.Div(d)
+	if err != nil {
+		return nil, fmt.Errorf("composing v: %w", err)
+	}
+	v, err := vPre.Mod(u)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduction: repeat until deg u ≤ genus (= 2).
+	for u.Deg() > 2 {
+		uNext, err := c.f.Sub(v.Mul(v)).Div(u)
+		if err != nil {
+			return nil, fmt.Errorf("reducing u: %w", err)
+		}
+		uNext = uNext.Monic()
+		vNext, err := v.Neg().Mod(uNext)
+		if err != nil {
+			return nil, err
+		}
+		u, v = uNext, vNext
+	}
+	u = u.Monic()
+	return &Divisor{u: u, v: v}, nil
+}
+
+// elemLen is the byte length of one base-field element encoding.
+func (c *Curve) elemLen() int { return (c.field.Bits() + 7) / 8 }
+
+// Marshal implements group.Group. Encoding: one byte deg(u), then deg(u)
+// field elements for u's non-leading coefficients (u is monic), then deg(u)
+// field elements for v's coefficients (zero-padded). The identity encodes as
+// the single byte 0.
+func (c *Curve) Marshal(a group.Element) []byte {
+	d := c.div(a)
+	n := c.elemLen()
+	degU := d.u.Deg()
+	out := make([]byte, 1+2*degU*n)
+	out[0] = byte(degU)
+	for i := 0; i < degU; i++ {
+		d.u.Coeff(i).FillBytes(out[1+i*n : 1+(i+1)*n])
+	}
+	off := 1 + degU*n
+	for i := 0; i < degU; i++ {
+		d.v.Coeff(i).FillBytes(out[off+i*n : off+(i+1)*n])
+	}
+	return out
+}
+
+// Unmarshal implements group.Group and validates that the decoded pair is a
+// reduced divisor on the curve.
+func (c *Curve) Unmarshal(data []byte) (group.Element, error) {
+	if len(data) < 1 {
+		return nil, errors.New("g2: empty encoding")
+	}
+	degU := int(data[0])
+	if degU > 2 {
+		return nil, fmt.Errorf("g2: invalid u degree %d", degU)
+	}
+	n := c.elemLen()
+	if len(data) != 1+2*degU*n {
+		return nil, fmt.Errorf("g2: encoding length %d, want %d", len(data), 1+2*degU*n)
+	}
+	uCoeffs := make([]*big.Int, degU+1)
+	for i := 0; i < degU; i++ {
+		uCoeffs[i] = new(big.Int).SetBytes(data[1+i*n : 1+(i+1)*n])
+		if !c.field.Contains(uCoeffs[i]) {
+			return nil, errors.New("g2: u coefficient out of field")
+		}
+	}
+	uCoeffs[degU] = big.NewInt(1)
+	off := 1 + degU*n
+	vCoeffs := make([]*big.Int, degU)
+	for i := 0; i < degU; i++ {
+		vCoeffs[i] = new(big.Int).SetBytes(data[off+i*n : off+(i+1)*n])
+		if !c.field.Contains(vCoeffs[i]) {
+			return nil, errors.New("g2: v coefficient out of field")
+		}
+	}
+	d := &Divisor{u: polyring.New(c.field, uCoeffs...), v: polyring.New(c.field, vCoeffs...)}
+	if !c.IsValid(d) {
+		return nil, errors.New("g2: encoding is not a divisor on the curve")
+	}
+	return d, nil
+}
+
+// HashToElement implements group.Group: it maps the seed to an x-coordinate,
+// increments a counter until f(x) is a quadratic residue, and returns the
+// degree-one divisor of the point (x, √f(x)). The discrete logarithm of the
+// result with respect to any other element is unknown, as required for
+// Pedersen's second base.
+func (c *Curve) HashToElement(seed []byte) (group.Element, error) {
+	for ctr := uint32(0); ctr < 1<<16; ctr++ {
+		h := sha256.New()
+		h.Write([]byte("ppcd/g2/hash-to-element/v1"))
+		h.Write(seed)
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		digest := h.Sum(nil)
+		// Two SHA-256 blocks give > 2·83 bits, enough for negligible bias.
+		h2 := sha256.Sum256(append(digest, 0x01))
+		wide := new(big.Int).SetBytes(append(digest, h2[:]...))
+		x := c.field.Reduce(wide)
+		fx := c.f.Eval(x)
+		if fx.Sign() == 0 {
+			continue // avoid 2-torsion points
+		}
+		y, err := c.field.Sqrt(fx)
+		if err != nil {
+			continue // not a QR; try next counter
+		}
+		// Canonical y: take the smaller of y and q−y for determinism.
+		alt := c.field.Neg(y)
+		if alt.Cmp(y) < 0 {
+			y = alt
+		}
+		u := polyring.New(c.field, c.field.Neg(x), big.NewInt(1)) // X − x
+		v := polyring.Constant(c.field, y)
+		return &Divisor{u: u, v: v}, nil
+	}
+	return nil, errors.New("g2: hash-to-element failed to find a point")
+}
+
+var _ group.Group = (*Curve)(nil)

@@ -1,0 +1,59 @@
+// Package group defines the abstract prime-order cyclic group used by the
+// Pedersen commitment scheme and the OCBE protocols. Two implementations
+// exist: the genus-2 Jacobian of the paper's exact curve (package g2, the
+// faithful reproduction of G2HEC) and a Schnorr group — the quadratic-residue
+// subgroup of a safe prime (package schnorr, a faster drop-in).
+package group
+
+import "math/big"
+
+// Element is an opaque group element. Elements are only meaningful within
+// the group that produced them; passing a foreign element to a group's
+// methods yields an error where the signature allows one, or a panic for the
+// pure-computation methods (programmer error, like indexing out of range).
+type Element interface {
+	// String renders the element for debugging.
+	String() string
+}
+
+// Group is a cyclic group of prime order in which the computational
+// Diffie–Hellman problem is assumed hard (paper §IV-A).
+type Group interface {
+	// Name identifies the instantiation, e.g. "g2-jacobian" or
+	// "schnorr-2048".
+	Name() string
+
+	// Order returns the prime group order p. The Pedersen message space is
+	// F_p for this order.
+	Order() *big.Int
+
+	// Identity returns the neutral element.
+	Identity() Element
+
+	// Generator returns the fixed base point g.
+	Generator() Element
+
+	// HashToElement deterministically derives a group element from seed such
+	// that its discrete logarithm with respect to any other element is
+	// unknown (a "nothing-up-my-sleeve" element). Pedersen setup uses it to
+	// derive the second base h.
+	HashToElement(seed []byte) (Element, error)
+
+	// Op returns a·b (the group operation).
+	Op(a, b Element) Element
+
+	// Inverse returns a⁻¹.
+	Inverse(a Element) Element
+
+	// Exp returns a^k for any integer k (negative exponents allowed).
+	Exp(a Element, k *big.Int) Element
+
+	// Equal reports whether two elements are the same group element.
+	Equal(a, b Element) bool
+
+	// Marshal returns a canonical byte encoding of a.
+	Marshal(a Element) []byte
+
+	// Unmarshal decodes an element previously produced by Marshal.
+	Unmarshal(data []byte) (Element, error)
+}

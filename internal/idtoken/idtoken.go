@@ -1,0 +1,160 @@
+// Package idtoken implements identity tokens and the Identity Manager
+// (IdMgr) of the paper's first phase (§V-A). An identity token is the tuple
+//
+//	IT = (nym, id-tag, c, σ)
+//
+// where nym is a pseudonym, id-tag names the attribute, c = g^x·h^r is a
+// Pedersen commitment to the encoded attribute value, and σ is the IdMgr's
+// signature over the first three components. The Sub privately keeps the
+// opening (x, r); it never reveals x to anyone after issuance.
+package idtoken
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"ppcd/internal/pedersen"
+	"ppcd/internal/sig"
+)
+
+// Token is the public identity token a subscriber registers at publishers.
+type Token struct {
+	Nym        string
+	Tag        string
+	Commitment []byte // marshaled group element c = g^x·h^r
+	Sig        []byte // IdMgr signature over (nym, tag, commitment)
+}
+
+// Secret is the private opening of a token's commitment, held only by the
+// subscriber.
+type Secret struct {
+	Value    *big.Int // encoded attribute value x
+	Blinding *big.Int // r
+}
+
+// SigningBytes returns the canonical byte string the IdMgr signs:
+// length-prefixed (nym, tag, commitment) to rule out ambiguity.
+func (t *Token) SigningBytes() []byte {
+	var out []byte
+	for _, part := range [][]byte{[]byte(t.Nym), []byte(t.Tag), t.Commitment} {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(part)))
+		out = append(out, n[:]...)
+		out = append(out, part...)
+	}
+	return out
+}
+
+// Manager is the trusted Identity Manager: it validates attribute claims
+// (out of scope here, per the paper), encodes values into the commitment
+// field, commits, and signs.
+type Manager struct {
+	params *pedersen.Params
+	signer *sig.Signer
+}
+
+// NewManager creates an IdMgr over the given Pedersen parameters with a
+// fresh signing key.
+func NewManager(params *pedersen.Params) (*Manager, error) {
+	if params == nil {
+		return nil, errors.New("idtoken: nil commitment parameters")
+	}
+	s, err := sig.NewSigner()
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{params: params, signer: s}, nil
+}
+
+// NewManagerFromSeed creates an IdMgr whose signing key is derived from a
+// persistent 32-byte seed, so the same issuing identity survives restarts
+// (command-line deployments persist the seed, not the expanded key).
+func NewManagerFromSeed(params *pedersen.Params, seed []byte) (*Manager, error) {
+	if params == nil {
+		return nil, errors.New("idtoken: nil commitment parameters")
+	}
+	s, err := sig.NewSignerFromSeed(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{params: params, signer: s}, nil
+}
+
+// Params returns the Pedersen parameters tokens are issued under.
+func (m *Manager) Params() *pedersen.Params { return m.params }
+
+// PublicKey returns the IdMgr's signature verification key, published to all
+// parties.
+func (m *Manager) PublicKey() sig.PublicKey { return m.signer.Public() }
+
+// Issue issues an identity token binding the (already encoded) attribute
+// value x to the pseudonym and tag, returning the public token and the
+// private opening. It mirrors Example 1 of the paper.
+func (m *Manager) Issue(nym, tag string, x *big.Int) (*Token, *Secret, error) {
+	if nym == "" || tag == "" {
+		return nil, nil, errors.New("idtoken: nym and tag must be non-empty")
+	}
+	if x == nil || x.Sign() < 0 || x.Cmp(m.params.Order()) >= 0 {
+		return nil, nil, fmt.Errorf("idtoken: value out of field range")
+	}
+	c, r, err := m.params.CommitRandom(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Token{Nym: nym, Tag: tag, Commitment: m.params.G.Marshal(c)}
+	t.Sig = m.signer.Sign(t.SigningBytes())
+	sec := &Secret{Value: new(big.Int).Set(x), Blinding: r}
+	return t, sec, nil
+}
+
+// IssueString encodes a textual attribute value with EncodeValue and issues
+// a token for it.
+func (m *Manager) IssueString(nym, tag, value string) (*Token, *Secret, error) {
+	x := EncodeValue(m.params.Order(), value)
+	return m.Issue(nym, tag, x)
+}
+
+// Verify checks a token's signature against the IdMgr public key and that
+// the commitment decodes to a valid group element. Publishers run this
+// during registration (§V-B: "verifies the IdMgr's signature σ").
+func Verify(params *pedersen.Params, pk sig.PublicKey, t *Token) error {
+	if t == nil {
+		return errors.New("idtoken: nil token")
+	}
+	if _, err := params.G.Unmarshal(t.Commitment); err != nil {
+		return fmt.Errorf("idtoken: invalid commitment: %w", err)
+	}
+	ok, err := pk.Verify(t.SigningBytes(), t.Sig)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errors.New("idtoken: signature verification failed")
+	}
+	return nil
+}
+
+// EncodeValue encodes an attribute value string as a field element "in a
+// standard way" (paper §V-A): decimal integer literals map to themselves
+// (so numeric comparison predicates work on them), anything else is hashed
+// into the field (suitable for equality predicates only).
+func EncodeValue(order *big.Int, v string) *big.Int {
+	trimmed := strings.TrimSpace(v)
+	if n, ok := new(big.Int).SetString(trimmed, 10); ok && n.Sign() >= 0 && n.Cmp(order) < 0 {
+		return n
+	}
+	h := sha256.Sum256(append([]byte("ppcd/idtoken/encode/v1/"), trimmed...))
+	wide := new(big.Int).SetBytes(h[:])
+	return wide.Mod(wide, order)
+}
+
+// IsNumeric reports whether a value string encodes as a plain non-negative
+// integer, i.e. whether inequality predicates are meaningful for it.
+func IsNumeric(v string) bool {
+	n, ok := new(big.Int).SetString(strings.TrimSpace(v), 10)
+	return ok && n.Sign() >= 0
+}

@@ -1,0 +1,231 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppcd/internal/ff64"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, ff64.New(rng.Uint64()))
+		}
+	}
+	return m
+}
+
+func TestVectorDot(t *testing.T) {
+	v := Vector{ff64.New(1), ff64.New(2), ff64.New(3)}
+	w := Vector{ff64.New(4), ff64.New(5), ff64.New(6)}
+	d, err := v.Dot(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != ff64.New(32) {
+		t.Errorf("dot = %v, want 32", d)
+	}
+	if _, err := v.Dot(Vector{ff64.One}); err == nil {
+		t.Error("mismatched dot should fail")
+	}
+}
+
+func TestVectorAddScale(t *testing.T) {
+	v := Vector{ff64.New(1), ff64.New(2)}
+	w := Vector{ff64.New(10), ff64.New(20)}
+	s, err := v.Add(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0] != ff64.New(11) || s[1] != ff64.New(22) {
+		t.Errorf("add = %v", s)
+	}
+	sc := v.Scale(ff64.New(3))
+	if sc[0] != ff64.New(3) || sc[1] != ff64.New(6) {
+		t.Errorf("scale = %v", sc)
+	}
+	if _, err := v.Add(Vector{ff64.One}); err == nil {
+		t.Error("mismatched add should fail")
+	}
+}
+
+func TestVectorIsZeroClone(t *testing.T) {
+	v := NewVector(3)
+	if !v.IsZero() {
+		t.Error("zero vector not zero")
+	}
+	v[1] = ff64.One
+	if v.IsZero() {
+		t.Error("non-zero vector reported zero")
+	}
+	c := v.Clone()
+	c[1] = ff64.Zero
+	if v[1] != ff64.One {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestMatrixSetRowErrors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if err := m.SetRow(0, Vector{ff64.One}); err == nil {
+		t.Error("wrong-length SetRow should fail")
+	}
+	if err := m.SetRow(0, Vector{ff64.One, ff64.New(2), ff64.New(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != ff64.New(2) {
+		t.Error("SetRow did not write")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, ff64.New(1))
+	m.Set(0, 1, ff64.New(2))
+	m.Set(1, 0, ff64.New(3))
+	m.Set(1, 1, ff64.New(4))
+	v := Vector{ff64.New(5), ff64.New(6)}
+	out, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != ff64.New(17) || out[1] != ff64.New(39) {
+		t.Errorf("MulVec = %v", out)
+	}
+	if _, err := m.MulVec(Vector{ff64.One}); err == nil {
+		t.Error("mismatched MulVec should fail")
+	}
+}
+
+func TestRankIdentity(t *testing.T) {
+	n := 5
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, ff64.One)
+	}
+	if r := m.Rank(); r != n {
+		t.Errorf("rank of identity = %d, want %d", r, n)
+	}
+	if ker := m.Kernel(); len(ker) != 0 {
+		t.Errorf("identity kernel dim = %d, want 0", len(ker))
+	}
+}
+
+func TestRankZeroMatrix(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if r := m.Rank(); r != 0 {
+		t.Errorf("rank of zero = %d", r)
+	}
+	if ker := m.Kernel(); len(ker) != 4 {
+		t.Errorf("zero-matrix kernel dim = %d, want 4", len(ker))
+	}
+}
+
+func TestKernelVectorsAnnihilate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rows := 1 + rng.Intn(8)
+		cols := rows + 1 + rng.Intn(5)
+		m := randMatrix(rng, rows, cols)
+		ker := m.Kernel()
+		if len(ker) < cols-rows {
+			t.Fatalf("kernel dim %d < %d", len(ker), cols-rows)
+		}
+		for _, v := range ker {
+			prod, err := m.MulVec(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prod.IsZero() {
+				t.Fatalf("kernel vector does not annihilate: %v", prod)
+			}
+		}
+	}
+}
+
+func TestKernelDimensionTheorem(t *testing.T) {
+	// rank + nullity = cols, as a property over random shapes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(6)
+		cols := 1 + rng.Intn(8)
+		m := randMatrix(rng, rows, cols)
+		return m.Rank()+len(m.Kernel()) == cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomKernelVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	m := randMatrix(rng, 4, 8)
+	v, err := m.RandomKernelVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsZero() {
+		t.Fatal("sampled zero vector")
+	}
+	prod, err := m.MulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.IsZero() {
+		t.Fatal("random kernel vector not in kernel")
+	}
+}
+
+func TestRandomKernelVectorTrivial(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, ff64.One)
+	m.Set(1, 1, ff64.One)
+	if _, err := m.RandomKernelVector(); err != ErrTrivialKernel {
+		t.Errorf("expected ErrTrivialKernel, got %v", err)
+	}
+}
+
+func TestRREFIdempotentViaRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randMatrix(rng, 6, 6)
+	r1 := m.Rank()
+	r2 := m.Rank() // Rank clones internally; must be stable.
+	if r1 != r2 {
+		t.Errorf("rank unstable: %d then %d", r1, r2)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, ff64.New(5))
+	c := m.Clone()
+	c.Set(0, 0, ff64.New(9))
+	if m.At(0, 0) != ff64.New(5) {
+		t.Error("clone aliases original matrix")
+	}
+}
+
+func TestSingularSquareKernel(t *testing.T) {
+	// Rows are linearly dependent: row1 = 2*row0.
+	m := NewMatrix(2, 3)
+	m.SetRow(0, Vector{ff64.New(1), ff64.New(2), ff64.New(3)})
+	m.SetRow(1, Vector{ff64.New(2), ff64.New(4), ff64.New(6)})
+	if r := m.Rank(); r != 1 {
+		t.Errorf("rank = %d, want 1", r)
+	}
+	if k := len(m.Kernel()); k != 2 {
+		t.Errorf("nullity = %d, want 2", k)
+	}
+}
+
+func BenchmarkKernel100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 100, 101)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Kernel()
+	}
+}

@@ -1,0 +1,76 @@
+// Package pedersen implements the Pedersen commitment scheme (paper §IV-B)
+// over any prime-order group from package group. A commitment to x with
+// blinding r is c = g^x · h^r; the scheme is unconditionally hiding and
+// computationally binding as long as log_g(h) is unknown, which the setup
+// guarantees by deriving h with the group's hash-to-element map.
+package pedersen
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"ppcd/internal/group"
+)
+
+// Params holds the public commitment parameters (G, g, h) published by the
+// trusted third party (the IdMgr in the paper's deployment).
+type Params struct {
+	G group.Group
+	g group.Element
+	h group.Element
+}
+
+// Setup derives commitment parameters over G. The second base h is obtained
+// from the group's hash-to-element map on the given domain-separation seed,
+// so that no party knows log_g(h).
+func Setup(g group.Group, seed []byte) (*Params, error) {
+	if g == nil {
+		return nil, errors.New("pedersen: nil group")
+	}
+	h, err := g.HashToElement(append([]byte("ppcd/pedersen/h/"), seed...))
+	if err != nil {
+		return nil, fmt.Errorf("pedersen: deriving h: %w", err)
+	}
+	if g.Equal(h, g.Identity()) || g.Equal(h, g.Generator()) {
+		return nil, errors.New("pedersen: degenerate second base")
+	}
+	return &Params{G: g, g: g.Generator(), h: h}, nil
+}
+
+// Bases returns the two commitment bases (g, h).
+func (p *Params) Bases() (group.Element, group.Element) { return p.g, p.h }
+
+// Order returns the order of the commitment group; committed values and
+// blinding factors live in F_order.
+func (p *Params) Order() *big.Int { return p.G.Order() }
+
+// Commit returns c = g^x · h^r. Values are reduced modulo the group order.
+func (p *Params) Commit(x, r *big.Int) group.Element {
+	gx := p.G.Exp(p.g, x)
+	hr := p.G.Exp(p.h, r)
+	return p.G.Op(gx, hr)
+}
+
+// CommitRandom commits to x under a fresh uniformly random blinding factor
+// and returns both the commitment and the blinding.
+func (p *Params) CommitRandom(x *big.Int) (group.Element, *big.Int, error) {
+	r, err := rand.Int(rand.Reader, p.G.Order())
+	if err != nil {
+		return nil, nil, fmt.Errorf("pedersen: sampling blinding: %w", err)
+	}
+	return p.Commit(x, r), r, nil
+}
+
+// Verify reports whether c opens to (x, r).
+func (p *Params) Verify(c group.Element, x, r *big.Int) bool {
+	return p.G.Equal(c, p.Commit(x, r))
+}
+
+// Shift returns c · g^(−x0), the commitment re-based so that it commits to
+// x − x0 under the same blinding. The OCBE protocols use this to turn an
+// equality predicate "x = x0" into "committed value is 0".
+func (p *Params) Shift(c group.Element, x0 *big.Int) group.Element {
+	return p.G.Op(c, p.G.Exp(p.g, new(big.Int).Neg(x0)))
+}

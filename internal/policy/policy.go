@@ -1,0 +1,243 @@
+// Package policy implements the paper's access-control model (§V-B):
+// attribute conditions (Definition 3), access control policies as
+// conjunctions of conditions over sets of subdocuments (Definition 4),
+// policy configurations (Definition 5) and the dominance relation between
+// configurations (Definition 6, §VIII-A).
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppcd/internal/ocbe"
+)
+
+// Condition is an attribute condition "nameA op l" (Definition 3). Value is
+// kept in its textual form; encoding into the commitment field happens at
+// the protocol layer (idtoken.EncodeValue).
+type Condition struct {
+	Attr  string
+	Op    ocbe.CompareOp
+	Value string
+}
+
+// ID returns the canonical identifier of the condition, used as the column
+// key of the publisher's CSS table T.
+func (c Condition) ID() string {
+	return fmt.Sprintf("%s %s %s", c.Attr, c.Op, c.Value)
+}
+
+// String implements fmt.Stringer.
+func (c Condition) String() string { return c.ID() }
+
+// Validate checks structural well-formedness: non-empty attribute and value,
+// and numeric values for inequality operators (hashes of strings are not
+// ordered, so only = and ≠ make sense for non-numeric values).
+func (c Condition) Validate() error {
+	if strings.TrimSpace(c.Attr) == "" {
+		return errors.New("policy: condition with empty attribute name")
+	}
+	if strings.TrimSpace(c.Value) == "" {
+		return errors.New("policy: condition with empty value")
+	}
+	switch c.Op {
+	case ocbe.EQ, ocbe.NE:
+		return nil
+	case ocbe.GT, ocbe.GE, ocbe.LT, ocbe.LE:
+		if !isUint(c.Value) {
+			return fmt.Errorf("policy: inequality condition %q needs a non-negative integer value", c.ID())
+		}
+		return nil
+	}
+	return fmt.Errorf("policy: unknown operator in %q", c.ID())
+}
+
+func isUint(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseCondition parses a textual condition such as "level >= 59" or
+// `role = "nurse"`. Operators: =, ==, !=, <>, >, >=, <, <=.
+func ParseCondition(s string) (Condition, error) {
+	// Scan for the operator, longest match first.
+	ops := []string{">=", "<=", "!=", "<>", "==", "=", ">", "<"}
+	for _, op := range ops {
+		idx := strings.Index(s, op)
+		if idx < 0 {
+			continue
+		}
+		attr := strings.TrimSpace(s[:idx])
+		val := strings.TrimSpace(s[idx+len(op):])
+		val = strings.Trim(val, `"'`)
+		cmpOp, err := ocbe.ParseOp(op)
+		if err != nil {
+			return Condition{}, err
+		}
+		c := Condition{Attr: attr, Op: cmpOp, Value: val}
+		if err := c.Validate(); err != nil {
+			return Condition{}, err
+		}
+		return c, nil
+	}
+	return Condition{}, fmt.Errorf("policy: no comparison operator in %q", s)
+}
+
+// ACP is an access control policy (s, o, D) (Definition 4): a conjunction of
+// conditions granting access to a set of subdocuments of a document.
+type ACP struct {
+	ID      string
+	Conds   []Condition // conjunction, order fixed (defines CSS concatenation order)
+	Objects []string    // subdocument names
+	Doc     string
+}
+
+// New parses a policy from a conjunction expression like
+// "role = nur && level >= 59".
+func New(id, condExpr, doc string, objects ...string) (*ACP, error) {
+	if id == "" {
+		return nil, errors.New("policy: empty policy id")
+	}
+	if len(objects) == 0 {
+		return nil, errors.New("policy: policy must target at least one subdocument")
+	}
+	parts := strings.Split(condExpr, "&&")
+	if strings.Contains(condExpr, "||") {
+		return nil, errors.New("policy: policies are conjunctions; express disjunction as separate policies")
+	}
+	acp := &ACP{ID: id, Doc: doc, Objects: append([]string(nil), objects...)}
+	for _, p := range parts {
+		c, err := ParseCondition(p)
+		if err != nil {
+			return nil, fmt.Errorf("policy %s: %w", id, err)
+		}
+		acp.Conds = append(acp.Conds, c)
+	}
+	return acp, nil
+}
+
+// String renders the policy in the paper's (s, o, D) notation.
+func (a *ACP) String() string {
+	conds := make([]string, len(a.Conds))
+	for i, c := range a.Conds {
+		conds[i] = c.String()
+	}
+	return fmt.Sprintf("(%s, {%s}, %q)", strings.Join(conds, " ∧ "), strings.Join(a.Objects, ", "), a.Doc)
+}
+
+// CondIDs returns the ordered condition identifiers of the policy.
+func (a *ACP) CondIDs() []string {
+	ids := make([]string, len(a.Conds))
+	for i, c := range a.Conds {
+		ids[i] = c.ID()
+	}
+	return ids
+}
+
+// Covers reports whether the policy applies to the named subdocument.
+func (a *ACP) Covers(subdoc string) bool {
+	for _, o := range a.Objects {
+		if o == subdoc {
+			return true
+		}
+	}
+	return false
+}
+
+// ConfigKey canonically identifies a policy configuration: the sorted set of
+// ACP IDs that apply to a subdocument.
+type ConfigKey string
+
+// EmptyConfig is the configuration of subdocuments no policy applies to;
+// such subdocuments are encrypted with a key nobody can derive (paper
+// Example 4, Pc6).
+const EmptyConfig ConfigKey = ""
+
+// ConfigOf builds the canonical key for a set of policy IDs.
+func ConfigOf(acpIDs ...string) ConfigKey {
+	ids := append([]string(nil), acpIDs...)
+	sort.Strings(ids)
+	// Deduplicate.
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return ConfigKey(strings.Join(out, "|"))
+}
+
+// IDs returns the policy IDs in the configuration.
+func (k ConfigKey) IDs() []string {
+	if k == EmptyConfig {
+		return nil
+	}
+	return strings.Split(string(k), "|")
+}
+
+// Dominates reports whether configuration a dominates configuration b, i.e.
+// a ⊆ b (Definition 6): any subscriber with a key for a also derives keys
+// for every configuration it dominates.
+func Dominates(a, b ConfigKey) bool {
+	bSet := make(map[string]bool)
+	for _, id := range b.IDs() {
+		bSet[id] = true
+	}
+	for _, id := range a.IDs() {
+		if !bSet[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// Configurations groups a document's subdocuments by policy configuration:
+// for each subdocument it collects the IDs of all policies covering it
+// (Definition 5) and returns the mapping configuration → subdocuments. The
+// subdocument order within each configuration follows the input order.
+func Configurations(subdocs []string, acps []*ACP) map[ConfigKey][]string {
+	out := make(map[ConfigKey][]string)
+	for _, sd := range subdocs {
+		var ids []string
+		for _, a := range acps {
+			if a.Covers(sd) {
+				ids = append(ids, a.ID)
+			}
+		}
+		key := ConfigOf(ids...)
+		out[key] = append(out[key], sd)
+	}
+	return out
+}
+
+// Conditions returns the union of all conditions across policies, deduped by
+// ID and sorted for deterministic iteration. Publishers use this to build
+// their registration condition list.
+func Conditions(acps []*ACP) []Condition {
+	seen := make(map[string]Condition)
+	for _, a := range acps {
+		for _, c := range a.Conds {
+			seen[c.ID()] = c
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Condition, len(ids))
+	for i, id := range ids {
+		out[i] = seen[id]
+	}
+	return out
+}

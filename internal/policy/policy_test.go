@@ -1,0 +1,273 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ppcd/internal/ocbe"
+)
+
+func TestParseCondition(t *testing.T) {
+	cases := []struct {
+		in   string
+		attr string
+		op   ocbe.CompareOp
+		val  string
+	}{
+		{"level >= 59", "level", ocbe.GE, "59"},
+		{"role = nur", "role", ocbe.EQ, "nur"},
+		{`role = "nurse"`, "role", ocbe.EQ, "nurse"},
+		{"YoS < 5", "YoS", ocbe.LT, "5"},
+		{"age != 30", "age", ocbe.NE, "30"},
+		{"age <> 30", "age", ocbe.NE, "30"},
+		{"x <= 10", "x", ocbe.LE, "10"},
+		{"x > 0", "x", ocbe.GT, "0"},
+		{"x == 7", "x", ocbe.EQ, "7"},
+	}
+	for _, c := range cases {
+		got, err := ParseCondition(c.in)
+		if err != nil {
+			t.Errorf("ParseCondition(%q): %v", c.in, err)
+			continue
+		}
+		if got.Attr != c.attr || got.Op != c.op || got.Value != c.val {
+			t.Errorf("ParseCondition(%q) = %+v", c.in, got)
+		}
+	}
+}
+
+func TestParseConditionErrors(t *testing.T) {
+	for _, in := range []string{"no operator here", "level >= nurse", " = 5", "x = ", ""} {
+		if _, err := ParseCondition(in); err == nil {
+			t.Errorf("ParseCondition(%q) accepted", in)
+		}
+	}
+}
+
+func TestConditionValidate(t *testing.T) {
+	ok := Condition{Attr: "role", Op: ocbe.EQ, Value: "nurse"}
+	if err := ok.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Inequality over a non-numeric value is rejected.
+	bad := Condition{Attr: "role", Op: ocbe.GE, Value: "nurse"}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-numeric inequality accepted")
+	}
+	if err := (Condition{Attr: "", Op: ocbe.EQ, Value: "x"}).Validate(); err == nil {
+		t.Error("empty attr accepted")
+	}
+	if err := (Condition{Attr: "a", Op: ocbe.CompareOp(42), Value: "x"}).Validate(); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestConditionID(t *testing.T) {
+	c := Condition{Attr: "level", Op: ocbe.GE, Value: "59"}
+	if c.ID() != "level >= 59" {
+		t.Errorf("ID = %q", c.ID())
+	}
+	if c.String() != c.ID() {
+		t.Error("String != ID")
+	}
+}
+
+func TestNewACP(t *testing.T) {
+	acp, err := New("acp4", "role = nur && level >= 59", "EHR.xml", "ContactInfo", "Medication")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acp.Conds) != 2 {
+		t.Fatalf("conds = %d", len(acp.Conds))
+	}
+	if acp.Conds[0].Attr != "role" || acp.Conds[1].Attr != "level" {
+		t.Error("condition order not preserved")
+	}
+	if !acp.Covers("Medication") || acp.Covers("BillingInfo") {
+		t.Error("Covers wrong")
+	}
+	ids := acp.CondIDs()
+	if ids[0] != "role = nur" || ids[1] != "level >= 59" {
+		t.Errorf("CondIDs = %v", ids)
+	}
+	if acp.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestNewACPErrors(t *testing.T) {
+	if _, err := New("", "a = 1", "d", "o"); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := New("p", "a = 1", "d"); err == nil {
+		t.Error("no objects accepted")
+	}
+	if _, err := New("p", "a = 1 || b = 2", "d", "o"); err == nil {
+		t.Error("disjunction accepted")
+	}
+	if _, err := New("p", "garbage", "d", "o"); err == nil {
+		t.Error("unparseable condition accepted")
+	}
+}
+
+func TestConfigOfCanonical(t *testing.T) {
+	a := ConfigOf("acp3", "acp1", "acp2")
+	b := ConfigOf("acp2", "acp3", "acp1")
+	if a != b {
+		t.Error("ConfigOf not order independent")
+	}
+	if ConfigOf("x", "x", "y") != ConfigOf("x", "y") {
+		t.Error("ConfigOf does not dedupe")
+	}
+	if ConfigOf() != EmptyConfig {
+		t.Error("empty ConfigOf != EmptyConfig")
+	}
+	ids := ConfigOf("b", "a").IDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("IDs = %v", ids)
+	}
+	if EmptyConfig.IDs() != nil {
+		t.Error("EmptyConfig.IDs != nil")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	// Pc_i dominates Pc_j iff Pc_i ⊆ Pc_j (Definition 6).
+	small := ConfigOf("acp3")
+	big := ConfigOf("acp3", "acp4")
+	if !Dominates(small, big) {
+		t.Error("{acp3} should dominate {acp3,acp4}")
+	}
+	if Dominates(big, small) {
+		t.Error("{acp3,acp4} should not dominate {acp3}")
+	}
+	if !Dominates(big, big) {
+		t.Error("reflexivity fails")
+	}
+	if !Dominates(EmptyConfig, small) {
+		t.Error("empty set dominates everything")
+	}
+	if Dominates(ConfigOf("other"), big) {
+		t.Error("disjoint configs dominate")
+	}
+}
+
+// ehrPolicies builds the six policies of the paper's Example 4.
+func ehrPolicies(t *testing.T) []*ACP {
+	t.Helper()
+	specs := []struct {
+		id, cond string
+		objs     []string
+	}{
+		{"acp1", "role = rec", []string{"ContactInfo"}},
+		{"acp2", "role = cas", []string{"BillingInfo"}},
+		{"acp3", "role = doc", []string{"ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"}},
+		{"acp4", "role = nur && level >= 59", []string{"ContactInfo", "Medication", "PhysicalExams", "LabRecords", "Plan"}},
+		{"acp5", "role = dat", []string{"ContactInfo", "LabRecords"}},
+		{"acp6", "role = pha", []string{"BillingInfo", "Medication"}},
+	}
+	var acps []*ACP
+	for _, s := range specs {
+		a, err := New(s.id, s.cond, "EHR.xml", s.objs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acps = append(acps, a)
+	}
+	return acps
+}
+
+func TestConfigurationsEHRExample(t *testing.T) {
+	// Reproduces the grouping of the paper's Example 4.
+	acps := ehrPolicies(t)
+	subdocs := []string{"ContactInfo", "BillingInfo", "Medication", "PhysicalExams", "LabRecords", "Plan", "Other"}
+	cfg := Configurations(subdocs, acps)
+
+	want := map[ConfigKey][]string{
+		ConfigOf("acp1", "acp3", "acp4", "acp5"): {"ContactInfo"},
+		ConfigOf("acp2", "acp6"):                 {"BillingInfo"},
+		ConfigOf("acp3", "acp4", "acp6"):         {"Medication"},
+		ConfigOf("acp3", "acp4"):                 {"PhysicalExams", "Plan"},
+		ConfigOf("acp3", "acp4", "acp5"):         {"LabRecords"},
+		EmptyConfig:                              {"Other"},
+	}
+	if len(cfg) != len(want) {
+		t.Fatalf("got %d configurations, want %d: %v", len(cfg), len(want), cfg)
+	}
+	for k, subs := range want {
+		got := cfg[k]
+		if len(got) != len(subs) {
+			t.Errorf("config %q: got %v, want %v", k, got, subs)
+			continue
+		}
+		for i := range subs {
+			if got[i] != subs[i] {
+				t.Errorf("config %q: got %v, want %v", k, got, subs)
+				break
+			}
+		}
+	}
+}
+
+func TestConditionsUnion(t *testing.T) {
+	acps := ehrPolicies(t)
+	conds := Conditions(acps)
+	// Six role conditions + one level condition = 7 distinct conditions.
+	if len(conds) != 7 {
+		t.Fatalf("got %d conditions: %v", len(conds), conds)
+	}
+	// Sorted and deduped.
+	for i := 1; i < len(conds); i++ {
+		if conds[i-1].ID() >= conds[i].ID() {
+			t.Error("conditions not sorted")
+		}
+	}
+}
+
+func TestParseConditionNeverPanics(t *testing.T) {
+	// Fuzz-style resilience: arbitrary strings must parse or error, never
+	// panic, and successful parses must re-parse to the same condition from
+	// their ID (canonical-form round trip).
+	f := func(s string) bool {
+		c, err := ParseCondition(s)
+		if err != nil {
+			return true
+		}
+		c2, err := ParseCondition(c.ID())
+		return err == nil && c2.ID() == c.ID()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominanceIsPartialOrder(t *testing.T) {
+	// Reflexive, antisymmetric (up to canonical keys), transitive — over
+	// random small configurations.
+	f := func(a, b, c uint8) bool {
+		ids := []string{"p0", "p1", "p2", "p3"}
+		pick := func(mask uint8) ConfigKey {
+			var sel []string
+			for i, id := range ids {
+				if mask&(1<<i) != 0 {
+					sel = append(sel, id)
+				}
+			}
+			return ConfigOf(sel...)
+		}
+		ka, kb, kc := pick(a%16), pick(b%16), pick(c%16)
+		if !Dominates(ka, ka) {
+			return false
+		}
+		if Dominates(ka, kb) && Dominates(kb, ka) && ka != kb {
+			return false
+		}
+		if Dominates(ka, kb) && Dominates(kb, kc) && !Dominates(ka, kc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

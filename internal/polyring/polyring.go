@@ -1,0 +1,336 @@
+// Package polyring implements univariate polynomial arithmetic over a prime
+// field F_p (package ffbig). It provides exactly the operations Cantor's
+// algorithm for genus-2 Jacobian arithmetic needs: ring operations, Euclidean
+// division, (extended) greatest common divisors and evaluation. The paper's
+// implementation obtained these from the G2HEC C++ library; here they are
+// rebuilt from scratch (DESIGN.md substitution #1).
+package polyring
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"ppcd/internal/ffbig"
+)
+
+// Poly is a polynomial over a prime field. Coefficients are stored in
+// ascending-degree order with no trailing zeros; the zero polynomial has an
+// empty coefficient slice. Polys are immutable by convention: operations
+// return new values.
+type Poly struct {
+	f      *ffbig.Field
+	coeffs []*big.Int
+}
+
+// New builds a polynomial from ascending-degree coefficients, reducing each
+// into the field and trimming leading zeros.
+func New(f *ffbig.Field, coeffs ...*big.Int) Poly {
+	cs := make([]*big.Int, len(coeffs))
+	for i, c := range coeffs {
+		cs[i] = f.Reduce(c)
+	}
+	return Poly{f: f, coeffs: trim(cs)}
+}
+
+// Zero returns the zero polynomial.
+func Zero(f *ffbig.Field) Poly { return Poly{f: f} }
+
+// One returns the constant polynomial 1.
+func One(f *ffbig.Field) Poly { return Constant(f, big.NewInt(1)) }
+
+// Constant returns the constant polynomial c.
+func Constant(f *ffbig.Field, c *big.Int) Poly {
+	return New(f, c)
+}
+
+// X returns the monomial x.
+func X(f *ffbig.Field) Poly {
+	return New(f, big.NewInt(0), big.NewInt(1))
+}
+
+func trim(cs []*big.Int) []*big.Int {
+	n := len(cs)
+	for n > 0 && cs[n-1].Sign() == 0 {
+		n--
+	}
+	return cs[:n]
+}
+
+// Field returns the coefficient field.
+func (p Poly) Field() *ffbig.Field { return p.f }
+
+// Deg returns the degree of p, with Deg(0) = -1.
+func (p Poly) Deg() int { return len(p.coeffs) - 1 }
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.coeffs) == 0 }
+
+// IsOne reports whether p is the constant 1.
+func (p Poly) IsOne() bool {
+	return len(p.coeffs) == 1 && p.coeffs[0].Cmp(big.NewInt(1)) == 0
+}
+
+// Coeff returns the coefficient of x^i (zero beyond the degree).
+func (p Poly) Coeff(i int) *big.Int {
+	if i < 0 || i >= len(p.coeffs) {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Set(p.coeffs[i])
+}
+
+// Lead returns the leading coefficient (0 for the zero polynomial).
+func (p Poly) Lead() *big.Int { return p.Coeff(p.Deg()) }
+
+// Equal reports whether p and q are identical polynomials.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.coeffs) != len(q.coeffs) {
+		return false
+	}
+	for i := range p.coeffs {
+		if p.coeffs[i].Cmp(q.coeffs[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// coeffRef returns the stored coefficient of x^i without copying (shared
+// zero for out-of-range indices; callers must not mutate the result).
+var sharedZero = big.NewInt(0)
+
+func (p Poly) coeffRef(i int) *big.Int {
+	if i < 0 || i >= len(p.coeffs) {
+		return sharedZero
+	}
+	return p.coeffs[i]
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	n := max(len(p.coeffs), len(q.coeffs))
+	cs := make([]*big.Int, n)
+	for i := range cs {
+		cs[i] = p.f.ReduceInPlace(new(big.Int).Add(p.coeffRef(i), q.coeffRef(i)))
+	}
+	return Poly{f: p.f, coeffs: trim(cs)}
+}
+
+// Sub returns p - q.
+func (p Poly) Sub(q Poly) Poly {
+	n := max(len(p.coeffs), len(q.coeffs))
+	cs := make([]*big.Int, n)
+	for i := range cs {
+		cs[i] = p.f.ReduceInPlace(new(big.Int).Sub(p.coeffRef(i), q.coeffRef(i)))
+	}
+	return Poly{f: p.f, coeffs: trim(cs)}
+}
+
+// Neg returns -p.
+func (p Poly) Neg() Poly {
+	cs := make([]*big.Int, len(p.coeffs))
+	for i := range cs {
+		cs[i] = p.f.Neg(p.coeffs[i])
+	}
+	return Poly{f: p.f, coeffs: trim(cs)}
+}
+
+// Mul returns p · q (schoolbook; degrees here never exceed ~6). The
+// accumulation is done with unreduced big.Int arithmetic and a single
+// reduction per output coefficient — this is the hottest path of Cantor's
+// algorithm.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Zero(p.f)
+	}
+	cs := make([]*big.Int, len(p.coeffs)+len(q.coeffs)-1)
+	for i := range cs {
+		cs[i] = new(big.Int)
+	}
+	var t big.Int
+	for i, a := range p.coeffs {
+		if a.Sign() == 0 {
+			continue
+		}
+		for j, b := range q.coeffs {
+			t.Mul(a, b)
+			cs[i+j].Add(cs[i+j], &t)
+		}
+	}
+	for i := range cs {
+		p.f.ReduceInPlace(cs[i])
+	}
+	return Poly{f: p.f, coeffs: trim(cs)}
+}
+
+// MulScalar returns c · p.
+func (p Poly) MulScalar(c *big.Int) Poly {
+	cr := p.f.Reduce(c)
+	if cr.Sign() == 0 {
+		return Zero(p.f)
+	}
+	cs := make([]*big.Int, len(p.coeffs))
+	for i := range cs {
+		cs[i] = p.f.ReduceInPlace(new(big.Int).Mul(p.coeffs[i], cr))
+	}
+	return Poly{f: p.f, coeffs: trim(cs)}
+}
+
+// ErrDivByZero is returned when dividing by the zero polynomial.
+var ErrDivByZero = errors.New("polyring: division by zero polynomial")
+
+// DivMod returns quotient and remainder with p = q·quo + rem and
+// deg rem < deg q.
+func (p Poly) DivMod(q Poly) (quo, rem Poly, err error) {
+	if q.IsZero() {
+		return Poly{}, Poly{}, ErrDivByZero
+	}
+	if p.Deg() < q.Deg() {
+		return Zero(p.f), p, nil
+	}
+	leadInv, err := p.f.Inv(q.Lead())
+	if err != nil {
+		return Poly{}, Poly{}, err
+	}
+	remCs := make([]*big.Int, len(p.coeffs))
+	for i, c := range p.coeffs {
+		remCs[i] = new(big.Int).Set(c)
+	}
+	quoCs := make([]*big.Int, p.Deg()-q.Deg()+1)
+	for i := range quoCs {
+		quoCs[i] = big.NewInt(0)
+	}
+	var t big.Int
+	for d := p.Deg(); d >= q.Deg(); d-- {
+		c := remCs[d]
+		if c.Sign() == 0 {
+			continue
+		}
+		factor := new(big.Int).Mul(c, leadInv)
+		p.f.ReduceInPlace(factor)
+		quoCs[d-q.Deg()] = factor
+		for j := 0; j <= q.Deg(); j++ {
+			idx := d - q.Deg() + j
+			t.Mul(factor, q.coeffs[j])
+			remCs[idx].Sub(remCs[idx], &t)
+			p.f.ReduceInPlace(remCs[idx])
+		}
+	}
+	return Poly{f: p.f, coeffs: trim(quoCs)}, Poly{f: p.f, coeffs: trim(remCs)}, nil
+}
+
+// Mod returns p mod q.
+func (p Poly) Mod(q Poly) (Poly, error) {
+	_, r, err := p.DivMod(q)
+	return r, err
+}
+
+// Div returns the exact quotient p / q and an error if the division leaves a
+// remainder. Cantor's algorithm uses exact divisions only.
+func (p Poly) Div(q Poly) (Poly, error) {
+	quo, rem, err := p.DivMod(q)
+	if err != nil {
+		return Poly{}, err
+	}
+	if !rem.IsZero() {
+		return Poly{}, fmt.Errorf("polyring: non-exact division (remainder degree %d)", rem.Deg())
+	}
+	return quo, nil
+}
+
+// Monic returns p scaled to leading coefficient 1 (zero maps to zero).
+func (p Poly) Monic() Poly {
+	if p.IsZero() {
+		return p
+	}
+	inv, err := p.f.Inv(p.Lead())
+	if err != nil {
+		// Lead of a trimmed polynomial is never zero.
+		panic("polyring: unreachable: zero leading coefficient")
+	}
+	return p.MulScalar(inv)
+}
+
+// GCD returns the monic greatest common divisor of p and q.
+func GCD(p, q Poly) (Poly, error) {
+	a, b := p, q
+	for !b.IsZero() {
+		r, err := a.Mod(b)
+		if err != nil {
+			return Poly{}, err
+		}
+		a, b = b, r
+	}
+	return a.Monic(), nil
+}
+
+// XGCD returns (d, s, t) with d = gcd(p, q) monic and s·p + t·q = d.
+func XGCD(p, q Poly) (d, s, t Poly, err error) {
+	f := p.f
+	if f == nil {
+		f = q.f
+	}
+	r0, r1 := p, q
+	s0, s1 := One(f), Zero(f)
+	t0, t1 := Zero(f), One(f)
+	for !r1.IsZero() {
+		quo, rem, err := r0.DivMod(r1)
+		if err != nil {
+			return Poly{}, Poly{}, Poly{}, err
+		}
+		r0, r1 = r1, rem
+		s0, s1 = s1, s0.Sub(quo.Mul(s1))
+		t0, t1 = t1, t0.Sub(quo.Mul(t1))
+	}
+	if r0.IsZero() {
+		return r0, s0, t0, nil
+	}
+	// Normalise so that d is monic.
+	leadInv, err := f.Inv(r0.Lead())
+	if err != nil {
+		return Poly{}, Poly{}, Poly{}, err
+	}
+	c := Constant(f, leadInv)
+	return r0.MulScalar(leadInv), s0.Mul(c), t0.Mul(c), nil
+}
+
+// Eval returns p(x).
+func (p Poly) Eval(x *big.Int) *big.Int {
+	acc := big.NewInt(0)
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		acc = p.f.Add(p.f.Mul(acc, x), p.coeffs[i])
+	}
+	return acc
+}
+
+// String renders the polynomial in human-readable form, highest degree
+// first.
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var parts []string
+	for i := len(p.coeffs) - 1; i >= 0; i-- {
+		c := p.coeffs[i]
+		if c.Sign() == 0 {
+			continue
+		}
+		switch i {
+		case 0:
+			parts = append(parts, c.String())
+		case 1:
+			parts = append(parts, fmt.Sprintf("%s*x", c))
+		default:
+			parts = append(parts, fmt.Sprintf("%s*x^%d", c, i))
+		}
+	}
+	return strings.Join(parts, " + ")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

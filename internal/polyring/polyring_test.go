@@ -1,0 +1,266 @@
+package polyring
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ppcd/internal/ffbig"
+)
+
+var f101 = ffbig.MustField(big.NewInt(101))
+
+func polyFromInts(vs ...int64) Poly {
+	cs := make([]*big.Int, len(vs))
+	for i, v := range vs {
+		cs[i] = big.NewInt(v)
+	}
+	return New(f101, cs...)
+}
+
+func randPoly(rng *rand.Rand, maxDeg int) Poly {
+	n := rng.Intn(maxDeg + 2)
+	cs := make([]*big.Int, n)
+	for i := range cs {
+		cs[i] = big.NewInt(int64(rng.Intn(101)))
+	}
+	return New(f101, cs...)
+}
+
+func TestConstruction(t *testing.T) {
+	if !Zero(f101).IsZero() {
+		t.Error("Zero not zero")
+	}
+	if !One(f101).IsOne() {
+		t.Error("One not one")
+	}
+	if Zero(f101).Deg() != -1 {
+		t.Error("Deg(0) != -1")
+	}
+	// Trailing zeros trimmed.
+	p := polyFromInts(1, 2, 0, 0)
+	if p.Deg() != 1 {
+		t.Errorf("deg = %d, want 1", p.Deg())
+	}
+	// Coefficients reduced.
+	q := polyFromInts(102)
+	if q.Coeff(0).Int64() != 1 {
+		t.Error("coefficient not reduced")
+	}
+	if X(f101).Deg() != 1 || X(f101).Coeff(1).Int64() != 1 {
+		t.Error("X malformed")
+	}
+}
+
+func TestAddSubNeg(t *testing.T) {
+	p := polyFromInts(1, 2, 3)
+	q := polyFromInts(100, 99)
+	sum := p.Add(q)
+	if sum.Coeff(0).Int64() != 0 || sum.Coeff(1).Int64() != 0 || sum.Coeff(2).Int64() != 3 {
+		t.Errorf("sum = %v", sum)
+	}
+	if !p.Sub(p).IsZero() {
+		t.Error("p - p != 0")
+	}
+	if !p.Add(p.Neg()).IsZero() {
+		t.Error("p + (-p) != 0")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	// (x+1)(x+2) = x^2 + 3x + 2
+	p := polyFromInts(1, 1)
+	q := polyFromInts(2, 1)
+	r := p.Mul(q)
+	want := polyFromInts(2, 3, 1)
+	if !r.Equal(want) {
+		t.Errorf("got %v, want %v", r, want)
+	}
+	if !p.Mul(Zero(f101)).IsZero() {
+		t.Error("p*0 != 0")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	p := polyFromInts(1, 2)
+	r := p.MulScalar(big.NewInt(3))
+	if r.Coeff(0).Int64() != 3 || r.Coeff(1).Int64() != 6 {
+		t.Errorf("scalar mul = %v", r)
+	}
+	if !p.MulScalar(big.NewInt(0)).IsZero() {
+		t.Error("0*p != 0")
+	}
+}
+
+func TestDivModRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		p := randPoly(rng, 6)
+		q := randPoly(rng, 3)
+		if q.IsZero() {
+			continue
+		}
+		quo, rem, err := p.DivMod(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rem.Deg() >= q.Deg() {
+			t.Fatalf("rem degree %d >= divisor degree %d", rem.Deg(), q.Deg())
+		}
+		back := quo.Mul(q).Add(rem)
+		if !back.Equal(p) {
+			t.Fatalf("p != quo*q + rem\np=%v\nq=%v", p, q)
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	p := polyFromInts(1, 2)
+	if _, _, err := p.DivMod(Zero(f101)); err != ErrDivByZero {
+		t.Errorf("expected ErrDivByZero, got %v", err)
+	}
+	if _, err := p.Div(Zero(f101)); err == nil {
+		t.Error("Div by zero accepted")
+	}
+	if _, err := p.Mod(Zero(f101)); err == nil {
+		t.Error("Mod by zero accepted")
+	}
+}
+
+func TestExactDiv(t *testing.T) {
+	p := polyFromInts(1, 1) // x+1
+	q := polyFromInts(2, 1) // x+2
+	prod := p.Mul(q)
+	quo, err := prod.Div(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !quo.Equal(q) {
+		t.Errorf("exact division wrong: %v", quo)
+	}
+	if _, err := polyFromInts(1, 0, 1).Div(p); err == nil {
+		t.Error("non-exact division accepted")
+	}
+}
+
+func TestMonic(t *testing.T) {
+	p := polyFromInts(2, 4, 6)
+	m := p.Monic()
+	if m.Lead().Int64() != 1 {
+		t.Errorf("monic lead = %v", m.Lead())
+	}
+	if !Zero(f101).Monic().IsZero() {
+		t.Error("Monic(0) != 0")
+	}
+}
+
+func TestGCDKnown(t *testing.T) {
+	// gcd((x+1)(x+2), (x+1)(x+3)) = x+1
+	a := polyFromInts(1, 1).Mul(polyFromInts(2, 1))
+	b := polyFromInts(1, 1).Mul(polyFromInts(3, 1))
+	g, err := GCD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(polyFromInts(1, 1)) {
+		t.Errorf("gcd = %v, want x+1", g)
+	}
+}
+
+func TestGCDWithZero(t *testing.T) {
+	p := polyFromInts(2, 4)
+	g, err := GCD(p, Zero(f101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(p.Monic()) {
+		t.Errorf("gcd(p,0) = %v", g)
+	}
+}
+
+func TestXGCDBezout(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		p := randPoly(rng, 5)
+		q := randPoly(rng, 5)
+		if p.IsZero() && q.IsZero() {
+			continue
+		}
+		d, s, tt, err := XGCD(p, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs := s.Mul(p).Add(tt.Mul(q))
+		if !lhs.Equal(d) {
+			t.Fatalf("Bezout identity fails:\np=%v q=%v\nd=%v got=%v", p, q, d, lhs)
+		}
+		if !d.IsZero() && d.Lead().Int64() != 1 {
+			t.Fatalf("gcd not monic: %v", d)
+		}
+		// d divides both.
+		if !d.IsZero() {
+			if _, err := p.Div(d); err != nil {
+				t.Fatalf("d does not divide p: %v", err)
+			}
+			if _, err := q.Div(d); err != nil {
+				t.Fatalf("d does not divide q: %v", err)
+			}
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	// p(x) = x^2 + 3x + 2 at x=5: 25+15+2 = 42.
+	p := polyFromInts(2, 3, 1)
+	if got := p.Eval(big.NewInt(5)); got.Int64() != 42 {
+		t.Errorf("p(5) = %v, want 42", got)
+	}
+	if Zero(f101).Eval(big.NewInt(7)).Sign() != 0 {
+		t.Error("0(x) != 0")
+	}
+}
+
+func TestEvalHomomorphism(t *testing.T) {
+	f := func(a, b, x int64) bool {
+		p := polyFromInts(a%101, b%101, 1)
+		q := polyFromInts(b%101, 1)
+		xx := big.NewInt(((x % 101) + 101) % 101)
+		lhs := p.Mul(q).Eval(xx)
+		rhs := f101.Mul(p.Eval(xx), q.Eval(xx))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if Zero(f101).String() != "0" {
+		t.Error("String(0)")
+	}
+	p := polyFromInts(2, 3, 1)
+	if p.String() != "x^2 + 3*x + 2" && p.String() != "1*x^2 + 3*x + 2" {
+		t.Logf("String = %q (cosmetic)", p.String())
+	}
+}
+
+func TestCoeffOutOfRange(t *testing.T) {
+	p := polyFromInts(1, 2)
+	if p.Coeff(-1).Sign() != 0 || p.Coeff(5).Sign() != 0 {
+		t.Error("out-of-range Coeff should be 0")
+	}
+	// Coeff must return a copy.
+	c := p.Coeff(0)
+	c.SetInt64(50)
+	if p.Coeff(0).Int64() != 1 {
+		t.Error("Coeff leaked internal state")
+	}
+}
+
+func TestFieldAccessor(t *testing.T) {
+	p := polyFromInts(1)
+	if !p.Field().Equal(f101) {
+		t.Error("Field accessor wrong")
+	}
+}

@@ -1,0 +1,349 @@
+// Package pubsub implements the paper's three-phase system end to end: the
+// Publisher (Pub) with its conditional-subscription-secret table T,
+// privacy-preserving registration via OCBE, selective broadcast with
+// ACV-based group key management, and the Subscriber (Sub) that registers
+// identity tokens and derives decryption keys from broadcast headers alone.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ppcd/internal/core"
+	"ppcd/internal/document"
+	"ppcd/internal/ff64"
+	"ppcd/internal/idtoken"
+	"ppcd/internal/ocbe"
+	"ppcd/internal/pedersen"
+	"ppcd/internal/policy"
+	"ppcd/internal/sig"
+	"ppcd/internal/sym"
+)
+
+// Options tunes a publisher.
+type Options struct {
+	// Ell is the bit-length bound ℓ for inequality OCBE; attribute values
+	// compared with <,≤,>,≥ must be below 2^Ell. Default 16.
+	Ell int
+	// MinN forces a lower bound on the maximum-user parameter N of every
+	// header (headroom for joins without resizing). Default: exactly the
+	// number of qualified rows.
+	MinN int
+}
+
+// Publisher is the content distributor. It never sees attribute values: it
+// verifies IdMgr signatures on identity tokens and runs OCBE as the sender.
+type Publisher struct {
+	mu       sync.Mutex
+	params   *pedersen.Params
+	idmgrKey sig.PublicKey
+	acps     []*policy.ACP
+	conds    []policy.Condition
+	condByID map[string]policy.Condition
+	// table is the paper's table T: nym → condition ID → CSS. A CSS is
+	// recorded for every registration, satisfied or not — the publisher
+	// cannot tell the difference, which is the point.
+	table map[string]map[string]core.CSS
+	opts  Options
+}
+
+// NewPublisher builds a publisher enforcing the given access control
+// policies. idmgrKey is the IdMgr's signature verification key.
+func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*policy.ACP, opts Options) (*Publisher, error) {
+	if params == nil {
+		return nil, errors.New("pubsub: nil commitment parameters")
+	}
+	if len(acps) == 0 {
+		return nil, errors.New("pubsub: publisher needs at least one policy")
+	}
+	if opts.Ell == 0 {
+		opts.Ell = 16
+	}
+	if opts.Ell < 1 {
+		return nil, errors.New("pubsub: Ell must be positive")
+	}
+	for _, a := range acps {
+		for _, c := range a.Conds {
+			if err := c.Validate(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	conds := policy.Conditions(acps)
+	byID := make(map[string]policy.Condition, len(conds))
+	for _, c := range conds {
+		byID[c.ID()] = c
+	}
+	return &Publisher{
+		params:   params,
+		idmgrKey: idmgrKey,
+		acps:     acps,
+		conds:    conds,
+		condByID: byID,
+		table:    make(map[string]map[string]core.CSS),
+		opts:     opts,
+	}, nil
+}
+
+// Params returns the commitment parameters (shared with the IdMgr).
+func (p *Publisher) Params() *pedersen.Params { return p.params }
+
+// Ell returns the inequality bit-length bound ℓ.
+func (p *Publisher) Ell() int { return p.opts.Ell }
+
+// Conditions returns all attribute conditions appearing in the publisher's
+// policies; subscribers register their tokens against every condition whose
+// attribute matches a token tag.
+func (p *Publisher) Conditions() []policy.Condition {
+	return append([]policy.Condition(nil), p.conds...)
+}
+
+// Policies returns the publisher's access control policy set.
+func (p *Publisher) Policies() []*policy.ACP {
+	return append([]*policy.ACP(nil), p.acps...)
+}
+
+// RegistrationRequest is one condition registration from a subscriber: the
+// identity token, the target condition and the OCBE receiver message.
+type RegistrationRequest struct {
+	Token  *idtoken.Token
+	CondID string
+	OCBE   *ocbe.Request
+}
+
+// Errors returned by Register.
+var (
+	ErrUnknownCondition = errors.New("pubsub: condition not in any policy")
+	ErrTagMismatch      = errors.New("pubsub: token tag does not match condition attribute")
+)
+
+// Register handles one registration request: it verifies the token, draws a
+// fresh CSS, records it in table T under (nym, condition), and returns the
+// OCBE envelope containing the CSS. The subscriber can extract the CSS iff
+// its committed attribute value satisfies the condition; the publisher never
+// learns whether it could (§V-B).
+func (p *Publisher) Register(req *RegistrationRequest) (*ocbe.Envelope, error) {
+	if req == nil || req.Token == nil || req.OCBE == nil {
+		return nil, errors.New("pubsub: incomplete registration request")
+	}
+	cond, ok := p.condByID[req.CondID]
+	if !ok {
+		return nil, ErrUnknownCondition
+	}
+	if req.Token.Tag != cond.Attr {
+		return nil, ErrTagMismatch
+	}
+	if err := idtoken.Verify(p.params, p.idmgrKey, req.Token); err != nil {
+		return nil, fmt.Errorf("pubsub: token rejected: %w", err)
+	}
+	css, err := core.NewCSS()
+	if err != nil {
+		return nil, err
+	}
+	pred := ocbe.Predicate{Op: cond.Op, X0: idtoken.EncodeValue(p.params.Order(), cond.Value)}
+	env, err := ocbe.Compose(p.params, pred, p.opts.Ell, req.OCBE, css.Bytes())
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: composing envelope: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	row, ok := p.table[req.Token.Nym]
+	if !ok {
+		row = make(map[string]core.CSS)
+		p.table[req.Token.Nym] = row
+	}
+	row[req.CondID] = css // overwrite = credential update (§V-C)
+	return env, nil
+}
+
+// RevokeSubscription removes a subscriber entirely (paper "Subscription
+// Revocation"): its row disappears from T and the next Publish rekeys every
+// affected configuration.
+func (p *Publisher) RevokeSubscription(nym string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.table[nym]; !ok {
+		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
+	}
+	delete(p.table, nym)
+	return nil
+}
+
+// RevokeCredential removes a single CSS cell (paper "Credential
+// Revocation"), enabling fine-tuned user management.
+func (p *Publisher) RevokeCredential(nym, condID string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	row, ok := p.table[nym]
+	if !ok {
+		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
+	}
+	if _, ok := row[condID]; !ok {
+		return fmt.Errorf("pubsub: subscriber %q has no CSS for %q", nym, condID)
+	}
+	delete(row, condID)
+	return nil
+}
+
+// SubscriberCount returns the number of registered pseudonyms.
+func (p *Publisher) SubscriberCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.table)
+}
+
+// PolicyInfo describes one policy inside a broadcast so subscribers know
+// which conditions (in which order) derive each configuration key.
+type PolicyInfo struct {
+	ID      string
+	CondIDs []string
+}
+
+// ConfigInfo carries the rekey header for one policy configuration. Header
+// is nil for configurations nobody can access (empty configuration or no
+// qualified subscriber rows).
+type ConfigInfo struct {
+	Key    policy.ConfigKey
+	Header *core.Header
+}
+
+// Item is one encrypted subdocument.
+type Item struct {
+	Subdoc     string
+	Config     policy.ConfigKey
+	Ciphertext []byte
+}
+
+// Broadcast is the complete selectively-encrypted document package sent to
+// all subscribers. Everything in it is public.
+type Broadcast struct {
+	DocName  string
+	Policies []PolicyInfo
+	Configs  []ConfigInfo
+	Items    []Item
+}
+
+// Publish encrypts a document according to the publisher's policies and
+// returns the broadcast package. Every call generates fresh keys and
+// headers, so Publish after any table change IS the rekey operation — no
+// message is addressed to any individual subscriber.
+func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
+	if doc == nil || len(doc.Subdocs) == 0 {
+		return nil, errors.New("pubsub: empty document")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	relevant := p.policiesFor(doc.Name)
+	cfgs := policy.Configurations(doc.Names(), relevant)
+
+	b := &Broadcast{DocName: doc.Name}
+	for _, a := range relevant {
+		b.Policies = append(b.Policies, PolicyInfo{ID: a.ID, CondIDs: a.CondIDs()})
+	}
+
+	keys := make(map[policy.ConfigKey][sym.KeySize]byte, len(cfgs))
+	cfgKeys := make([]policy.ConfigKey, 0, len(cfgs))
+	for k := range cfgs {
+		cfgKeys = append(cfgKeys, k)
+	}
+	sort.Slice(cfgKeys, func(i, j int) bool { return cfgKeys[i] < cfgKeys[j] })
+
+	// Precompute each policy's subscriber rows once: policies typically
+	// appear in several configurations (acp3 covers four configurations in
+	// the paper's Example 4), and scanning table T per configuration would
+	// redo that work (§VIII-A: eliminate redundant calculations at the Pub).
+	rowsByACP := p.rowsByACP(relevant)
+
+	for _, key := range cfgKeys {
+		var rows [][]core.CSS
+		for _, acpID := range key.IDs() {
+			rows = append(rows, rowsByACP[acpID]...)
+		}
+		if key == policy.EmptyConfig || len(rows) == 0 {
+			// Nobody may access: encrypt under a random throwaway key and
+			// publish no header (paper Example 4, Pc6).
+			k, err := ff64.RandNonZero()
+			if err != nil {
+				return nil, err
+			}
+			keys[key] = core.ExpandKey(k)
+			b.Configs = append(b.Configs, ConfigInfo{Key: key, Header: nil})
+			continue
+		}
+		n := len(rows)
+		if p.opts.MinN > n {
+			n = p.opts.MinN
+		}
+		hdr, k, err := core.Build(rows, n)
+		if err != nil {
+			return nil, fmt.Errorf("pubsub: building ACV for %q: %w", key, err)
+		}
+		keys[key] = core.ExpandKey(k)
+		b.Configs = append(b.Configs, ConfigInfo{Key: key, Header: hdr})
+	}
+
+	cfgOf := make(map[string]policy.ConfigKey)
+	for k, subs := range cfgs {
+		for _, sd := range subs {
+			cfgOf[sd] = k
+		}
+	}
+	for _, sd := range doc.Subdocs {
+		k := cfgOf[sd.Name]
+		ct, err := sym.Encrypt(keys[k], sd.Content)
+		if err != nil {
+			return nil, err
+		}
+		b.Items = append(b.Items, Item{Subdoc: sd.Name, Config: k, Ciphertext: ct})
+	}
+	return b, nil
+}
+
+// policiesFor returns the policies applying to the named document (policies
+// with an empty Doc apply to every document).
+func (p *Publisher) policiesFor(docName string) []*policy.ACP {
+	var out []*policy.ACP
+	for _, a := range p.acps {
+		if a.Doc == "" || a.Doc == docName {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// rowsByACP assembles, for every policy, the subscriber CSS rows of matrix A
+// (paper §V-C1): one ordered CSS list per pseudonym whose T row contains a
+// CSS for each of the policy's conditions. A configuration's rows are the
+// concatenation of its policies' row lists.
+func (p *Publisher) rowsByACP(acps []*policy.ACP) map[string][][]core.CSS {
+	nyms := make([]string, 0, len(p.table))
+	for nym := range p.table {
+		nyms = append(nyms, nym)
+	}
+	sort.Strings(nyms)
+	out := make(map[string][][]core.CSS, len(acps))
+	for _, a := range acps {
+		var rows [][]core.CSS
+		for _, nym := range nyms {
+			row := p.table[nym]
+			css := make([]core.CSS, 0, len(a.Conds))
+			complete := true
+			for _, c := range a.Conds {
+				v, ok := row[c.ID()]
+				if !ok {
+					complete = false
+					break
+				}
+				css = append(css, v)
+			}
+			if complete {
+				rows = append(rows, css)
+			}
+		}
+		out[a.ID] = rows
+	}
+	return out
+}

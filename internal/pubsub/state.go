@@ -1,0 +1,73 @@
+package pubsub
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+)
+
+// stateFile is the JSON shape of an exported publisher state. Only the CSS
+// table is state: policies and parameters are configuration, re-supplied at
+// construction.
+type stateFile struct {
+	Version int                          `json:"version"`
+	Table   map[string]map[string]uint64 `json:"table"`
+}
+
+// ExportState serializes the publisher's CSS table T so it can be persisted
+// across restarts. The table is SECRET material (paper §V-B: "Table T …
+// should be protected") — callers must store it accordingly (e.g. mode
+// 0600, encrypted at rest).
+func (p *Publisher) ExportState() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sf := stateFile{Version: 1, Table: make(map[string]map[string]uint64, len(p.table))}
+	for nym, row := range p.table {
+		out := make(map[string]uint64, len(row))
+		for cond, css := range row {
+			out[cond] = uint64(css)
+		}
+		sf.Table[nym] = out
+	}
+	return json.Marshal(sf)
+}
+
+// ImportState restores a previously exported CSS table, replacing the
+// current one. Conditions that no longer exist in the publisher's policy set
+// are dropped (with no error: policies may legitimately have changed —
+// §V-C: "access control policies can be flexibly updated … without changing
+// any information stored at Subs").
+func (p *Publisher) ImportState(data []byte) error {
+	var sf stateFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return fmt.Errorf("pubsub: parsing state: %w", err)
+	}
+	if sf.Version != 1 {
+		return fmt.Errorf("pubsub: unsupported state version %d", sf.Version)
+	}
+	table := make(map[string]map[string]core.CSS, len(sf.Table))
+	for nym, row := range sf.Table {
+		if nym == "" {
+			return fmt.Errorf("pubsub: state contains empty pseudonym")
+		}
+		out := make(map[string]core.CSS, len(row))
+		for cond, css := range row {
+			if _, known := p.condByID[cond]; !known {
+				continue // policy set changed; stale column
+			}
+			if css == 0 || css >= ff64.Modulus {
+				return fmt.Errorf("pubsub: state contains invalid CSS for (%q, %q)", nym, cond)
+			}
+			out[cond] = core.CSS(css)
+		}
+		if len(out) > 0 {
+			table[nym] = out
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.table = table
+	return nil
+}

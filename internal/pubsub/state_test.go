@@ -1,0 +1,152 @@
+package pubsub
+
+import (
+	"testing"
+
+	"ppcd/internal/policy"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	pub := newEHRPublisher(t)
+	doctor := newSub(t, pub, "pn-st1", map[string]string{"role": "doc"})
+	nurse := newSub(t, pub, "pn-st2", map[string]string{"role": "nur", "level": "60"})
+
+	state, err := pub.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A freshly constructed publisher with the same policies resumes from
+	// the exported table: existing subscribers keep decrypting without
+	// re-registration.
+	params, mgr := testEnv(t)
+	pub2, err := NewPublisher(params, mgr.PublicKey(), ehrACPs(t), Options{Ell: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub2.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	if pub2.SubscriberCount() != 2 {
+		t.Fatalf("restored %d subscribers, want 2", pub2.SubscriberCount())
+	}
+	b, err := pub2.Publish(ehrDoc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := doctor.Decrypt(b); len(got) != 5 {
+		t.Errorf("doctor decrypts %d after restore", len(got))
+	}
+	if got, _ := nurse.Decrypt(b); len(got) != 5 {
+		t.Errorf("nurse decrypts %d after restore", len(got))
+	}
+}
+
+func TestImportDropsStaleConditions(t *testing.T) {
+	pub := newEHRPublisher(t)
+	newSub(t, pub, "pn-st3", map[string]string{"role": "doc", "level": "60"})
+	state, err := pub.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// New publisher with a REDUCED policy set: level conditions vanish.
+	params, mgr := testEnv(t)
+	onlyDoc, err := policy.New("acp3", "role = doc", "EHR.xml", "Plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub2, err := NewPublisher(params, mgr.PublicKey(), []*policy.ACP{onlyDoc}, Options{Ell: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub2.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	pub2.mu.Lock()
+	row := pub2.table["pn-st3"]
+	pub2.mu.Unlock()
+	for cond := range row {
+		if cond != "role = doc" {
+			t.Errorf("stale condition %q survived import", cond)
+		}
+	}
+}
+
+func TestImportValidation(t *testing.T) {
+	pub := newEHRPublisher(t)
+	if err := pub.ImportState([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := pub.ImportState([]byte(`{"version":9,"table":{}}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if err := pub.ImportState([]byte(`{"version":1,"table":{"":{"role = doc":5}}}`)); err == nil {
+		t.Error("empty nym accepted")
+	}
+	if err := pub.ImportState([]byte(`{"version":1,"table":{"pn-x":{"role = doc":0}}}`)); err == nil {
+		t.Error("zero CSS accepted")
+	}
+	if err := pub.ImportState([]byte(`{"version":1,"table":{"pn-x":{"role = doc":18446744073709551615}}}`)); err == nil {
+		t.Error("out-of-field CSS accepted")
+	}
+}
+
+func TestImportReplacesTable(t *testing.T) {
+	pub := newEHRPublisher(t)
+	newSub(t, pub, "pn-old", map[string]string{"role": "doc"})
+	if err := pub.ImportState([]byte(`{"version":1,"table":{}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if pub.SubscriberCount() != 0 {
+		t.Error("import did not replace the table")
+	}
+}
+
+func TestSubscriberCSSExportImport(t *testing.T) {
+	pub := newEHRPublisher(t)
+	doctor := newSub(t, pub, "pn-css", map[string]string{"role": "doc"})
+	state, err := doctor.ExportCSS()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process restores the CSS set and decrypts without
+	// re-registering (which would have rotated the publisher-side CSSs).
+	restored, err := NewSubscriber("pn-css")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.ImportCSS(state); err != nil {
+		t.Fatal(err)
+	}
+	if restored.CSSCount() != doctor.CSSCount() {
+		t.Fatalf("restored %d CSSs, want %d", restored.CSSCount(), doctor.CSSCount())
+	}
+	b, err := pub.Publish(ehrDoc(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := restored.Decrypt(b); len(got) != 5 {
+		t.Errorf("restored subscriber decrypts %d subdocs", len(got))
+	}
+}
+
+func TestSubscriberImportCSSValidation(t *testing.T) {
+	sub, err := NewSubscriber("pn-v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.ImportCSS([]byte("junk")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := sub.ImportCSS([]byte(`{"version":2,"nym":"pn-v","css":{}}`)); err == nil {
+		t.Error("future version accepted")
+	}
+	if err := sub.ImportCSS([]byte(`{"version":1,"nym":"other","css":{}}`)); err == nil {
+		t.Error("foreign nym accepted")
+	}
+	if err := sub.ImportCSS([]byte(`{"version":1,"nym":"pn-v","css":{"c":0}}`)); err == nil {
+		t.Error("zero CSS accepted")
+	}
+}

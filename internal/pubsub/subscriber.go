@@ -1,0 +1,248 @@
+package pubsub
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+	"ppcd/internal/idtoken"
+	"ppcd/internal/ocbe"
+	"ppcd/internal/pedersen"
+	"ppcd/internal/policy"
+	"ppcd/internal/sym"
+)
+
+// Registrar is the publisher-side interface a subscriber registers against.
+// *Publisher satisfies it directly for in-process use; the transport package
+// provides a network client with the same shape.
+type Registrar interface {
+	Params() *pedersen.Params
+	Ell() int
+	Conditions() []policy.Condition
+	Register(*RegistrationRequest) (*ocbe.Envelope, error)
+}
+
+// Subscriber is a content consumer. It holds identity tokens with their
+// private openings and the CSSs it managed to extract during registration;
+// from those plus public broadcast headers it derives decryption keys
+// locally — no further interaction with the publisher is ever needed.
+type Subscriber struct {
+	mu     sync.Mutex
+	nym    string
+	tokens map[string]tokenSecret // by tag
+	css    map[string]core.CSS    // by condition ID
+}
+
+type tokenSecret struct {
+	token  *idtoken.Token
+	secret *idtoken.Secret
+}
+
+// NewSubscriber creates a subscriber under the given pseudonym.
+func NewSubscriber(nym string) (*Subscriber, error) {
+	if nym == "" {
+		return nil, errors.New("pubsub: empty pseudonym")
+	}
+	return &Subscriber{
+		nym:    nym,
+		tokens: make(map[string]tokenSecret),
+		css:    make(map[string]core.CSS),
+	}, nil
+}
+
+// Nym returns the subscriber's pseudonym.
+func (s *Subscriber) Nym() string { return s.nym }
+
+// AddToken stores an identity token and its private opening. All tokens of
+// one subscriber must carry the same pseudonym (paper §V-A).
+func (s *Subscriber) AddToken(tok *idtoken.Token, sec *idtoken.Secret) error {
+	if tok == nil || sec == nil {
+		return errors.New("pubsub: nil token or secret")
+	}
+	if tok.Nym != s.nym {
+		return fmt.Errorf("pubsub: token pseudonym %q does not match subscriber %q", tok.Nym, s.nym)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tokens[tok.Tag] = tokenSecret{token: tok, secret: sec}
+	return nil
+}
+
+// CSSCount returns the number of conditional subscription secrets the
+// subscriber successfully extracted.
+func (s *Subscriber) CSSCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.css)
+}
+
+// HasCSS reports whether the subscriber extracted a CSS for the condition.
+func (s *Subscriber) HasCSS(condID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.css[condID]
+	return ok
+}
+
+// RegisterAll runs the registration phase against a publisher: for every
+// held token and every publisher condition whose attribute matches the
+// token's tag, it executes one OCBE exchange. To preserve privacy the
+// subscriber registers for ALL matching conditions — including mutually
+// exclusive ones — so the publisher cannot infer which condition it actually
+// satisfies (§V-B, Example 3). Envelopes that fail to open are skipped
+// silently. It returns the number of CSSs extracted.
+func (s *Subscriber) RegisterAll(r Registrar) (int, error) {
+	params := r.Params()
+	ell := r.Ell()
+	conds := r.Conditions()
+	extracted := 0
+	for _, cond := range conds {
+		s.mu.Lock()
+		ts, ok := s.tokens[cond.Attr]
+		s.mu.Unlock()
+		if !ok {
+			continue // no identity token with this tag; cannot register
+		}
+		recv := ocbe.NewReceiver(params, ts.secret.Value, ts.secret.Blinding)
+		pred := ocbe.Predicate{Op: cond.Op, X0: idtoken.EncodeValue(params.Order(), cond.Value)}
+		wit, req, err := recv.Prepare(pred, ell)
+		if err != nil {
+			return extracted, fmt.Errorf("pubsub: preparing for %q: %w", cond.ID(), err)
+		}
+		env, err := r.Register(&RegistrationRequest{Token: ts.token, CondID: cond.ID(), OCBE: req})
+		if err != nil {
+			return extracted, fmt.Errorf("pubsub: registering for %q: %w", cond.ID(), err)
+		}
+		payload, err := recv.Open(env, wit)
+		if err != nil {
+			continue // condition not satisfied; indistinguishable to the publisher
+		}
+		css, err := core.CSSFromBytes(payload)
+		if err != nil {
+			return extracted, fmt.Errorf("pubsub: bad CSS payload for %q: %w", cond.ID(), err)
+		}
+		s.mu.Lock()
+		s.css[cond.ID()] = css
+		s.mu.Unlock()
+		extracted++
+	}
+	return extracted, nil
+}
+
+// Decrypt recovers every subdocument of a broadcast the subscriber is
+// authorized for. For each configuration it searches for a policy whose
+// conditions it holds CSSs for, derives the key from the public header
+// (paper "Decryption Key Derivation"), and decrypts the matching items.
+// Subdocuments it cannot decrypt are simply absent from the result.
+func (s *Subscriber) Decrypt(b *Broadcast) (map[string][]byte, error) {
+	if b == nil {
+		return nil, errors.New("pubsub: nil broadcast")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	polByID := make(map[string]PolicyInfo, len(b.Policies))
+	for _, pi := range b.Policies {
+		polByID[pi.ID] = pi
+	}
+
+	keys := make(map[policy.ConfigKey][sym.KeySize]byte)
+	for _, ci := range b.Configs {
+		if ci.Header == nil {
+			continue
+		}
+		for _, acpID := range ci.Key.IDs() {
+			pi, ok := polByID[acpID]
+			if !ok {
+				continue
+			}
+			row, ok := s.rowFor(pi)
+			if !ok {
+				continue
+			}
+			k, err := core.DeriveKey(row, ci.Header)
+			if err != nil {
+				return nil, fmt.Errorf("pubsub: deriving key for %q: %w", ci.Key, err)
+			}
+			keys[ci.Key] = core.ExpandKey(k)
+			break
+		}
+	}
+
+	out := make(map[string][]byte)
+	for _, item := range b.Items {
+		key, ok := keys[item.Config]
+		if !ok {
+			continue
+		}
+		pt, err := sym.Decrypt(key, item.Ciphertext)
+		if err != nil {
+			// Wrong key (e.g. our CSSs are stale after a credential change):
+			// treat as unauthorized rather than failing the whole broadcast.
+			continue
+		}
+		out[item.Subdoc] = pt
+	}
+	return out, nil
+}
+
+// ExportCSS serializes the subscriber's extracted CSSs so a command-line
+// client can keep them across runs. Like the publisher's table T, this is
+// secret material.
+func (s *Subscriber) ExportCSS() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := struct {
+		Version int               `json:"version"`
+		Nym     string            `json:"nym"`
+		CSS     map[string]uint64 `json:"css"`
+	}{Version: 1, Nym: s.nym, CSS: make(map[string]uint64, len(s.css))}
+	for cond, v := range s.css {
+		out.CSS[cond] = uint64(v)
+	}
+	return json.Marshal(out)
+}
+
+// ImportCSS restores CSSs saved by ExportCSS, merging over the current set.
+func (s *Subscriber) ImportCSS(data []byte) error {
+	var in struct {
+		Version int               `json:"version"`
+		Nym     string            `json:"nym"`
+		CSS     map[string]uint64 `json:"css"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("pubsub: parsing CSS state: %w", err)
+	}
+	if in.Version != 1 {
+		return fmt.Errorf("pubsub: unsupported CSS state version %d", in.Version)
+	}
+	if in.Nym != s.nym {
+		return fmt.Errorf("pubsub: CSS state belongs to %q, not %q", in.Nym, s.nym)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for cond, v := range in.CSS {
+		if v == 0 || v >= ff64.Modulus {
+			return fmt.Errorf("pubsub: invalid CSS for %q", cond)
+		}
+		s.css[cond] = core.CSS(v)
+	}
+	return nil
+}
+
+// rowFor returns the subscriber's ordered CSS list for one policy, or false
+// if any condition's CSS is missing.
+func (s *Subscriber) rowFor(pi PolicyInfo) ([]core.CSS, bool) {
+	row := make([]core.CSS, 0, len(pi.CondIDs))
+	for _, id := range pi.CondIDs {
+		v, ok := s.css[id]
+		if !ok {
+			return nil, false
+		}
+		row = append(row, v)
+	}
+	return row, true
+}

@@ -1,0 +1,213 @@
+// Package schnorr implements a Schnorr group: the prime-order subgroup of
+// quadratic residues modulo a safe prime P = 2q + 1. It is an alternative
+// instantiation of the commitment group for the OCBE protocols — the paper
+// uses a genus-2 Jacobian (package g2); a Schnorr group provides identical
+// interfaces with classic modular arithmetic. The 2048-bit modulus is the
+// RFC 3526 MODP group 14 prime, a standard nothing-up-my-sleeve constant.
+package schnorr
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+
+	"ppcd/internal/group"
+)
+
+// rfc3526Group14Hex is the 2048-bit MODP prime from RFC 3526 §3 (a safe
+// prime: (P-1)/2 is also prime).
+const rfc3526Group14Hex = "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1" +
+	"29024E088A67CC74020BBEA63B139B22514A08798E3404DD" +
+	"EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245" +
+	"E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED" +
+	"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D" +
+	"C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F" +
+	"83655D23DCA3AD961C62F356208552BB9ED529077096966D" +
+	"670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B" +
+	"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9" +
+	"DE2BCBF6955817183995497CEA956AE515D2261898FA0510" +
+	"15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+
+// Group is the subgroup of quadratic residues mod a safe prime P; its order
+// is the prime q = (P-1)/2. Elements are canonical residues in [1, P).
+type Group struct {
+	p     *big.Int // safe prime modulus
+	q     *big.Int // group order (P-1)/2, prime
+	gen   *big.Int
+	name  string
+	small bool // test-scale parameters; skip expensive checks
+}
+
+// Residue is a group element: a quadratic residue mod P.
+type Residue struct {
+	v *big.Int
+}
+
+// String implements group.Element.
+func (r *Residue) String() string {
+	s := r.v.String()
+	if len(s) > 20 {
+		s = s[:20] + "…"
+	}
+	return "qr(" + s + ")"
+}
+
+// Big returns a copy of the underlying residue.
+func (r *Residue) Big() *big.Int { return new(big.Int).Set(r.v) }
+
+// New2048 returns the Schnorr group over the RFC 3526 2048-bit safe prime.
+func New2048() (*Group, error) {
+	p, ok := new(big.Int).SetString(rfc3526Group14Hex, 16)
+	if !ok {
+		return nil, errors.New("schnorr: bad built-in prime constant")
+	}
+	return newGroup(p, "schnorr-2048")
+}
+
+// Must2048 is New2048 panicking on error (the parameters are constants).
+func Must2048() *Group {
+	g, err := New2048()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NewFromSafePrime builds a Schnorr group from a caller-supplied safe prime.
+// Intended for test-scale parameters; the primality of P and (P-1)/2 is
+// verified.
+func NewFromSafePrime(p *big.Int, name string) (*Group, error) {
+	return newGroup(p, name)
+}
+
+func newGroup(p *big.Int, name string) (*Group, error) {
+	if p == nil || !p.ProbablyPrime(32) {
+		return nil, errors.New("schnorr: modulus is not prime")
+	}
+	q := new(big.Int).Rsh(new(big.Int).Sub(p, big.NewInt(1)), 1)
+	if !q.ProbablyPrime(32) {
+		return nil, errors.New("schnorr: (P-1)/2 is not prime; not a safe prime")
+	}
+	g := &Group{p: p, q: q, name: name, small: p.BitLen() < 128}
+	gen, err := g.HashToElement([]byte("ppcd/schnorr/generator/v1"))
+	if err != nil {
+		return nil, err
+	}
+	g.gen = gen.(*Residue).v
+	return g, nil
+}
+
+// Name implements group.Group.
+func (g *Group) Name() string { return g.name }
+
+// Order implements group.Group.
+func (g *Group) Order() *big.Int { return new(big.Int).Set(g.q) }
+
+// Modulus returns the safe prime P.
+func (g *Group) Modulus() *big.Int { return new(big.Int).Set(g.p) }
+
+// Identity implements group.Group.
+func (g *Group) Identity() group.Element { return &Residue{v: big.NewInt(1)} }
+
+// Generator implements group.Group.
+func (g *Group) Generator() group.Element { return &Residue{v: new(big.Int).Set(g.gen)} }
+
+func (g *Group) res(e group.Element) *Residue {
+	r, ok := e.(*Residue)
+	if !ok {
+		panic(fmt.Sprintf("schnorr: foreign element %T", e))
+	}
+	return r
+}
+
+// Op implements group.Group.
+func (g *Group) Op(a, b group.Element) group.Element {
+	ra, rb := g.res(a), g.res(b)
+	v := new(big.Int).Mul(ra.v, rb.v)
+	return &Residue{v: v.Mod(v, g.p)}
+}
+
+// Inverse implements group.Group.
+func (g *Group) Inverse(a group.Element) group.Element {
+	return &Residue{v: new(big.Int).ModInverse(g.res(a).v, g.p)}
+}
+
+// Exp implements group.Group.
+func (g *Group) Exp(a group.Element, k *big.Int) group.Element {
+	kk := new(big.Int).Mod(k, g.q)
+	return &Residue{v: new(big.Int).Exp(g.res(a).v, kk, g.p)}
+}
+
+// Equal implements group.Group.
+func (g *Group) Equal(a, b group.Element) bool {
+	return g.res(a).v.Cmp(g.res(b).v) == 0
+}
+
+// IsIdentity reports whether e is the neutral element.
+func (g *Group) IsIdentity(e group.Element) bool {
+	return g.res(e).v.Cmp(big.NewInt(1)) == 0
+}
+
+// IsValid reports whether e encodes a quadratic residue mod P.
+func (g *Group) IsValid(e group.Element) bool {
+	r, ok := e.(*Residue)
+	if !ok || r.v.Sign() <= 0 || r.v.Cmp(g.p) >= 0 {
+		return false
+	}
+	// Membership test: x^q == 1 mod P.
+	return new(big.Int).Exp(r.v, g.q, g.p).Cmp(big.NewInt(1)) == 0
+}
+
+// Marshal implements group.Group: fixed-width big-endian residue.
+func (g *Group) Marshal(a group.Element) []byte {
+	n := (g.p.BitLen() + 7) / 8
+	out := make([]byte, n)
+	g.res(a).v.FillBytes(out)
+	return out
+}
+
+// Unmarshal implements group.Group, verifying subgroup membership.
+func (g *Group) Unmarshal(data []byte) (group.Element, error) {
+	n := (g.p.BitLen() + 7) / 8
+	if len(data) != n {
+		return nil, fmt.Errorf("schnorr: encoding length %d, want %d", len(data), n)
+	}
+	v := new(big.Int).SetBytes(data)
+	r := &Residue{v: v}
+	if !g.IsValid(r) {
+		return nil, errors.New("schnorr: encoding is not a subgroup element")
+	}
+	return r, nil
+}
+
+// HashToElement implements group.Group: the seed is expanded to a value mod
+// P and squared, yielding a quadratic residue whose discrete log is unknown.
+func (g *Group) HashToElement(seed []byte) (group.Element, error) {
+	n := (g.p.BitLen() + 7) / 8
+	// Expand enough hash output for negligible bias.
+	buf := make([]byte, 0, n+sha256.Size)
+	var ctr uint32
+	for len(buf) < n+16 {
+		h := sha256.New()
+		h.Write([]byte("ppcd/schnorr/hash-to-element/v1"))
+		h.Write(seed)
+		var cb [4]byte
+		binary.BigEndian.PutUint32(cb[:], ctr)
+		h.Write(cb[:])
+		buf = h.Sum(buf)
+		ctr++
+	}
+	v := new(big.Int).SetBytes(buf)
+	v.Mod(v, g.p)
+	v.Mul(v, v)
+	v.Mod(v, g.p)
+	if v.Sign() == 0 {
+		// Probability ~2/P; perturb deterministically.
+		return g.HashToElement(append([]byte{0x5a}, seed...))
+	}
+	return &Residue{v: v}, nil
+}
+
+var _ group.Group = (*Group)(nil)

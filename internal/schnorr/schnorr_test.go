@@ -1,0 +1,231 @@
+package schnorr
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+
+	"ppcd/internal/group"
+)
+
+// testGroup uses a small safe prime (P = 2q+1 with q prime) so membership
+// checks stay fast; full2048 exercises the production parameters.
+var (
+	testGroupOnce sync.Once
+	tg            *Group
+	full          *Group
+)
+
+func groups(t *testing.T) (*Group, *Group) {
+	t.Helper()
+	testGroupOnce.Do(func() {
+		// 107 = 2*53 + 1, both prime.
+		var err error
+		tg, err = NewFromSafePrime(big.NewInt(107), "schnorr-tiny")
+		if err != nil {
+			panic(err)
+		}
+		full = Must2048()
+	})
+	return tg, full
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewFromSafePrime(big.NewInt(15), "x"); err == nil {
+		t.Error("composite modulus accepted")
+	}
+	// 13 is prime but 6 is not: not a safe prime.
+	if _, err := NewFromSafePrime(big.NewInt(13), "x"); err == nil {
+		t.Error("non-safe prime accepted")
+	}
+	if _, err := NewFromSafePrime(nil, "x"); err == nil {
+		t.Error("nil modulus accepted")
+	}
+}
+
+func TestOrderAndModulus(t *testing.T) {
+	g, f := groups(t)
+	if g.Order().Int64() != 53 {
+		t.Errorf("order = %v, want 53", g.Order())
+	}
+	if g.Modulus().Int64() != 107 {
+		t.Errorf("modulus = %v", g.Modulus())
+	}
+	if f.Order().BitLen() != 2047 {
+		t.Errorf("2048 group order bits = %d", f.Order().BitLen())
+	}
+}
+
+func TestGeneratorInSubgroup(t *testing.T) {
+	g, f := groups(t)
+	for _, gr := range []*Group{g, f} {
+		gen := gr.Generator()
+		if !gr.IsValid(gen) {
+			t.Errorf("%s: generator not in subgroup", gr.Name())
+		}
+		if gr.IsIdentity(gen) {
+			t.Errorf("%s: generator is identity", gr.Name())
+		}
+		if !gr.IsIdentity(gr.Exp(gen, gr.Order())) {
+			t.Errorf("%s: g^q != 1", gr.Name())
+		}
+	}
+}
+
+func TestGroupLaws(t *testing.T) {
+	g, _ := groups(t)
+	gen := g.Generator()
+	id := g.Identity()
+	if !g.Equal(g.Op(gen, id), gen) {
+		t.Error("g·1 != g")
+	}
+	if !g.IsIdentity(g.Op(gen, g.Inverse(gen))) {
+		t.Error("g·g⁻¹ != 1")
+	}
+	a := g.Exp(gen, big.NewInt(10))
+	b := g.Exp(gen, big.NewInt(20))
+	if !g.Equal(g.Op(a, b), g.Op(b, a)) {
+		t.Error("not commutative")
+	}
+	c := g.Exp(gen, big.NewInt(30))
+	if !g.Equal(g.Op(g.Op(a, b), c), g.Op(a, g.Op(b, c))) {
+		t.Error("not associative")
+	}
+}
+
+func TestExpHomomorphismAndNegative(t *testing.T) {
+	g, _ := groups(t)
+	gen := g.Generator()
+	lhs := g.Op(g.Exp(gen, big.NewInt(17)), g.Exp(gen, big.NewInt(29)))
+	rhs := g.Exp(gen, big.NewInt(46))
+	if !g.Equal(lhs, rhs) {
+		t.Error("g^a·g^b != g^(a+b)")
+	}
+	if !g.Equal(g.Exp(gen, big.NewInt(-3)), g.Inverse(g.Exp(gen, big.NewInt(3)))) {
+		t.Error("negative exponent wrong")
+	}
+	// Exponents reduce mod q.
+	if !g.Equal(g.Exp(gen, big.NewInt(53+7)), g.Exp(gen, big.NewInt(7))) {
+		t.Error("exponent not reduced mod q")
+	}
+}
+
+func TestAllElementsAreResidues(t *testing.T) {
+	g, _ := groups(t)
+	gen := g.Generator()
+	x := g.Identity()
+	seen := map[string]bool{}
+	for i := 0; i < 53; i++ {
+		if !g.IsValid(x) {
+			t.Fatalf("g^%d not a QR", i)
+		}
+		key := x.(*Residue).v.String()
+		if seen[key] {
+			t.Fatalf("cycle shorter than group order at %d", i)
+		}
+		seen[key] = true
+		x = g.Op(x, gen)
+	}
+	if !g.IsIdentity(x) {
+		t.Error("g^53 != 1")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	g, f := groups(t)
+	for _, gr := range []*Group{g, f} {
+		for _, e := range []group.Element{gr.Identity(), gr.Generator(), gr.Exp(gr.Generator(), big.NewInt(42))} {
+			enc := gr.Marshal(e)
+			dec, err := gr.Unmarshal(enc)
+			if err != nil {
+				t.Fatalf("%s: %v", gr.Name(), err)
+			}
+			if !gr.Equal(e, dec) {
+				t.Fatalf("%s: round trip mismatch", gr.Name())
+			}
+		}
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	g, _ := groups(t)
+	if _, err := g.Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	// 2 is a non-residue mod 107 (107 ≡ 3 mod 8).
+	if _, err := g.Unmarshal([]byte{2}); err == nil {
+		t.Error("non-residue accepted")
+	}
+	if _, err := g.Unmarshal([]byte{0}); err == nil {
+		t.Error("zero accepted")
+	}
+}
+
+func TestHashToElement(t *testing.T) {
+	g, f := groups(t)
+	for _, gr := range []*Group{g, f} {
+		a, err := gr.HashToElement([]byte("seed"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gr.HashToElement([]byte("seed"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gr.Equal(a, b) {
+			t.Errorf("%s: not deterministic", gr.Name())
+		}
+		if !gr.IsValid(a) {
+			t.Errorf("%s: hashed element invalid", gr.Name())
+		}
+	}
+	a, _ := f.HashToElement([]byte("x"))
+	b, _ := f.HashToElement([]byte("y"))
+	if f.Equal(a, b) {
+		t.Error("distinct seeds collide in 2048 group")
+	}
+}
+
+func TestResidueBigCopies(t *testing.T) {
+	g, _ := groups(t)
+	r := g.Generator().(*Residue)
+	v := r.Big()
+	v.SetInt64(999)
+	if r.Big().Int64() == 999 {
+		t.Error("Big leaked internal state")
+	}
+}
+
+func TestStringTruncates(t *testing.T) {
+	_, f := groups(t)
+	s := f.Generator().String()
+	if len(s) > 40 {
+		t.Errorf("String too long: %d chars", len(s))
+	}
+}
+
+func TestForeignElementPanics(t *testing.T) {
+	g, _ := groups(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign element did not panic")
+		}
+	}()
+	g.Op(g.Generator(), fakeElem{})
+}
+
+type fakeElem struct{}
+
+func (fakeElem) String() string { return "fake" }
+
+func BenchmarkExp2048(b *testing.B) {
+	f := Must2048()
+	gen := f.Generator()
+	k, _ := f.Order(), 0
+	_ = k
+	exp := new(big.Int).Rsh(f.Order(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Exp(gen, exp)
+	}
+}

@@ -1,0 +1,60 @@
+// Package sig wraps Ed25519 into the small signing interface the identity
+// manager needs for identity tokens (paper §V-A: "σ is the IdMgr's digital
+// signature for nym, id-tag and c"). The paper does not fix a signature
+// algorithm; any EUF-CMA scheme works (DESIGN.md substitution #4).
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// Signer holds a signing key pair.
+type Signer struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewSigner generates a fresh key pair.
+func NewSigner() (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("sig: generating key: %w", err)
+	}
+	return &Signer{priv: priv, pub: pub}, nil
+}
+
+// SeedSize is the byte length of a deterministic signer seed.
+const SeedSize = ed25519.SeedSize
+
+// NewSignerFromSeed derives the key pair deterministically from a 32-byte
+// seed, so an identity manager can persist its signing identity.
+func NewSignerFromSeed(seed []byte) (*Signer, error) {
+	if len(seed) != SeedSize {
+		return nil, fmt.Errorf("sig: seed must be %d bytes, got %d", SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Signer{priv: priv, pub: priv.Public().(ed25519.PublicKey)}, nil
+}
+
+// Public returns the verification key.
+func (s *Signer) Public() PublicKey { return PublicKey(append([]byte(nil), s.pub...)) }
+
+// Sign signs msg.
+func (s *Signer) Sign(msg []byte) []byte { return ed25519.Sign(s.priv, msg) }
+
+// PublicKey is a serializable verification key.
+type PublicKey []byte
+
+// ErrBadKey reports a malformed verification key.
+var ErrBadKey = errors.New("sig: malformed public key")
+
+// Verify reports whether sig is a valid signature of msg under pk.
+func (pk PublicKey) Verify(msg, sig []byte) (bool, error) {
+	if len(pk) != ed25519.PublicKeySize {
+		return false, ErrBadKey
+	}
+	return ed25519.Verify(ed25519.PublicKey(pk), msg, sig), nil
+}

@@ -1,0 +1,82 @@
+package sig
+
+import "testing"
+
+func TestSignVerify(t *testing.T) {
+	s, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("nym|tag|commitment")
+	signature := s.Sign(msg)
+	ok, err := s.Public().Verify(msg, signature)
+	if err != nil || !ok {
+		t.Fatalf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamper(t *testing.T) {
+	s, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("message")
+	signature := s.Sign(msg)
+	if ok, _ := s.Public().Verify([]byte("other"), signature); ok {
+		t.Error("signature valid for different message")
+	}
+	signature[0] ^= 1
+	if ok, _ := s.Public().Verify(msg, signature); ok {
+		t.Error("tampered signature accepted")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	s1, _ := NewSigner()
+	s2, _ := NewSigner()
+	msg := []byte("message")
+	if ok, _ := s2.Public().Verify(msg, s1.Sign(msg)); ok {
+		t.Error("cross-key verification passed")
+	}
+}
+
+func TestBadKey(t *testing.T) {
+	if _, err := PublicKey([]byte{1, 2}).Verify([]byte("m"), []byte("s")); err != ErrBadKey {
+		t.Errorf("short key: got %v", err)
+	}
+}
+
+func TestPublicReturnsCopy(t *testing.T) {
+	s, _ := NewSigner()
+	pk := s.Public()
+	pk[0] ^= 0xff
+	msg := []byte("m")
+	if ok, _ := s.Public().Verify(msg, s.Sign(msg)); !ok {
+		t.Error("mutating returned key corrupted signer state")
+	}
+}
+
+func TestNewSignerFromSeedDeterministic(t *testing.T) {
+	seed := make([]byte, SeedSize)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	s1, err := NewSignerFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSignerFromSeed(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s1.Public()) != string(s2.Public()) {
+		t.Error("same seed produced different keys")
+	}
+	msg := []byte("m")
+	if ok, _ := s2.Public().Verify(msg, s1.Sign(msg)); !ok {
+		t.Error("cross-instance verification failed for same seed")
+	}
+	if _, err := NewSignerFromSeed([]byte{1, 2}); err == nil {
+		t.Error("short seed accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package sym
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	key := DeriveKey([]byte("secret"))
+	for _, pt := range [][]byte{nil, {}, []byte("x"), []byte("hello world"), bytes.Repeat([]byte("A"), 10000)} {
+		ct, err := Encrypt(key, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decrypt(key, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("round trip mismatch for %d bytes", len(pt))
+		}
+	}
+}
+
+func TestDecryptWrongKeyFails(t *testing.T) {
+	ct, err := Encrypt(DeriveKey([]byte("k1")), []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(DeriveKey([]byte("k2")), ct); err != ErrDecrypt {
+		t.Errorf("wrong key: got %v, want ErrDecrypt", err)
+	}
+}
+
+func TestDecryptTamperedFails(t *testing.T) {
+	key := DeriveKey([]byte("k"))
+	ct, err := Encrypt(key, []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[len(ct)-1] ^= 0x01
+	if _, err := Decrypt(key, ct); err != ErrDecrypt {
+		t.Errorf("tampered: got %v", err)
+	}
+}
+
+func TestDecryptTruncatedFails(t *testing.T) {
+	key := DeriveKey([]byte("k"))
+	if _, err := Decrypt(key, []byte{1, 2, 3}); err != ErrDecrypt {
+		t.Errorf("short ciphertext: got %v", err)
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	key := DeriveKey([]byte("k"))
+	c1, _ := Encrypt(key, []byte("same"))
+	c2, _ := Encrypt(key, []byte("same"))
+	if bytes.Equal(c1, c2) {
+		t.Error("two encryptions of same plaintext identical (nonce reuse?)")
+	}
+}
+
+func TestDeriveKeyProperties(t *testing.T) {
+	if DeriveKey([]byte("a")) != DeriveKey([]byte("a")) {
+		t.Error("DeriveKey not deterministic")
+	}
+	if DeriveKey([]byte("a")) == DeriveKey([]byte("b")) {
+		t.Error("DeriveKey collision")
+	}
+	// Multi-part material is order sensitive.
+	if DeriveKey([]byte("a"), []byte("b")) == DeriveKey([]byte("b"), []byte("a")) {
+		t.Error("DeriveKey ignores order")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(keySeed, pt []byte) bool {
+		key := DeriveKey(keySeed)
+		ct, err := Encrypt(key, pt)
+		if err != nil {
+			return false
+		}
+		got, err := Decrypt(key, ct)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package transport puts the registration and dissemination phases on the
+// wire: a publisher-side TCP server and a subscriber-side client exchanging
+// gob-encoded messages. The client implements pubsub.Registrar, so a
+// subscriber can register over the network exactly as it does in process;
+// broadcasts are fetched from the same endpoint.
+//
+// The Pedersen parameters themselves are system-wide public setup (group
+// choice + derivation seed) and are established out of band, as in the
+// paper, where the IdMgr publishes Param = ⟨G, g, h⟩ once.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"ppcd/internal/ocbe"
+	"ppcd/internal/pedersen"
+	"ppcd/internal/policy"
+	"ppcd/internal/pubsub"
+)
+
+// request is the single wire request envelope.
+type request struct {
+	Kind string // "info", "register", "fetch"
+	Reg  *pubsub.RegistrationRequest
+	Doc  string // for fetch: document name ("" = latest)
+}
+
+// response is the single wire response envelope.
+type response struct {
+	Err        string
+	Conditions []policy.Condition
+	Ell        int
+	Envelope   *ocbe.Envelope
+	Broadcast  *pubsub.Broadcast
+}
+
+// Server exposes a publisher over TCP.
+type Server struct {
+	pub *pubsub.Publisher
+
+	mu        sync.Mutex
+	ln        net.Listener
+	broadcast map[string]*pubsub.Broadcast
+	latest    string
+	wg        sync.WaitGroup
+	closed    bool
+}
+
+// NewServer wraps a publisher. Call Serve to start accepting connections.
+func NewServer(pub *pubsub.Publisher) (*Server, error) {
+	if pub == nil {
+		return nil, errors.New("transport: nil publisher")
+	}
+	return &Server{pub: pub, broadcast: make(map[string]*pubsub.Broadcast)}, nil
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving in
+// the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // client closed or garbage; drop the connection
+		}
+		resp := s.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *request) *response {
+	switch req.Kind {
+	case "info":
+		return &response{Conditions: s.pub.Conditions(), Ell: s.pub.Ell()}
+	case "register":
+		env, err := s.pub.Register(req.Reg)
+		if err != nil {
+			return &response{Err: err.Error()}
+		}
+		return &response{Envelope: env}
+	case "fetch":
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		name := req.Doc
+		if name == "" {
+			name = s.latest
+		}
+		b, ok := s.broadcast[name]
+		if !ok {
+			return &response{Err: fmt.Sprintf("transport: no broadcast for %q", name)}
+		}
+		return &response{Broadcast: b}
+	default:
+		return &response{Err: fmt.Sprintf("transport: unknown request kind %q", req.Kind)}
+	}
+}
+
+// PublishBroadcast stores a broadcast package for retrieval by clients.
+func (s *Server) PublishBroadcast(b *pubsub.Broadcast) error {
+	if b == nil {
+		return errors.New("transport: nil broadcast")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.broadcast[b.DocName] = b
+	s.latest = b.DocName
+	return nil
+}
+
+// Close stops the listener and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is the subscriber-side connection to a publisher server. It
+// implements pubsub.Registrar.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	params *pedersen.Params
+	ell    int
+	conds  []policy.Condition
+	haveIn bool
+}
+
+// Dial connects to a publisher server. params must match the system-wide
+// Pedersen setup.
+func Dial(addr string, params *pedersen.Params) (*Client, error) {
+	if params == nil {
+		return nil, errors.New("transport: nil params")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %w", err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), params: params}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *request) (*response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("transport: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("transport: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, errors.New(resp.Err)
+	}
+	return &resp, nil
+}
+
+func (c *Client) ensureInfo() error {
+	c.mu.Lock()
+	have := c.haveIn
+	c.mu.Unlock()
+	if have {
+		return nil
+	}
+	resp, err := c.roundTrip(&request{Kind: "info"})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.conds = resp.Conditions
+	c.ell = resp.Ell
+	c.haveIn = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Params implements pubsub.Registrar.
+func (c *Client) Params() *pedersen.Params { return c.params }
+
+// Ell implements pubsub.Registrar.
+func (c *Client) Ell() int {
+	if err := c.ensureInfo(); err != nil {
+		return 0
+	}
+	return c.ell
+}
+
+// Conditions implements pubsub.Registrar.
+func (c *Client) Conditions() []policy.Condition {
+	if err := c.ensureInfo(); err != nil {
+		return nil
+	}
+	return append([]policy.Condition(nil), c.conds...)
+}
+
+// Register implements pubsub.Registrar.
+func (c *Client) Register(reg *pubsub.RegistrationRequest) (*ocbe.Envelope, error) {
+	resp, err := c.roundTrip(&request{Kind: "register", Reg: reg})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Envelope == nil {
+		return nil, errors.New("transport: empty envelope in response")
+	}
+	return resp.Envelope, nil
+}
+
+// Fetch retrieves the broadcast for a document name ("" = latest published).
+func (c *Client) Fetch(docName string) (*pubsub.Broadcast, error) {
+	resp, err := c.roundTrip(&request{Kind: "fetch", Doc: docName})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Broadcast == nil {
+		return nil, errors.New("transport: empty broadcast in response")
+	}
+	return resp.Broadcast, nil
+}
+
+var _ pubsub.Registrar = (*Client)(nil)

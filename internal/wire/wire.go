@@ -1,0 +1,328 @@
+// Package wire defines a deterministic, language-neutral binary encoding
+// for the broadcast material of the system: ACV headers and full broadcast
+// packages. The TCP transport uses Go's gob for convenience; this format is
+// the stable interchange representation (e.g. for publishing broadcast
+// files, CDN distribution, or non-Go subscribers) and is what Header.Size
+// accounting corresponds to.
+//
+// All integers are big-endian. Every message starts with a one-byte format
+// version. Strings and byte fields are length-prefixed with uint32.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+	"ppcd/internal/linalg"
+	"ppcd/internal/policy"
+	"ppcd/internal/pubsub"
+)
+
+// Version is the current format version byte.
+const Version = 1
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrBadVersion = errors.New("wire: unsupported format version")
+	ErrOversize   = errors.New("wire: length field exceeds limits")
+)
+
+// maxField caps individual length fields to keep a corrupt length byte from
+// driving huge allocations.
+const maxField = 1 << 28 // 256 MiB
+
+type writer struct {
+	buf bytes.Buffer
+}
+
+func (w *writer) u8(v byte)    { w.buf.WriteByte(v) }
+func (w *writer) u32(v uint32) { var b [4]byte; binary.BigEndian.PutUint32(b[:], v); w.buf.Write(b[:]) }
+func (w *writer) u64(v uint64) { var b [8]byte; binary.BigEndian.PutUint64(b[:], v); w.buf.Write(b[:]) }
+func (w *writer) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.buf.Write(p)
+}
+func (w *writer) str(s string) { w.bytes([]byte(s)) }
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.off+1 > len(r.data) {
+		return 0, ErrTruncated
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxField {
+		return nil, ErrOversize
+	}
+	if r.off+int(n) > len(r.data) {
+		return nil, ErrTruncated
+	}
+	out := append([]byte(nil), r.data[r.off:r.off+int(n)]...)
+	r.off += int(n)
+	return out, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.data) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.data)-r.off)
+	}
+	return nil
+}
+
+// MarshalHeader encodes an ACV header.
+func MarshalHeader(h *core.Header) []byte {
+	var w writer
+	w.u8(Version)
+	writeHeaderBody(&w, h)
+	return w.buf.Bytes()
+}
+
+func writeHeaderBody(w *writer, h *core.Header) {
+	w.u32(uint32(len(h.X)))
+	for _, e := range h.X {
+		w.u64(uint64(e))
+	}
+	w.u32(uint32(len(h.Zs)))
+	for _, z := range h.Zs {
+		w.bytes(z)
+	}
+}
+
+// UnmarshalHeader decodes an ACV header and validates its shape
+// (|X| = N + 1, field elements reduced).
+func UnmarshalHeader(data []byte) (*core.Header, error) {
+	r := &reader{data: data}
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, ErrBadVersion
+	}
+	h, err := readHeaderBody(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func readHeaderBody(r *reader) (*core.Header, error) {
+	nx, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nx > maxField/8 {
+		return nil, ErrOversize
+	}
+	x := make(linalg.Vector, nx)
+	for i := range x {
+		raw, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if raw >= ff64.Modulus {
+			return nil, fmt.Errorf("wire: X[%d] not a reduced field element", i)
+		}
+		x[i] = ff64.Elem(raw)
+	}
+	nz, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nz > maxField/core.NonceSize {
+		return nil, ErrOversize
+	}
+	zs := make([][]byte, nz)
+	for i := range zs {
+		z, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		zs[i] = z
+	}
+	h := &core.Header{X: x, Zs: zs}
+	if len(h.X) != len(h.Zs)+1 {
+		return nil, fmt.Errorf("wire: header shape |X|=%d, N=%d", len(h.X), len(h.Zs))
+	}
+	return h, nil
+}
+
+// MarshalBroadcast encodes a complete broadcast package.
+func MarshalBroadcast(b *pubsub.Broadcast) []byte {
+	var w writer
+	w.u8(Version)
+	w.str(b.DocName)
+
+	w.u32(uint32(len(b.Policies)))
+	for _, pi := range b.Policies {
+		w.str(pi.ID)
+		w.u32(uint32(len(pi.CondIDs)))
+		for _, c := range pi.CondIDs {
+			w.str(c)
+		}
+	}
+
+	w.u32(uint32(len(b.Configs)))
+	for _, ci := range b.Configs {
+		w.str(string(ci.Key))
+		if ci.Header == nil {
+			w.u8(0)
+			continue
+		}
+		w.u8(1)
+		writeHeaderBody(&w, ci.Header)
+	}
+
+	w.u32(uint32(len(b.Items)))
+	for _, it := range b.Items {
+		w.str(it.Subdoc)
+		w.str(string(it.Config))
+		w.bytes(it.Ciphertext)
+	}
+	return w.buf.Bytes()
+}
+
+// UnmarshalBroadcast decodes a broadcast package.
+func UnmarshalBroadcast(data []byte) (*pubsub.Broadcast, error) {
+	r := &reader{data: data}
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, ErrBadVersion
+	}
+	b := &pubsub.Broadcast{}
+	if b.DocName, err = r.str(); err != nil {
+		return nil, err
+	}
+
+	np, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if np > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < np; i++ {
+		var pi pubsub.PolicyInfo
+		if pi.ID, err = r.str(); err != nil {
+			return nil, err
+		}
+		nc, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nc > 1<<20 {
+			return nil, ErrOversize
+		}
+		for j := uint32(0); j < nc; j++ {
+			c, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			pi.CondIDs = append(pi.CondIDs, c)
+		}
+		b.Policies = append(b.Policies, pi)
+	}
+
+	ncfg, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ncfg > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < ncfg; i++ {
+		var ci pubsub.ConfigInfo
+		key, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		ci.Key = policy.ConfigKey(key)
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch has {
+		case 0:
+		case 1:
+			if ci.Header, err = readHeaderBody(r); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wire: bad header presence byte %d", has)
+		}
+		b.Configs = append(b.Configs, ci)
+	}
+
+	ni, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ni > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < ni; i++ {
+		var it pubsub.Item
+		if it.Subdoc, err = r.str(); err != nil {
+			return nil, err
+		}
+		cfg, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		it.Config = policy.ConfigKey(cfg)
+		if it.Ciphertext, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		b.Items = append(b.Items, it)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

@@ -1,0 +1,153 @@
+// Package ppcd is a Go implementation of the privacy-preserving
+// policy-based content dissemination system of Shang, Nabeel, Paci and
+// Bertino (ICDE 2010): selective document broadcast under attribute-based
+// access control policies, where subscribers never reveal their identity
+// attribute values — not even to the publisher — and rekeying is a pure
+// broadcast operation driven by access control vectors (ACVs).
+//
+// This package is the public facade over the implementation packages:
+//
+//   - identity tokens and the Identity Manager (Pedersen commitments,
+//     signatures): NewIdentityManager, Token
+//   - privacy-preserving registration (OCBE protocols): Subscriber.RegisterAll
+//   - policy model: NewPolicy, ParseCondition
+//   - selective broadcast + ACV group key management: Publisher.Publish,
+//     Subscriber.Decrypt
+//   - wire transport: NewServer, Dial
+//
+// A minimal flow (see examples/quickstart for a runnable version):
+//
+//	grp := ppcd.SchnorrGroup()                    // or ppcd.PaperCurve()
+//	params, _ := ppcd.Setup(grp, []byte("demo"))
+//	idmgr, _ := ppcd.NewIdentityManager(params)
+//
+//	acp, _ := ppcd.NewPolicy("adults", "age >= 18", "news", "body")
+//	pub, _ := ppcd.NewPublisher(params, idmgr.PublicKey(), []*ppcd.Policy{acp}, ppcd.Options{})
+//
+//	alice, _ := ppcd.NewSubscriber("pn-alice")
+//	tok, sec, _ := idmgr.IssueString("pn-alice", "age", "30")
+//	alice.AddToken(tok, sec)
+//	alice.RegisterAll(pub)                        // oblivious: pub learns nothing
+//
+//	doc, _ := ppcd.NewDocument("news", ppcd.Subdocument{Name: "body", Content: []byte("…")})
+//	b, _ := pub.Publish(doc)
+//	plain, _ := alice.Decrypt(b)                  // derives keys from public header
+package ppcd
+
+import (
+	"ppcd/internal/document"
+	"ppcd/internal/g2"
+	"ppcd/internal/group"
+	"ppcd/internal/idtoken"
+	"ppcd/internal/pedersen"
+	"ppcd/internal/policy"
+	"ppcd/internal/pubsub"
+	"ppcd/internal/schnorr"
+	"ppcd/internal/transport"
+)
+
+// Group is a prime-order cyclic group suitable for Pedersen commitments.
+type Group = group.Group
+
+// PaperCurve returns the genus-2 Jacobian group over the exact curve used in
+// the paper's experiments (implemented from scratch with Cantor's
+// algorithm). It is the faithful choice; SchnorrGroup is the faster one.
+func PaperCurve() Group { return g2.MustPaperCurve() }
+
+// SchnorrGroup returns the 2048-bit quadratic-residue Schnorr group (RFC
+// 3526 modulus) — a drop-in, faster alternative commitment group.
+func SchnorrGroup() Group { return schnorr.Must2048() }
+
+// CommitmentParams are the system-wide Pedersen parameters ⟨G, g, h⟩
+// published by the Identity Manager.
+type CommitmentParams = pedersen.Params
+
+// Setup derives Pedersen commitment parameters over a group with a
+// nothing-up-my-sleeve second base.
+func Setup(g Group, seed []byte) (*CommitmentParams, error) { return pedersen.Setup(g, seed) }
+
+// IdentityManager issues identity tokens binding committed attribute values
+// to pseudonyms.
+type IdentityManager = idtoken.Manager
+
+// Token is a signed identity token (nym, id-tag, commitment, σ).
+type Token = idtoken.Token
+
+// TokenSecret is the private opening (x, r) of a token's commitment.
+type TokenSecret = idtoken.Secret
+
+// NewIdentityManager creates an IdMgr with a fresh signing key.
+func NewIdentityManager(params *CommitmentParams) (*IdentityManager, error) {
+	return idtoken.NewManager(params)
+}
+
+// Condition is an attribute condition "name op value".
+type Condition = policy.Condition
+
+// ParseCondition parses "level >= 59"-style condition strings.
+func ParseCondition(s string) (Condition, error) { return policy.ParseCondition(s) }
+
+// Policy is an access control policy: a conjunction of conditions over a set
+// of subdocuments.
+type Policy = policy.ACP
+
+// NewPolicy parses a policy from a conjunction expression such as
+// "role = nur && level >= 59".
+func NewPolicy(id, condExpr, doc string, objects ...string) (*Policy, error) {
+	return policy.New(id, condExpr, doc, objects...)
+}
+
+// Document is an ordered collection of named subdocuments.
+type Document = document.Document
+
+// Subdocument is a named portion of a document.
+type Subdocument = document.Subdocument
+
+// NewDocument builds a document from subdocuments.
+func NewDocument(name string, subdocs ...Subdocument) (*Document, error) {
+	return document.New(name, subdocs...)
+}
+
+// SplitXML segments an XML document into subdocuments by element name.
+func SplitXML(name string, data []byte, marks []string) (*Document, error) {
+	return document.SplitXML(name, data, marks)
+}
+
+// Publisher distributes selectively encrypted documents.
+type Publisher = pubsub.Publisher
+
+// Options tunes a publisher (inequality bit bound ℓ, header capacity).
+type Options = pubsub.Options
+
+// Broadcast is a selectively encrypted document package; everything in it is
+// public.
+type Broadcast = pubsub.Broadcast
+
+// NewPublisher builds a publisher enforcing the given policies.
+func NewPublisher(params *CommitmentParams, idmgrKey []byte, acps []*Policy, opts Options) (*Publisher, error) {
+	return pubsub.NewPublisher(params, idmgrKey, acps, opts)
+}
+
+// Subscriber registers identity tokens and decrypts authorized subdocuments.
+type Subscriber = pubsub.Subscriber
+
+// Registrar is the publisher-side interface a subscriber registers against
+// (satisfied by *Publisher and by the transport client).
+type Registrar = pubsub.Registrar
+
+// NewSubscriber creates a subscriber under a pseudonym.
+func NewSubscriber(nym string) (*Subscriber, error) { return pubsub.NewSubscriber(nym) }
+
+// Server exposes a publisher over TCP.
+type Server = transport.Server
+
+// Client is a network connection to a publisher; it implements Registrar.
+type Client = transport.Client
+
+// NewServer wraps a publisher for network serving.
+func NewServer(pub *Publisher) (*Server, error) { return transport.NewServer(pub) }
+
+// Dial connects a subscriber-side client to a publisher server.
+func Dial(addr string, params *CommitmentParams) (*Client, error) {
+	return transport.Dial(addr, params)
+}
