@@ -13,6 +13,7 @@ import (
 	"ppcd/internal/baseline/direct"
 	"ppcd/internal/baseline/lkh"
 	"ppcd/internal/baseline/marker"
+	"ppcd/internal/benchutil"
 	"ppcd/internal/core"
 	"ppcd/internal/experiments"
 	"ppcd/internal/ocbe"
@@ -423,5 +424,108 @@ func BenchmarkEndToEndPublish(b *testing.B) {
 		if err != nil || len(got) != 1 {
 			b.Fatalf("decrypt failed: %v", err)
 		}
+	}
+}
+
+// --- Layered engine: steady-state vs. rebuild publish cost ---
+//
+// The rekey engine caches per-configuration ACVs keyed by membership
+// versions: a publish with no table change since the previous one performs
+// ZERO null-space solves (it only re-encrypts payloads), a single
+// leave/join re-solves only the affected configurations, and a state import
+// rebuilds everything. These benchmarks quantify the three regimes.
+
+// benchStatePublisher builds a publisher over a benchutil.Workload: the
+// first half of the pseudonyms hold only attr0 (revoking one dirties
+// exactly one configuration), the rest are fully registered. The state is
+// injected through the public import path so no OCBE exchanges run.
+func benchStatePublisher(b *testing.B, subs, policies int) (*Publisher, *Document, []byte) {
+	b.Helper()
+	_, sch := benchParams(b)
+	idmgr, err := NewIdentityManager(sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	acps, doc, state, err := benchutil.Workload(subs, policies, subs/2, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := NewPublisher(sch, idmgr.PublicKey(), acps, Options{Ell: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pub.ImportState(state); err != nil {
+		b.Fatal(err)
+	}
+	return pub, doc, state
+}
+
+func BenchmarkPublishSteadyState(b *testing.B) {
+	for _, subs := range []int{100, 400} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			pub, doc, _ := benchStatePublisher(b, subs, 5)
+			if _, err := pub.Publish(doc); err != nil {
+				b.Fatal(err)
+			}
+			solves := pub.Stats().Solves
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pub.Publish(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if got := pub.Stats().Solves; got != solves {
+				b.Fatalf("steady-state publishes performed %d solves", got-solves)
+			}
+		})
+	}
+}
+
+func BenchmarkPublishSingleLeave(b *testing.B) {
+	for _, subs := range []int{100, 400} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			pub, doc, state := benchStatePublisher(b, subs, 5)
+			if _, err := pub.Publish(doc); err != nil {
+				b.Fatal(err)
+			}
+			pool := subs / 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%pool == 0 {
+					b.StopTimer()
+					if err := pub.ImportState(state); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := pub.Publish(doc); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				if err := pub.RevokeSubscription(fmt.Sprintf("pn-%d", i%pool)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pub.Publish(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPublishFullRebuild(b *testing.B) {
+	for _, subs := range []int{100, 400} {
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			pub, doc, state := benchStatePublisher(b, subs, 5)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pub.ImportState(state); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pub.Publish(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

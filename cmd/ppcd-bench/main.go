@@ -12,15 +12,19 @@
 //	ppcd-bench -ablation            # ACV vs marker vs direct vs LKH
 //	ppcd-bench -group schnorr       # run OCBE figures over the Schnorr group
 //	ppcd-bench -quick               # reduced sweeps for smoke testing
+//	ppcd-bench -publish -subs 400   # steady-state vs churn publish timings (JSON)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
+	"ppcd"
+	"ppcd/internal/benchutil"
 	"ppcd/internal/experiments"
 	"ppcd/internal/g2"
 	"ppcd/internal/group"
@@ -40,8 +44,19 @@ func main() {
 		rounds    = flag.Int("rounds", 3, "OCBE protocol rounds per point (paper: 50)")
 		groupName = flag.String("group", "jacobian", "commitment group for OCBE figures: jacobian (paper) or schnorr")
 		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
+		publish   = flag.Bool("publish", false, "measure steady-state vs churn vs full-rebuild publish, emit JSON")
+		subs      = flag.Int("subs", 200, "-publish: registered pseudonyms")
+		policies  = flag.Int("policies", 5, "-publish: single-condition policies / configurations")
+		pubRounds = flag.Int("publish-rounds", 10, "-publish: publishes measured per regime")
 	)
 	flag.Parse()
+
+	if *publish {
+		if err := runPublishBench(*subs, *policies, *pubRounds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if !*all && *fig == 0 && *table == 0 && !*ablation {
 		flag.Usage()
@@ -193,4 +208,119 @@ func runFieldAblation() error {
 			float64(slow)/float64(fast))
 	}
 	return nil
+}
+
+// publishReport is the JSON document emitted by -publish: per-publish wall
+// times for the three rekey regimes of the layered engine, plus the engine's
+// work counters at the end of the run.
+type publishReport struct {
+	Subs     int `json:"subs"`
+	Policies int `json:"policies"`
+	Rounds   int `json:"rounds"`
+	// SteadyNs: publish with no table change (zero ACV solves).
+	SteadyNs int64 `json:"steady_ns_per_publish"`
+	// ChurnNs: publish after one subscription revocation (only affected
+	// configurations re-solved).
+	ChurnNs int64 `json:"churn_ns_per_publish"`
+	// FullNs: publish after a wholesale state import (every configuration
+	// re-solved).
+	FullNs int64 `json:"full_ns_per_publish"`
+	Stats  struct {
+		Rekeys    uint64 `json:"rekeys"`
+		Rebuilds  uint64 `json:"rebuilds"`
+		CacheHits uint64 `json:"cache_hits"`
+		Solves    uint64 `json:"solves"`
+	} `json:"engine_stats"`
+}
+
+// runPublishBench measures steady-state vs churn vs full-rebuild publish
+// cost on a synthetic table injected through the state-import path (no OCBE
+// exchanges), printing one JSON object to stdout.
+func runPublishBench(subs, policies, rounds int) error {
+	if subs < 4 || policies < 1 || rounds < 1 {
+		return fmt.Errorf("ppcd-bench: -publish needs subs>=4, policies>=1, rounds>=1")
+	}
+	params, err := ppcd.Setup(ppcd.SchnorrGroup(), []byte("ppcd-bench"))
+	if err != nil {
+		return err
+	}
+	idmgr, err := ppcd.NewIdentityManager(params)
+	if err != nil {
+		return err
+	}
+	// Synthetic CSS table injected through the public state-import path so
+	// no OCBE exchanges run. The first half of the pseudonyms hold only
+	// attr0: the churn regime revokes from that pool, so each timed publish
+	// re-solves exactly one configuration (a genuine single-leave, not a
+	// full rebuild).
+	acps, doc, state, err := benchutil.Workload(subs, policies, subs/2, 1024)
+	if err != nil {
+		return err
+	}
+	pub, err := ppcd.NewPublisher(params, idmgr.PublicKey(), acps, ppcd.Options{Ell: 8})
+	if err != nil {
+		return err
+	}
+
+	measure := func(prep func(i int) error) (int64, error) {
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			if prep != nil {
+				if err := prep(i); err != nil {
+					return 0, err
+				}
+			}
+			start := time.Now()
+			if _, err := pub.Publish(doc); err != nil {
+				return 0, err
+			}
+			total += time.Since(start)
+		}
+		return total.Nanoseconds() / int64(rounds), nil
+	}
+
+	var rep publishReport
+	rep.Subs, rep.Policies, rep.Rounds = subs, policies, rounds
+
+	// Full rebuild: re-import the table before every publish.
+	if rep.FullNs, err = measure(func(int) error { return pub.ImportState(state) }); err != nil {
+		return err
+	}
+	// Churn: one subscription revocation per publish. When the revocation
+	// pool runs dry (rounds > pool), the untimed prep re-imports the table
+	// and settles it with one publish so every timed publish sees exactly
+	// one fresh leave.
+	pool := subs / 2
+	if rep.ChurnNs, err = measure(func(i int) error {
+		if i%pool == 0 {
+			if err := pub.ImportState(state); err != nil {
+				return err
+			}
+			if _, err := pub.Publish(doc); err != nil {
+				return err
+			}
+		}
+		return pub.RevokeSubscription(fmt.Sprintf("pn-%d", i%pool))
+	}); err != nil {
+		return err
+	}
+	// Steady state: no table change between publishes. Restore the full
+	// table first — the churn regime depleted it, and the reported subs
+	// count must match what this regime actually publishes over.
+	if err := pub.ImportState(state); err != nil {
+		return err
+	}
+	if _, err := pub.Publish(doc); err != nil {
+		return err
+	}
+	if rep.SteadyNs, err = measure(nil); err != nil {
+		return err
+	}
+
+	s := pub.Stats()
+	rep.Stats.Rekeys, rep.Stats.Rebuilds, rep.Stats.CacheHits, rep.Stats.Solves =
+		s.Rekeys, s.Rebuilds, s.CacheHits, s.Solves
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }

@@ -129,6 +129,7 @@ func dispatch(pub *ppcd.Publisher, srv *ppcd.Server, fields []string) error {
 		if err != nil {
 			return err
 		}
+		before := pub.Stats()
 		b, err := pub.Publish(doc)
 		if err != nil {
 			return err
@@ -136,7 +137,10 @@ func dispatch(pub *ppcd.Publisher, srv *ppcd.Server, fields []string) error {
 		if err := srv.PublishBroadcast(b); err != nil {
 			return err
 		}
-		log.Printf("published %s: %d subdocuments, %d configurations", doc.Name, len(doc.Subdocs), len(b.Configs))
+		after := pub.Stats()
+		log.Printf("published %s: %d subdocuments, %d configurations (%d rekeyed, %d from cache)",
+			doc.Name, len(doc.Subdocs), len(b.Configs),
+			after.Rebuilds-before.Rebuilds, after.CacheHits-before.CacheHits)
 		return nil
 	case "revoke":
 		if len(fields) != 2 {
@@ -171,8 +175,11 @@ func dispatch(pub *ppcd.Publisher, srv *ppcd.Server, fields []string) error {
 		log.Printf("saved CSS table (%d bytes, secret material) to %s", len(data), fields[1])
 		return nil
 	case "status":
+		s := pub.Stats()
 		log.Printf("%d registered pseudonyms, %d conditions, %d policies",
 			pub.SubscriberCount(), len(pub.Conditions()), len(pub.Policies()))
+		log.Printf("rekey engine: %d publishes, %d ACV rebuilds, %d cache hits, %d solves",
+			s.Rekeys, s.Rebuilds, s.CacheHits, s.Solves)
 		return nil
 	case "quit", "exit":
 		return errQuit

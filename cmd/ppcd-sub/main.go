@@ -119,18 +119,28 @@ func main() {
 			log.Fatal(err)
 		}
 		defer client.Close()
-		n, err := sub.RegisterAll(client)
-		if err != nil {
-			log.Fatal(err)
+		n, regErr := sub.RegisterAll(client)
+		// Save whatever was extracted even when some items failed: the
+		// publisher has already committed those CSS cells to its table, so
+		// discarding them here would desynchronize the two sides. But when
+		// nothing was extracted AND registration failed, keep any previously
+		// saved state instead of clobbering it with an empty one.
+		if n > 0 || regErr == nil {
+			state, err := sub.ExportCSS()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(cssPath(*tokens), state, 0o600); err != nil {
+				log.Fatal(err)
+			}
 		}
-		state, err := sub.ExportCSS()
-		if err != nil {
-			log.Fatal(err)
+		if regErr != nil {
+			if n > 0 {
+				log.Printf("partial registration: extracted %d CSS(s), state saved to %s", n, cssPath(*tokens))
+			}
+			log.Fatal(regErr)
 		}
-		if err := os.WriteFile(cssPath(*tokens), state, 0o600); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("registered against %d conditions; extracted %d CSS(s); state saved to %s",
+		log.Printf("registered against %d conditions in one batched round trip; extracted %d CSS(s); state saved to %s",
 			len(client.Conditions()), n, cssPath(*tokens))
 	case "fetch":
 		sub := loadSubscriber(*tokens)

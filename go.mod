@@ -1,0 +1,3 @@
+module ppcd
+
+go 1.24

@@ -1,0 +1,60 @@
+// Package benchutil builds synthetic publisher workloads for the publish
+// benchmarks (bench_test.go) and the ppcd-bench -publish harness: a set of
+// single-condition policies, the matching document, and a serialized CSS
+// state that can be injected through the public ImportState path so no OCBE
+// exchanges run.
+package benchutil
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ppcd/internal/document"
+	"ppcd/internal/policy"
+)
+
+// Workload returns `policies` single-condition ACPs ("attrI >= 1", one
+// subdocument "sdI" of subdocBytes each), a document covering all of them,
+// and a version-1 publisher state of `subs` pseudonyms. The first `partial`
+// pseudonyms hold a CSS only for attr0 — they qualify for a single policy,
+// so revoking one dirties exactly one configuration; the rest hold every
+// condition, as uniform registration produces.
+func Workload(subs, policies, partial, subdocBytes int) ([]*policy.ACP, *document.Document, []byte, error) {
+	if subs < 1 || policies < 1 || partial > subs {
+		return nil, nil, nil, fmt.Errorf("benchutil: bad workload shape subs=%d policies=%d partial=%d", subs, policies, partial)
+	}
+	var acps []*policy.ACP
+	var subdocs []document.Subdocument
+	for i := 0; i < policies; i++ {
+		acp, err := policy.New(fmt.Sprintf("acp%d", i), fmt.Sprintf("attr%d >= 1", i), "doc", fmt.Sprintf("sd%d", i))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		acps = append(acps, acp)
+		subdocs = append(subdocs, document.Subdocument{Name: fmt.Sprintf("sd%d", i), Content: make([]byte, subdocBytes)})
+	}
+	doc, err := document.New("doc", subdocs...)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	table := make(map[string]map[string]uint64, subs)
+	rng := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < subs; i++ {
+		width := policies
+		if i < partial {
+			width = 1
+		}
+		row := make(map[string]uint64, width)
+		for j := 0; j < width; j++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			row[fmt.Sprintf("attr%d >= 1", j)] = rng%1000000007 + 1
+		}
+		table[fmt.Sprintf("pn-%d", i)] = row
+	}
+	state, err := json.Marshal(map[string]any{"version": 1, "table": table})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return acps, doc, state, nil
+}

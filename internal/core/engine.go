@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ppcd/internal/ff64"
+	"ppcd/internal/linalg"
+)
+
+// This file implements the publisher-side rekey engine: an incremental,
+// concurrent ACV builder. The paper's §VIII-A asks the Pub to eliminate
+// redundant calculations; the engine does so on three levels:
+//
+//  1. Incremental rekeying. Every configuration build is cached together
+//     with an opaque membership signature supplied by the caller. As long as
+//     the signature is unchanged (no join, leave, revocation or credential
+//     update touched the configuration), the cached header and key are
+//     reused and no null-space solve runs at all — which is exactly the
+//     scheme's "rekey only on membership change" semantics: rekeying is
+//     never time-driven, it is a consequence of a table-T mutation.
+//
+//  2. Shared row-hash blocks. All configurations rebuilt in one session
+//     share a single nonce sequence z_1…z_Nmax (the §VIII-D session trick,
+//     applied across configurations instead of documents). The hash rows
+//     a_j = H(r_1‖…‖r_m‖z_j) therefore depend only on the row group (one
+//     group per policy), not on the configuration, and each group is hashed
+//     once even when its policy appears in several configurations (acp3
+//     covers four configurations in the paper's Example 4).
+//
+//  3. Parallel solves. Distinct configurations are independent linear
+//     systems; their O(N³) kernel solves fan out across a bounded worker
+//     pool.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]engineEntry
+
+	stats engineCounters
+}
+
+type engineEntry struct {
+	sig string
+	hdr *Header
+	key ff64.Elem
+}
+
+type engineCounters struct {
+	rekeys    atomic.Uint64
+	rebuilds  atomic.Uint64
+	cacheHits atomic.Uint64
+	solves    atomic.Uint64
+}
+
+// EngineStats is a snapshot of the engine's work counters.
+type EngineStats struct {
+	// Rekeys counts RekeyAll sessions (one per publish).
+	Rekeys uint64
+	// Rebuilds counts configurations whose ACV was actually re-solved.
+	Rebuilds uint64
+	// CacheHits counts configurations served from the incremental cache.
+	CacheHits uint64
+	// Solves counts null-space solves (≥ Rebuilds only on degenerate
+	// retries; a steady-state publish performs zero).
+	Solves uint64
+}
+
+// RowGroup is a named block of subscriber CSS rows shared between
+// configurations — one group per policy, so a policy appearing in several
+// configurations is hashed against the session nonces only once.
+type RowGroup struct {
+	ID   string
+	Rows [][]CSS
+}
+
+// ConfigSpec describes one policy configuration to rekey.
+type ConfigSpec struct {
+	// ID identifies the configuration across sessions (the cache key).
+	ID string
+	// Sig is the caller's membership signature: equal signatures mean the
+	// configuration's subscriber set is unchanged and the cached header may
+	// be reused verbatim.
+	Sig string
+	// Groups are the row blocks whose concatenation forms matrix A.
+	Groups []RowGroup
+	// MinN forces header capacity headroom (0 = exactly the row count).
+	MinN int
+}
+
+// ConfigKeys is the rekey outcome for one configuration.
+type ConfigKeys struct {
+	Hdr *Header
+	Key ff64.Elem
+	// Rebuilt reports whether this session solved a fresh ACV (false =
+	// cache hit).
+	Rebuilt bool
+}
+
+// NewEngine creates a rekey engine. workers bounds the parallel solve pool;
+// 0 means GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: make(map[string]engineEntry)}
+}
+
+// Stats returns a snapshot of the work counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Rekeys:    e.stats.rekeys.Load(),
+		Rebuilds:  e.stats.rebuilds.Load(),
+		CacheHits: e.stats.cacheHits.Load(),
+		Solves:    e.stats.solves.Load(),
+	}
+}
+
+// Forget drops the cached build of one configuration, forcing the next
+// RekeyAll to re-solve it regardless of signature.
+func (e *Engine) Forget(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.cache, id)
+}
+
+// Reset drops every cached build (e.g. after a wholesale table import).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[string]engineEntry)
+}
+
+// RekeyAll produces a header and key for every configuration, reusing cached
+// builds for configurations whose signature is unchanged and re-solving the
+// rest concurrently over a shared nonce session. Specs with zero total rows
+// are rejected (the caller encrypts those under a throwaway key with no
+// header).
+func (e *Engine) RekeyAll(specs []ConfigSpec) (map[string]ConfigKeys, error) {
+	e.stats.rekeys.Add(1)
+	out := make(map[string]ConfigKeys, len(specs))
+
+	type dirtyCfg struct {
+		spec ConfigSpec
+		n    int // header capacity N for this configuration
+	}
+	var dirty []dirtyCfg
+	maxN := 0
+
+	e.mu.Lock()
+	for _, s := range specs {
+		if ent, ok := e.cache[s.ID]; ok && ent.sig == s.Sig {
+			out[s.ID] = ConfigKeys{Hdr: ent.hdr, Key: ent.key}
+			continue
+		}
+		total := 0
+		for _, g := range s.Groups {
+			total += len(g.Rows)
+		}
+		if total == 0 {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("core: configuration %q has no rows: %w", s.ID, ErrNoRows)
+		}
+		n := total
+		if s.MinN > n {
+			n = s.MinN
+		}
+		if n > maxN {
+			maxN = n
+		}
+		dirty = append(dirty, dirtyCfg{spec: s, n: n})
+	}
+	e.mu.Unlock()
+	e.stats.cacheHits.Add(uint64(len(out)))
+
+	if len(dirty) == 0 {
+		return out, nil
+	}
+
+	// One nonce sequence for the whole session; a configuration with
+	// capacity n uses the prefix z_1…z_n.
+	zs := make([][]byte, maxN)
+	for j := range zs {
+		z := make([]byte, NonceSize)
+		if err := fillRandom(z); err != nil {
+			return nil, err
+		}
+		zs[j] = z
+	}
+
+	// Deduplicate row groups across the dirty configurations: each policy's
+	// rows are hashed against the session nonces exactly once, and only up
+	// to the largest capacity among the configurations that contain the
+	// group (solveConfig reads no further).
+	var groups []RowGroup
+	groupN := make(map[string]int)
+	for _, d := range dirty {
+		for _, g := range d.spec.Groups {
+			if _, ok := groupN[g.ID]; !ok {
+				groups = append(groups, g)
+			}
+			if d.n > groupN[g.ID] {
+				groupN[g.ID] = d.n
+			}
+		}
+	}
+	blocks, err := e.hashGroups(groups, groupN, zs)
+	if err != nil {
+		return nil, err
+	}
+
+	type solved struct {
+		id  string
+		sig string
+		hdr *Header
+		key ff64.Elem
+		err error
+	}
+	results := make([]solved, len(dirty))
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i, d := range dirty {
+		wg.Add(1)
+		go func(i int, d dirtyCfg) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			hdr, key, err := e.solveConfig(d.spec, d.n, zs, blocks)
+			results[i] = solved{id: d.spec.ID, sig: d.spec.Sig, hdr: hdr, key: key, err: err}
+		}(i, d)
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("core: rekeying %q: %w", r.id, r.err)
+		}
+		e.cache[r.id] = engineEntry{sig: r.sig, hdr: r.hdr, key: r.key}
+		out[r.id] = ConfigKeys{Hdr: r.hdr, Key: r.key, Rebuilt: true}
+		e.stats.rebuilds.Add(1)
+	}
+	return out, nil
+}
+
+// hashGroups computes, for every distinct row group, the hash block
+// a[i][j] = H(row_i ‖ z_j) once, fanning groups across the worker pool.
+// Each group is hashed only against the first groupN[id] session nonces —
+// the largest capacity among the configurations containing it.
+func (e *Engine) hashGroups(groups []RowGroup, groupN map[string]int, zs [][]byte) (map[string][]linalg.Vector, error) {
+	blocks := make(map[string][]linalg.Vector, len(groups))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g RowGroup, nz int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows := make([]linalg.Vector, len(g.Rows))
+			for i, css := range g.Rows {
+				if len(css) == 0 {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = ErrEmptyCSS
+					}
+					mu.Unlock()
+					return
+				}
+				v := linalg.NewVector(nz)
+				for j := 0; j < nz; j++ {
+					v[j] = HashRow(css, zs[j])
+				}
+				rows[i] = v
+			}
+			mu.Lock()
+			blocks[g.ID] = rows
+			mu.Unlock()
+		}(g, groupN[g.ID])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return blocks, nil
+}
+
+// solveConfig assembles matrix A for one configuration from the shared hash
+// blocks and solves for a fresh ACV and key.
+func (e *Engine) solveConfig(s ConfigSpec, n int, zs [][]byte, blocks map[string][]linalg.Vector) (*Header, ff64.Elem, error) {
+	total := 0
+	for _, g := range s.Groups {
+		total += len(g.Rows)
+	}
+	a := linalg.NewMatrix(total, n+1)
+	i := 0
+	for _, g := range s.Groups {
+		for _, hashRow := range blocks[g.ID] {
+			row := a.Row(i)
+			row[0] = ff64.One
+			copy(row[1:], hashRow[:n])
+			i++
+		}
+	}
+	e.stats.solves.Add(1)
+	y, err := a.RandomKernelVectorInPlace()
+	if err != nil {
+		return nil, 0, fmt.Errorf("solving AY=0: %w", err)
+	}
+	key, err := ff64.RandNonZero()
+	if err != nil {
+		return nil, 0, err
+	}
+	x := y
+	x[0] = ff64.Add(x[0], key)
+	if tailZero(x) {
+		// Cannot happen with ≥1 row (the all-ones first column forces a
+		// non-zero tail on every non-zero kernel vector), but stay defensive.
+		return nil, 0, errDegenerate
+	}
+	return &Header{X: x, Zs: zs[:n:n]}, key, nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"ppcd/internal/ff64"
+)
+
+func engRows(base, count, conds int) [][]CSS {
+	rows := make([][]CSS, count)
+	for i := range rows {
+		row := make([]CSS, conds)
+		for j := range row {
+			row[j] = ff64.New(uint64(base + i*conds + j + 1))
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func TestEngineRekeyAndDerive(t *testing.T) {
+	e := NewEngine(2)
+	gA := RowGroup{ID: "acpA", Rows: engRows(0, 3, 2)}
+	gB := RowGroup{ID: "acpB", Rows: engRows(100, 2, 2)}
+	specs := []ConfigSpec{
+		{ID: "A", Sig: "a@1", Groups: []RowGroup{gA}},
+		{ID: "A|B", Sig: "a@1|b@1", Groups: []RowGroup{gA, gB}},
+	}
+	out, err := e.RekeyAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d results", len(out))
+	}
+	for id, ck := range out {
+		if !ck.Rebuilt {
+			t.Errorf("%s: expected rebuild on first session", id)
+		}
+	}
+	// Every member row derives the configuration key; an outside row does not.
+	for _, row := range gA.Rows {
+		for _, id := range []string{"A", "A|B"} {
+			k, err := DeriveKey(row, out[id].Hdr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k != out[id].Key {
+				t.Errorf("config %s: member row derived wrong key", id)
+			}
+		}
+	}
+	for _, row := range gB.Rows {
+		if k, _ := DeriveKey(row, out["A"].Hdr); k == out["A"].Key {
+			t.Error("non-member row derived config A's key")
+		}
+	}
+	// Shared session: both configurations were rebuilt over one nonce set.
+	if string(out["A"].Hdr.Zs[0]) != string(out["A|B"].Hdr.Zs[0]) {
+		t.Error("session nonces not shared across configurations")
+	}
+}
+
+func TestEngineIncrementalCache(t *testing.T) {
+	e := NewEngine(0)
+	g := RowGroup{ID: "acpA", Rows: engRows(0, 3, 1)}
+	spec := ConfigSpec{ID: "A", Sig: "a@1", Groups: []RowGroup{g}}
+
+	first, err := e.RekeyAll([]ConfigSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvesAfterFirst := e.Stats().Solves
+
+	// Same signature → cache hit, zero additional solves, identical header.
+	second, err := e.RekeyAll([]ConfigSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Solves; got != solvesAfterFirst {
+		t.Errorf("steady-state rekey solved %d systems", got-solvesAfterFirst)
+	}
+	if second["A"].Rebuilt {
+		t.Error("steady-state rekey reported a rebuild")
+	}
+	if second["A"].Hdr != first["A"].Hdr || second["A"].Key != first["A"].Key {
+		t.Error("cache hit did not reuse header and key")
+	}
+	if e.Stats().CacheHits == 0 {
+		t.Error("cache hit not counted")
+	}
+
+	// Changed signature → rebuild with a fresh key.
+	spec.Sig = "a@2"
+	third, err := e.RekeyAll([]ConfigSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third["A"].Rebuilt {
+		t.Error("membership change did not rebuild")
+	}
+	if third["A"].Key == first["A"].Key {
+		t.Error("rebuild reused the old key")
+	}
+
+	// Forget forces a rebuild even with an unchanged signature.
+	e.Forget("A")
+	fourth, err := e.RekeyAll([]ConfigSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fourth["A"].Rebuilt {
+		t.Error("Forget did not force a rebuild")
+	}
+}
+
+func TestEngineRejectsEmptyConfig(t *testing.T) {
+	e := NewEngine(0)
+	_, err := e.RekeyAll([]ConfigSpec{{ID: "A", Sig: "s", Groups: nil}})
+	if err == nil {
+		t.Fatal("zero-row configuration accepted")
+	}
+}
+
+func TestEngineMinN(t *testing.T) {
+	e := NewEngine(0)
+	g := RowGroup{ID: "acpA", Rows: engRows(0, 2, 1)}
+	out, err := e.RekeyAll([]ConfigSpec{{ID: "A", Sig: "s", Groups: []RowGroup{g}, MinN: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := out["A"].Hdr.N(); n != 7 {
+		t.Errorf("header N = %d, want 7", n)
+	}
+	if k, err := DeriveKey(g.Rows[0], out["A"].Hdr); err != nil || k != out["A"].Key {
+		t.Errorf("derive under padded N failed: %v", err)
+	}
+}

@@ -231,22 +231,51 @@ var ErrTrivialKernel = errors.New("linalg: matrix has trivial null space")
 // RandomKernelVector returns a uniformly random element of the null space of
 // m, retrying until the sample is non-zero. This matches the paper's ACV
 // construction: "choosing the ACV as a random linear combination of the
-// basis vectors."
+// basis vectors." m is not modified.
 func (m *Matrix) RandomKernelVector() (Vector, error) {
-	basis := m.Kernel()
-	if len(basis) == 0 {
+	return m.Clone().RandomKernelVectorInPlace()
+}
+
+// RandomKernelVectorInPlace is the allocation-lean fast path behind
+// RandomKernelVector: it reduces m in place (destroying its contents) and
+// samples the random basis combination directly off the reduced form without
+// materializing the basis vectors. For a free-column coefficient vector c the
+// sample is out[free_f] = c_f and out[pivot_r] = -Σ_f c_f·R[r][free_f], which
+// is exactly the random linear combination of the Kernel basis. Callers that
+// assemble a throwaway matrix per solve (the publisher's rekey engine) skip
+// one full matrix copy per configuration this way.
+func (m *Matrix) RandomKernelVectorInPlace() (Vector, error) {
+	pivots := m.rref()
+	free := make([]int, 0, m.Cols-len(pivots))
+	isPivot := make([]bool, m.Cols)
+	for _, c := range pivots {
+		isPivot[c] = true
+	}
+	for c := 0; c < m.Cols; c++ {
+		if !isPivot[c] {
+			free = append(free, c)
+		}
+	}
+	if len(free) == 0 {
 		return nil, ErrTrivialKernel
 	}
 	for attempt := 0; attempt < 64; attempt++ {
 		out := NewVector(m.Cols)
-		for _, b := range basis {
+		coeffs := make([]ff64.Elem, len(free))
+		for i := range coeffs {
 			c, err := ff64.Rand()
 			if err != nil {
 				return nil, err
 			}
-			for i := range out {
-				out[i] = ff64.Add(out[i], ff64.Mul(c, b[i]))
+			coeffs[i] = c
+			out[free[i]] = c
+		}
+		for r, pc := range pivots {
+			var acc ff64.Elem
+			for i, fc := range free {
+				acc = ff64.Add(acc, ff64.Mul(coeffs[i], m.At(r, fc)))
 			}
+			out[pc] = ff64.Neg(acc)
 		}
 		if !out.IsZero() {
 			return out, nil

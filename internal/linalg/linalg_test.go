@@ -229,3 +229,57 @@ func BenchmarkKernel100(b *testing.B) {
 		_ = m.Kernel()
 	}
 }
+
+func TestRandomKernelVectorInPlaceMatchesKernel(t *testing.T) {
+	// The in-place sampler must produce vectors in the same null space as
+	// the basis-materializing path, without touching the original matrix.
+	m := NewMatrix(3, 6)
+	vals := []uint64{
+		1, 2, 3, 4, 5, 6,
+		7, 8, 9, 10, 11, 12,
+		1, 1, 1, 1, 1, 1,
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, ff64.New(vals[i*6+j]))
+		}
+	}
+	orig := m.Clone()
+	for trial := 0; trial < 8; trial++ {
+		v, err := orig.Clone().RandomKernelVectorInPlace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.IsZero() {
+			t.Fatal("sampled zero vector")
+		}
+		prod, err := orig.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prod.IsZero() {
+			t.Fatalf("trial %d: sampled vector not in kernel: %v", trial, prod)
+		}
+	}
+	// RandomKernelVector (the cloning wrapper) leaves its receiver intact.
+	if _, err := m.RandomKernelVector(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 6; j++ {
+			if m.At(i, j) != orig.At(i, j) {
+				t.Fatal("RandomKernelVector modified the matrix")
+			}
+		}
+	}
+}
+
+func TestRandomKernelVectorInPlaceTrivial(t *testing.T) {
+	// Full-rank square matrix → trivial kernel.
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, ff64.One)
+	m.Set(1, 1, ff64.One)
+	if _, err := m.RandomKernelVectorInPlace(); err != ErrTrivialKernel {
+		t.Fatalf("expected ErrTrivialKernel, got %v", err)
+	}
+}

@@ -239,7 +239,10 @@ func (r *Receiver) Prepare(pred Predicate, ell int) (*Witness, *Request, error) 
 	wit := &Witness{}
 	for _, s := range subs {
 		if s.kind == 0 {
-			req.Bits = append(req.Bits, nil)
+			// Equality needs no bit commitments; use an empty (not nil)
+			// placeholder so requests survive gob encoding, which rejects
+			// nil pointers inside slices.
+			req.Bits = append(req.Bits, &BitCommitments{})
 			wit.wits = append(wit.wits, nil)
 			continue
 		}

@@ -1,0 +1,106 @@
+package pubsub
+
+import (
+	"errors"
+
+	"ppcd/internal/core"
+	"ppcd/internal/document"
+	"ppcd/internal/policy"
+	"ppcd/internal/sym"
+)
+
+// PolicyInfo describes one policy inside a broadcast so subscribers know
+// which conditions (in which order) derive each configuration key.
+type PolicyInfo struct {
+	ID      string
+	CondIDs []string
+}
+
+// ConfigInfo carries the rekey header for one policy configuration. Header
+// is nil for configurations nobody can access (empty configuration or no
+// qualified subscriber rows).
+type ConfigInfo struct {
+	Key    policy.ConfigKey
+	Header *core.Header
+}
+
+// Item is one encrypted subdocument.
+type Item struct {
+	Subdoc     string
+	Config     policy.ConfigKey
+	Ciphertext []byte
+}
+
+// Broadcast is the complete selectively-encrypted document package sent to
+// all subscribers. Everything in it is public.
+type Broadcast struct {
+	DocName  string
+	Policies []PolicyInfo
+	Configs  []ConfigInfo
+	Items    []Item
+}
+
+// Publish encrypts a document according to the publisher's policies and
+// returns the broadcast package. Publishing IS the rekey operation: any
+// table mutation since the previous publish (join, revocation, credential
+// update) causes every affected configuration to receive a fresh ACV header
+// and key, while untouched configurations reuse their cached ones — the
+// paper's "rekey only on membership change" semantics, with no message ever
+// addressed to an individual subscriber.
+//
+// Publish never blocks registration traffic: it reads a consistent table
+// snapshot under a read lock and performs all crypto outside any lock, so
+// concurrent Register/Revoke* calls proceed while ACVs are being solved.
+func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
+	if doc == nil || len(doc.Subdocs) == 0 {
+		return nil, errors.New("pubsub: empty document")
+	}
+
+	relevant := p.policiesFor(doc.Name)
+	cfgs := policy.Configurations(doc.Names(), relevant)
+
+	b := &Broadcast{DocName: doc.Name}
+	for _, a := range relevant {
+		b.Policies = append(b.Policies, PolicyInfo{ID: a.ID, CondIDs: a.CondIDs()})
+	}
+
+	// Snapshot each policy's qualified subscriber rows once: policies
+	// typically appear in several configurations (acp3 covers four in the
+	// paper's Example 4), and scanning table T per configuration would redo
+	// that work (§VIII-A: eliminate redundant calculations at the Pub).
+	rowsByACP, vers := p.reg.snapshot(relevant)
+
+	infos, keys, err := p.keys.configKeys(cfgs, rowsByACP, vers)
+	if err != nil {
+		return nil, err
+	}
+	b.Configs = infos
+
+	cfgOf := make(map[string]policy.ConfigKey)
+	for k, subs := range cfgs {
+		for _, sd := range subs {
+			cfgOf[sd] = k
+		}
+	}
+	for _, sd := range doc.Subdocs {
+		k := cfgOf[sd.Name]
+		ct, err := sym.Encrypt(keys[k], sd.Content)
+		if err != nil {
+			return nil, err
+		}
+		b.Items = append(b.Items, Item{Subdoc: sd.Name, Config: k, Ciphertext: ct})
+	}
+	return b, nil
+}
+
+// policiesFor returns the policies applying to the named document (policies
+// with an empty Doc apply to every document).
+func (p *Publisher) policiesFor(docName string) []*policy.ACP {
+	var out []*policy.ACP
+	for _, a := range p.acps {
+		if a.Doc == "" || a.Doc == docName {
+			out = append(out, a)
+		}
+	}
+	return out
+}

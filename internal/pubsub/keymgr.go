@@ -1,0 +1,107 @@
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+	"ppcd/internal/policy"
+	"ppcd/internal/sym"
+)
+
+// keyManager is the publisher's key layer: it turns a registry snapshot into
+// per-configuration headers and symmetric keys by driving the core rekey
+// engine. All caching policy lives here — a configuration's cache signature
+// is the vector of its member policies' membership versions (plus the row
+// count and capacity floor), so a configuration is re-solved exactly when a
+// table mutation could have changed its subscriber set, and reuses its
+// cached header otherwise: the paper's "rekey only on membership change"
+// semantics with zero redundant null-space solves (§VIII-A).
+type keyManager struct {
+	engine *core.Engine
+	minN   int
+}
+
+func newKeyManager(workers, minN int) *keyManager {
+	return &keyManager{engine: core.NewEngine(workers), minN: minN}
+}
+
+// stats exposes the engine's work counters.
+func (km *keyManager) stats() core.EngineStats { return km.engine.Stats() }
+
+// reset drops all cached builds (after a wholesale state import).
+func (km *keyManager) reset() { km.engine.Reset() }
+
+// configSig builds the membership signature of one configuration from the
+// snapshot version vector.
+func configSig(key policy.ConfigKey, vers map[string]uint64, rowCount, minN int) string {
+	ids := key.IDs()
+	parts := make([]string, 0, len(ids)+1)
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("%s@%d", id, vers[id]))
+	}
+	parts = append(parts, fmt.Sprintf("rows=%d,minN=%d", rowCount, minN))
+	return strings.Join(parts, "|")
+}
+
+// configKeys produces the ordered ConfigInfo list and the symmetric key per
+// configuration for one publish, given a registry snapshot. Configurations
+// nobody can access get a fresh throwaway key and no header (paper
+// Example 4, Pc6); the rest go through the incremental engine.
+func (km *keyManager) configKeys(cfgs map[policy.ConfigKey][]string, rowsByACP map[string][][]core.CSS, vers map[string]uint64) ([]ConfigInfo, map[policy.ConfigKey][sym.KeySize]byte, error) {
+	cfgKeys := make([]policy.ConfigKey, 0, len(cfgs))
+	for k := range cfgs {
+		cfgKeys = append(cfgKeys, k)
+	}
+	sort.Slice(cfgKeys, func(i, j int) bool { return cfgKeys[i] < cfgKeys[j] })
+
+	keys := make(map[policy.ConfigKey][sym.KeySize]byte, len(cfgs))
+	infos := make([]ConfigInfo, 0, len(cfgs))
+	var specs []core.ConfigSpec
+
+	for _, key := range cfgKeys {
+		rowCount := 0
+		var groups []core.RowGroup
+		for _, acpID := range key.IDs() {
+			rows := rowsByACP[acpID]
+			rowCount += len(rows)
+			if len(rows) > 0 {
+				groups = append(groups, core.RowGroup{ID: acpID, Rows: rows})
+			}
+		}
+		if key == policy.EmptyConfig || rowCount == 0 {
+			k, err := ff64.RandNonZero()
+			if err != nil {
+				return nil, nil, err
+			}
+			keys[key] = core.ExpandKey(k)
+			infos = append(infos, ConfigInfo{Key: key, Header: nil})
+			continue
+		}
+		specs = append(specs, core.ConfigSpec{
+			ID:     string(key),
+			Sig:    configSig(key, vers, rowCount, km.minN),
+			Groups: groups,
+			MinN:   km.minN,
+		})
+	}
+
+	if len(specs) > 0 {
+		built, err := km.engine.RekeyAll(specs)
+		if err != nil {
+			return nil, nil, fmt.Errorf("pubsub: building ACVs: %w", err)
+		}
+		for _, s := range specs {
+			ck := built[s.ID]
+			key := policy.ConfigKey(s.ID)
+			keys[key] = core.ExpandKey(ck.Key)
+			infos = append(infos, ConfigInfo{Key: key, Header: ck.Hdr})
+		}
+		// Restore the deterministic configuration order (throwaway configs
+		// were appended first).
+		sort.Slice(infos, func(i, j int) bool { return infos[i].Key < infos[j].Key })
+	}
+	return infos, keys, nil
+}

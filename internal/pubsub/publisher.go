@@ -3,23 +3,37 @@
 // privacy-preserving registration via OCBE, selective broadcast with
 // ACV-based group key management, and the Subscriber (Sub) that registers
 // identity tokens and derives decryption keys from broadcast headers alone.
+//
+// The publisher is a layered engine:
+//
+//   - registry (registry.go) owns table T with snapshot semantics and
+//     per-policy membership versions; registrations and revocations never
+//     serialize against broadcast crypto.
+//   - keymgr (keymgr.go) maps registry snapshots to per-configuration
+//     headers and keys through the incremental core.Engine: only
+//     configurations whose subscriber set changed since the last publish are
+//     re-solved, the rest reuse cached headers.
+//   - broadcast (broadcast.go) encrypts documents under the configuration
+//     keys and assembles the public broadcast package.
+//
+// Registration is batched end to end: Subscriber.RegisterAll sends all
+// matching conditions in one RegisterBatch round trip when the registrar
+// supports it.
 package pubsub
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
-	"sort"
+	"runtime"
 	"sync"
 
 	"ppcd/internal/core"
-	"ppcd/internal/document"
-	"ppcd/internal/ff64"
 	"ppcd/internal/idtoken"
 	"ppcd/internal/ocbe"
 	"ppcd/internal/pedersen"
 	"ppcd/internal/policy"
 	"ppcd/internal/sig"
-	"ppcd/internal/sym"
 )
 
 // Options tunes a publisher.
@@ -31,22 +45,25 @@ type Options struct {
 	// header (headroom for joins without resizing). Default: exactly the
 	// number of qualified rows.
 	MinN int
+	// Workers bounds the parallel pools for ACV solving and batch envelope
+	// composition. Default GOMAXPROCS.
+	Workers int
 }
 
 // Publisher is the content distributor. It never sees attribute values: it
 // verifies IdMgr signatures on identity tokens and runs OCBE as the sender.
 type Publisher struct {
-	mu       sync.Mutex
 	params   *pedersen.Params
 	idmgrKey sig.PublicKey
 	acps     []*policy.ACP
 	conds    []policy.Condition
 	condByID map[string]policy.Condition
-	// table is the paper's table T: nym → condition ID → CSS. A CSS is
-	// recorded for every registration, satisfied or not — the publisher
-	// cannot tell the difference, which is the point.
-	table map[string]map[string]core.CSS
-	opts  Options
+	opts     Options
+
+	// reg is the paper's table T behind snapshot semantics; keys caches
+	// per-configuration rekey material.
+	reg  *registry
+	keys *keyManager
 }
 
 // NewPublisher builds a publisher enforcing the given access control
@@ -63,6 +80,9 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 	}
 	if opts.Ell < 1 {
 		return nil, errors.New("pubsub: Ell must be positive")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	for _, a := range acps {
 		for _, c := range a.Conds {
@@ -82,8 +102,9 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 		acps:     acps,
 		conds:    conds,
 		condByID: byID,
-		table:    make(map[string]map[string]core.CSS),
 		opts:     opts,
+		reg:      newRegistry(acps),
+		keys:     newKeyManager(opts.Workers, opts.MinN),
 	}, nil
 }
 
@@ -105,6 +126,11 @@ func (p *Publisher) Policies() []*policy.ACP {
 	return append([]*policy.ACP(nil), p.acps...)
 }
 
+// Stats returns the rekey engine's work counters: how many configurations
+// were re-solved vs. served from the incremental cache. A steady-state
+// publish (no table change since the previous one) adds zero solves.
+func (p *Publisher) Stats() core.EngineStats { return p.keys.stats() }
+
 // RegistrationRequest is one condition registration from a subscriber: the
 // identity token, the target condition and the OCBE receiver message.
 type RegistrationRequest struct {
@@ -115,8 +141,9 @@ type RegistrationRequest struct {
 
 // Errors returned by Register.
 var (
-	ErrUnknownCondition = errors.New("pubsub: condition not in any policy")
-	ErrTagMismatch      = errors.New("pubsub: token tag does not match condition attribute")
+	ErrUnknownCondition   = errors.New("pubsub: condition not in any policy")
+	ErrTagMismatch        = errors.New("pubsub: token tag does not match condition attribute")
+	ErrCommitmentMismatch = errors.New("pubsub: OCBE commitment does not match the token's certified commitment")
 )
 
 // Register handles one registration request: it verifies the token, draws a
@@ -125,225 +152,188 @@ var (
 // its committed attribute value satisfies the condition; the publisher never
 // learns whether it could (§V-B).
 func (p *Publisher) Register(req *RegistrationRequest) (*ocbe.Envelope, error) {
+	env, css, err := p.compose(req, true)
+	if err != nil {
+		return nil, err
+	}
+	p.reg.setCells(req.Token.Nym, map[string]core.CSS{req.CondID: css})
+	return env, nil
+}
+
+// compose validates one registration request and builds its envelope
+// without touching table T. verifyToken can be skipped when the same token
+// was already verified earlier in a batch.
+func (p *Publisher) compose(req *RegistrationRequest, verifyToken bool) (*ocbe.Envelope, core.CSS, error) {
 	if req == nil || req.Token == nil || req.OCBE == nil {
-		return nil, errors.New("pubsub: incomplete registration request")
+		return nil, 0, errors.New("pubsub: incomplete registration request")
 	}
 	cond, ok := p.condByID[req.CondID]
 	if !ok {
-		return nil, ErrUnknownCondition
+		return nil, 0, ErrUnknownCondition
 	}
 	if req.Token.Tag != cond.Attr {
-		return nil, ErrTagMismatch
+		return nil, 0, ErrTagMismatch
 	}
-	if err := idtoken.Verify(p.params, p.idmgrKey, req.Token); err != nil {
-		return nil, fmt.Errorf("pubsub: token rejected: %w", err)
+	// The OCBE exchange must run against the IdMgr-certified commitment —
+	// otherwise a subscriber could attach a valid token while running OCBE
+	// on a self-chosen commitment to a satisfying value, bypassing the
+	// access control entirely.
+	if !bytes.Equal(req.OCBE.Commitment, req.Token.Commitment) {
+		return nil, 0, ErrCommitmentMismatch
+	}
+	if verifyToken {
+		if err := idtoken.Verify(p.params, p.idmgrKey, req.Token); err != nil {
+			return nil, 0, fmt.Errorf("pubsub: token rejected: %w", err)
+		}
 	}
 	css, err := core.NewCSS()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	pred := ocbe.Predicate{Op: cond.Op, X0: idtoken.EncodeValue(p.params.Order(), cond.Value)}
 	env, err := ocbe.Compose(p.params, pred, p.opts.Ell, req.OCBE, css.Bytes())
 	if err != nil {
-		return nil, fmt.Errorf("pubsub: composing envelope: %w", err)
+		return nil, 0, fmt.Errorf("pubsub: composing envelope: %w", err)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	row, ok := p.table[req.Token.Nym]
-	if !ok {
-		row = make(map[string]core.CSS)
-		p.table[req.Token.Nym] = row
+	return env, css, nil
+}
+
+// BatchResult is the outcome of one item of a RegisterBatch call: either an
+// envelope or a per-item error message (the batch as a whole still
+// succeeds).
+type BatchResult struct {
+	CondID   string
+	Envelope *ocbe.Envelope
+	Err      string
+}
+
+// MaxRegistrationBatch caps the items accepted in one RegisterBatch call;
+// the cap bounds memory on the network-exposed path (a subscriber
+// registering every condition of even a very large policy set stays far
+// below it).
+const MaxRegistrationBatch = 4096
+
+// RegisterBatch handles many registration requests in one call — one round
+// trip on the wire instead of one per condition. Each distinct token is
+// verified once, envelope composition fans out across a bounded worker
+// pool, and all resulting CSS cells are committed to table T under a single
+// write-lock acquisition per pseudonym. Item-level failures are reported in
+// the corresponding BatchResult; the call errs only on an empty or
+// oversized batch.
+func (p *Publisher) RegisterBatch(reqs []*RegistrationRequest) ([]BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("pubsub: empty registration batch")
 	}
-	row[req.CondID] = css // overwrite = credential update (§V-C)
-	return env, nil
+	if len(reqs) > MaxRegistrationBatch {
+		return nil, fmt.Errorf("pubsub: registration batch of %d exceeds limit %d", len(reqs), MaxRegistrationBatch)
+	}
+
+	// Verify each distinct token once (the paper's Sub registers one token
+	// against many conditions).
+	byKey := make(map[string]error)
+	tokErrs := make([]error, len(reqs))
+	for i, req := range reqs {
+		if req == nil || req.Token == nil {
+			continue // compose reports the incomplete request per item
+		}
+		tok := req.Token
+		// Length-prefixed fields: a plain-separator join would let crafted
+		// byte fields containing the separator collide with a different
+		// token and skip its signature check.
+		key := fmt.Sprintf("%d:%s|%d:%s|%d:%x|%d:%x",
+			len(tok.Nym), tok.Nym, len(tok.Tag), tok.Tag,
+			len(tok.Commitment), tok.Commitment, len(tok.Sig), tok.Sig)
+		err, ok := byKey[key]
+		if !ok {
+			err = idtoken.Verify(p.params, p.idmgrKey, tok)
+			if err != nil {
+				err = fmt.Errorf("pubsub: token rejected: %w", err)
+			}
+			byKey[key] = err
+		}
+		tokErrs[i] = err
+	}
+
+	type outcome struct {
+		css core.CSS
+		ok  bool
+	}
+	results := make([]BatchResult, len(reqs))
+	outcomes := make([]outcome, len(reqs))
+	// Fixed worker pool (not one goroutine per item): the batch is
+	// network-supplied, so resource use must be bounded by Options.Workers,
+	// not by the batch length.
+	workers := p.opts.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				req := reqs[i]
+				if req != nil {
+					results[i].CondID = req.CondID
+				}
+				if err := tokErrs[i]; err != nil {
+					results[i].Err = err.Error()
+					continue
+				}
+				env, css, err := p.compose(req, false)
+				if err != nil {
+					results[i].Err = err.Error()
+					continue
+				}
+				results[i].Envelope = env
+				outcomes[i] = outcome{css: css, ok: true}
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Commit all successful cells, grouped by pseudonym, one lock
+	// acquisition each.
+	cellsByNym := make(map[string]map[string]core.CSS)
+	for i, o := range outcomes {
+		if !o.ok {
+			continue
+		}
+		nym := reqs[i].Token.Nym
+		cells, ok := cellsByNym[nym]
+		if !ok {
+			cells = make(map[string]core.CSS)
+			cellsByNym[nym] = cells
+		}
+		cells[reqs[i].CondID] = o.css
+	}
+	for nym, cells := range cellsByNym {
+		p.reg.setCells(nym, cells)
+	}
+	return results, nil
 }
 
 // RevokeSubscription removes a subscriber entirely (paper "Subscription
 // Revocation"): its row disappears from T and the next Publish rekeys every
 // affected configuration.
 func (p *Publisher) RevokeSubscription(nym string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if _, ok := p.table[nym]; !ok {
-		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
-	}
-	delete(p.table, nym)
-	return nil
+	return p.reg.revokeSubscription(nym)
 }
 
 // RevokeCredential removes a single CSS cell (paper "Credential
-// Revocation"), enabling fine-tuned user management.
+// Revocation"), enabling fine-tuned user management. Removing a pseudonym's
+// last cell removes the row itself.
 func (p *Publisher) RevokeCredential(nym, condID string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	row, ok := p.table[nym]
-	if !ok {
-		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
-	}
-	if _, ok := row[condID]; !ok {
-		return fmt.Errorf("pubsub: subscriber %q has no CSS for %q", nym, condID)
-	}
-	delete(row, condID)
-	return nil
+	return p.reg.revokeCredential(nym, condID)
 }
 
 // SubscriberCount returns the number of registered pseudonyms.
 func (p *Publisher) SubscriberCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.table)
-}
-
-// PolicyInfo describes one policy inside a broadcast so subscribers know
-// which conditions (in which order) derive each configuration key.
-type PolicyInfo struct {
-	ID      string
-	CondIDs []string
-}
-
-// ConfigInfo carries the rekey header for one policy configuration. Header
-// is nil for configurations nobody can access (empty configuration or no
-// qualified subscriber rows).
-type ConfigInfo struct {
-	Key    policy.ConfigKey
-	Header *core.Header
-}
-
-// Item is one encrypted subdocument.
-type Item struct {
-	Subdoc     string
-	Config     policy.ConfigKey
-	Ciphertext []byte
-}
-
-// Broadcast is the complete selectively-encrypted document package sent to
-// all subscribers. Everything in it is public.
-type Broadcast struct {
-	DocName  string
-	Policies []PolicyInfo
-	Configs  []ConfigInfo
-	Items    []Item
-}
-
-// Publish encrypts a document according to the publisher's policies and
-// returns the broadcast package. Every call generates fresh keys and
-// headers, so Publish after any table change IS the rekey operation — no
-// message is addressed to any individual subscriber.
-func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
-	if doc == nil || len(doc.Subdocs) == 0 {
-		return nil, errors.New("pubsub: empty document")
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-
-	relevant := p.policiesFor(doc.Name)
-	cfgs := policy.Configurations(doc.Names(), relevant)
-
-	b := &Broadcast{DocName: doc.Name}
-	for _, a := range relevant {
-		b.Policies = append(b.Policies, PolicyInfo{ID: a.ID, CondIDs: a.CondIDs()})
-	}
-
-	keys := make(map[policy.ConfigKey][sym.KeySize]byte, len(cfgs))
-	cfgKeys := make([]policy.ConfigKey, 0, len(cfgs))
-	for k := range cfgs {
-		cfgKeys = append(cfgKeys, k)
-	}
-	sort.Slice(cfgKeys, func(i, j int) bool { return cfgKeys[i] < cfgKeys[j] })
-
-	// Precompute each policy's subscriber rows once: policies typically
-	// appear in several configurations (acp3 covers four configurations in
-	// the paper's Example 4), and scanning table T per configuration would
-	// redo that work (§VIII-A: eliminate redundant calculations at the Pub).
-	rowsByACP := p.rowsByACP(relevant)
-
-	for _, key := range cfgKeys {
-		var rows [][]core.CSS
-		for _, acpID := range key.IDs() {
-			rows = append(rows, rowsByACP[acpID]...)
-		}
-		if key == policy.EmptyConfig || len(rows) == 0 {
-			// Nobody may access: encrypt under a random throwaway key and
-			// publish no header (paper Example 4, Pc6).
-			k, err := ff64.RandNonZero()
-			if err != nil {
-				return nil, err
-			}
-			keys[key] = core.ExpandKey(k)
-			b.Configs = append(b.Configs, ConfigInfo{Key: key, Header: nil})
-			continue
-		}
-		n := len(rows)
-		if p.opts.MinN > n {
-			n = p.opts.MinN
-		}
-		hdr, k, err := core.Build(rows, n)
-		if err != nil {
-			return nil, fmt.Errorf("pubsub: building ACV for %q: %w", key, err)
-		}
-		keys[key] = core.ExpandKey(k)
-		b.Configs = append(b.Configs, ConfigInfo{Key: key, Header: hdr})
-	}
-
-	cfgOf := make(map[string]policy.ConfigKey)
-	for k, subs := range cfgs {
-		for _, sd := range subs {
-			cfgOf[sd] = k
-		}
-	}
-	for _, sd := range doc.Subdocs {
-		k := cfgOf[sd.Name]
-		ct, err := sym.Encrypt(keys[k], sd.Content)
-		if err != nil {
-			return nil, err
-		}
-		b.Items = append(b.Items, Item{Subdoc: sd.Name, Config: k, Ciphertext: ct})
-	}
-	return b, nil
-}
-
-// policiesFor returns the policies applying to the named document (policies
-// with an empty Doc apply to every document).
-func (p *Publisher) policiesFor(docName string) []*policy.ACP {
-	var out []*policy.ACP
-	for _, a := range p.acps {
-		if a.Doc == "" || a.Doc == docName {
-			out = append(out, a)
-		}
-	}
-	return out
-}
-
-// rowsByACP assembles, for every policy, the subscriber CSS rows of matrix A
-// (paper §V-C1): one ordered CSS list per pseudonym whose T row contains a
-// CSS for each of the policy's conditions. A configuration's rows are the
-// concatenation of its policies' row lists.
-func (p *Publisher) rowsByACP(acps []*policy.ACP) map[string][][]core.CSS {
-	nyms := make([]string, 0, len(p.table))
-	for nym := range p.table {
-		nyms = append(nyms, nym)
-	}
-	sort.Strings(nyms)
-	out := make(map[string][][]core.CSS, len(acps))
-	for _, a := range acps {
-		var rows [][]core.CSS
-		for _, nym := range nyms {
-			row := p.table[nym]
-			css := make([]core.CSS, 0, len(a.Conds))
-			complete := true
-			for _, c := range a.Conds {
-				v, ok := row[c.ID()]
-				if !ok {
-					complete = false
-					break
-				}
-				css = append(css, v)
-			}
-			if complete {
-				rows = append(rows, css)
-			}
-		}
-		out[a.ID] = rows
-	}
-	return out
+	return p.reg.count()
 }

@@ -189,9 +189,7 @@ func TestPrivacyRegistrationIsUniform(t *testing.T) {
 	// reveal which condition is satisfied (Example 3).
 	pub := newEHRPublisher(t)
 	newSub(t, pub, "pn-x", map[string]string{"role": "doc"})
-	pub.mu.Lock()
-	row := pub.table["pn-x"]
-	pub.mu.Unlock()
+	row := pub.reg.rowCopy("pn-x")
 	// Six role conditions exist; the row must contain a CSS for all six.
 	roleConds := 0
 	for _, c := range pub.Conditions() {

@@ -1,0 +1,260 @@
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ppcd/internal/core"
+	"ppcd/internal/policy"
+)
+
+// registry is the publisher's table-T layer: it owns the nym → condition →
+// CSS map together with per-policy membership versions, behind a read-write
+// lock. Mutations (Register, Revoke*) take the write lock only for the map
+// update itself — never across crypto — and Publish reads a consistent
+// snapshot under the read lock, so registration traffic and broadcast
+// encryption proceed concurrently.
+//
+// A policy's membership version increments whenever a table mutation could
+// have changed that policy's qualified row set: a CSS write or delete for a
+// condition of the policy, or the disappearance of a whole row. The keymgr
+// layer compares version vectors to decide which configurations actually
+// need a fresh ACV solve (incremental rekeying).
+type registry struct {
+	mu    sync.RWMutex
+	table map[string]map[string]core.CSS
+	// memVer is the membership version per policy ID.
+	memVer map[string]uint64
+	// byCond maps a condition ID to the IDs of policies containing it.
+	byCond map[string][]string
+	// rowsCache holds the assembled qualified rows per policy, tagged with
+	// the membership version they were built at; a steady-state snapshot is
+	// then O(policies) instead of a full table scan.
+	rowsCache map[string]policyRows
+}
+
+// policyRows is one cached row assembly. The rows slice is immutable once
+// cached (rebuilds replace the whole entry), so snapshots may share it
+// lock-free.
+type policyRows struct {
+	ver  uint64
+	rows [][]core.CSS
+}
+
+func newRegistry(acps []*policy.ACP) *registry {
+	r := &registry{
+		table:     make(map[string]map[string]core.CSS),
+		memVer:    make(map[string]uint64, len(acps)),
+		byCond:    make(map[string][]string),
+		rowsCache: make(map[string]policyRows, len(acps)),
+	}
+	for _, a := range acps {
+		r.memVer[a.ID] = 0
+		for _, c := range a.Conds {
+			r.byCond[c.ID()] = append(r.byCond[c.ID()], a.ID)
+		}
+	}
+	return r
+}
+
+// bump marks every policy containing condID as membership-dirty. Callers
+// hold the write lock.
+func (r *registry) bump(condID string) {
+	for _, acpID := range r.byCond[condID] {
+		r.memVer[acpID]++
+	}
+}
+
+// setCells records a batch of freshly drawn CSSs for one pseudonym under a
+// single lock acquisition (overwrite = credential update, §V-C).
+func (r *registry) setCells(nym string, cells map[string]core.CSS) {
+	if len(cells) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row, ok := r.table[nym]
+	if !ok {
+		row = make(map[string]core.CSS, len(cells))
+		r.table[nym] = row
+	}
+	for condID, css := range cells {
+		row[condID] = css
+		r.bump(condID)
+	}
+}
+
+// revokeSubscription removes a pseudonym's whole row (paper "Subscription
+// Revocation").
+func (r *registry) revokeSubscription(nym string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row, ok := r.table[nym]
+	if !ok {
+		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
+	}
+	delete(r.table, nym)
+	for condID := range row {
+		r.bump(condID)
+	}
+	return nil
+}
+
+// revokeCredential removes a single CSS cell (paper "Credential
+// Revocation"). When the last cell of a row goes, the row goes with it —
+// a ghost subscriber with zero credentials can never qualify for any policy
+// and would only inflate SubscriberCount.
+func (r *registry) revokeCredential(nym, condID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row, ok := r.table[nym]
+	if !ok {
+		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
+	}
+	if _, ok := row[condID]; !ok {
+		return fmt.Errorf("pubsub: subscriber %q has no CSS for %q", nym, condID)
+	}
+	delete(row, condID)
+	if len(row) == 0 {
+		delete(r.table, nym)
+	}
+	r.bump(condID)
+	return nil
+}
+
+// count returns the number of registered pseudonyms.
+func (r *registry) count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.table)
+}
+
+// rowCopy returns a copy of one pseudonym's row (nil if absent).
+func (r *registry) rowCopy(nym string) map[string]core.CSS {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	row, ok := r.table[nym]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]core.CSS, len(row))
+	for k, v := range row {
+		out[k] = v
+	}
+	return out
+}
+
+// snapshot assembles, for every given policy, the subscriber CSS rows of
+// matrix A (paper §V-C1) — one ordered CSS list per pseudonym whose row
+// contains a CSS for each of the policy's conditions — plus the membership
+// version of each policy at snapshot time. The returned structures are
+// private to the caller (cached row slices are immutable), so Publish works
+// on them lock-free while registrations continue. Policies whose membership
+// version is unchanged reuse their cached row assembly: a steady-state
+// snapshot costs O(policies), not a table scan.
+func (r *registry) snapshot(acps []*policy.ACP) (map[string][][]core.CSS, map[string]uint64) {
+	rows := make(map[string][][]core.CSS, len(acps))
+	vers := make(map[string]uint64, len(acps))
+
+	r.mu.RLock()
+	var stale []*policy.ACP
+	for _, a := range acps {
+		if e, ok := r.rowsCache[a.ID]; ok && e.ver == r.memVer[a.ID] {
+			rows[a.ID] = e.rows
+			vers[a.ID] = e.ver
+			continue
+		}
+		stale = append(stale, a)
+	}
+	r.mu.RUnlock()
+	if len(stale) == 0 {
+		return rows, vers
+	}
+
+	// Rebuild the stale assemblies under the shared lock — the table scan
+	// must not hold the exclusive lock, or a big rebuild would serialize
+	// every Register/Revoke behind it. Mutations take the write lock, so
+	// the versions read here are consistent with the scanned rows.
+	rebuilt := make(map[string]policyRows, len(stale))
+	r.mu.RLock()
+	var nyms []string
+	for _, a := range stale {
+		if e, ok := r.rowsCache[a.ID]; ok && e.ver == r.memVer[a.ID] {
+			// A concurrent snapshot rebuilt it while we were unlocked.
+			rows[a.ID] = e.rows
+			vers[a.ID] = e.ver
+			continue
+		}
+		if nyms == nil {
+			nyms = make([]string, 0, len(r.table))
+			for nym := range r.table {
+				nyms = append(nyms, nym)
+			}
+			sort.Strings(nyms)
+		}
+		var acpRows [][]core.CSS
+		for _, nym := range nyms {
+			row := r.table[nym]
+			css := make([]core.CSS, 0, len(a.Conds))
+			complete := true
+			for _, c := range a.Conds {
+				v, ok := row[c.ID()]
+				if !ok {
+					complete = false
+					break
+				}
+				css = append(css, v)
+			}
+			if complete {
+				acpRows = append(acpRows, css)
+			}
+		}
+		e := policyRows{ver: r.memVer[a.ID], rows: acpRows}
+		rebuilt[a.ID] = e
+		rows[a.ID] = e.rows
+		vers[a.ID] = e.ver
+	}
+	r.mu.RUnlock()
+	if len(rebuilt) == 0 {
+		return rows, vers
+	}
+
+	// Install the rebuilt entries under a brief exclusive lock; skip any
+	// whose membership advanced since the scan (the rows returned above are
+	// still a valid snapshot of the version they were scanned at).
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, e := range rebuilt {
+		if r.memVer[id] == e.ver {
+			r.rowsCache[id] = e
+		}
+	}
+	return rows, vers
+}
+
+// export copies the table for state serialization.
+func (r *registry) export() map[string]map[string]uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]map[string]uint64, len(r.table))
+	for nym, row := range r.table {
+		cells := make(map[string]uint64, len(row))
+		for cond, css := range row {
+			cells[cond] = uint64(css)
+		}
+		out[nym] = cells
+	}
+	return out
+}
+
+// replace swaps in a wholesale new table (state import) and marks every
+// policy membership-dirty.
+func (r *registry) replace(table map[string]map[string]core.CSS) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.table = table
+	for id := range r.memVer {
+		r.memVer[id]++
+	}
+}

@@ -21,24 +21,15 @@ type stateFile struct {
 // should be protected") — callers must store it accordingly (e.g. mode
 // 0600, encrypted at rest).
 func (p *Publisher) ExportState() ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	sf := stateFile{Version: 1, Table: make(map[string]map[string]uint64, len(p.table))}
-	for nym, row := range p.table {
-		out := make(map[string]uint64, len(row))
-		for cond, css := range row {
-			out[cond] = uint64(css)
-		}
-		sf.Table[nym] = out
-	}
-	return json.Marshal(sf)
+	return json.Marshal(stateFile{Version: 1, Table: p.reg.export()})
 }
 
 // ImportState restores a previously exported CSS table, replacing the
 // current one. Conditions that no longer exist in the publisher's policy set
 // are dropped (with no error: policies may legitimately have changed —
 // §V-C: "access control policies can be flexibly updated … without changing
-// any information stored at Subs").
+// any information stored at Subs"). Every configuration is treated as
+// membership-dirty afterwards, so the next Publish rekeys everything.
 func (p *Publisher) ImportState(data []byte) error {
 	var sf stateFile
 	if err := json.Unmarshal(data, &sf); err != nil {
@@ -66,8 +57,7 @@ func (p *Publisher) ImportState(data []byte) error {
 			table[nym] = out
 		}
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.table = table
+	p.reg.replace(table)
+	p.keys.reset()
 	return nil
 }

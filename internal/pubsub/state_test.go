@@ -63,9 +63,7 @@ func TestImportDropsStaleConditions(t *testing.T) {
 	if err := pub2.ImportState(state); err != nil {
 		t.Fatal(err)
 	}
-	pub2.mu.Lock()
-	row := pub2.table["pn-st3"]
-	pub2.mu.Unlock()
+	row := pub2.reg.rowCopy("pn-st3")
 	for cond := range row {
 		if cond != "role = doc" {
 			t.Errorf("stale condition %q survived import", cond)

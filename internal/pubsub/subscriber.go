@@ -25,6 +25,15 @@ type Registrar interface {
 	Register(*RegistrationRequest) (*ocbe.Envelope, error)
 }
 
+// BatchRegistrar is a Registrar that additionally accepts a whole
+// registration batch in one call — one network round trip instead of one
+// per condition. *Publisher and the transport client both implement it;
+// Subscriber.RegisterAll uses the batched path whenever available.
+type BatchRegistrar interface {
+	Registrar
+	RegisterBatch([]*RegistrationRequest) ([]BatchResult, error)
+}
+
 // Subscriber is a content consumer. It holds identity tokens with their
 // private openings and the CSSs it managed to extract during registration;
 // from those plus public broadcast headers it derives decryption keys
@@ -94,11 +103,23 @@ func (s *Subscriber) HasCSS(condID string) bool {
 // exclusive ones — so the publisher cannot infer which condition it actually
 // satisfies (§V-B, Example 3). Envelopes that fail to open are skipped
 // silently. It returns the number of CSSs extracted.
+//
+// When the registrar supports batching (BatchRegistrar — both *Publisher and
+// the transport client do), all matching conditions travel in a single
+// RegisterBatch round trip; otherwise one Register call runs per condition.
 func (s *Subscriber) RegisterAll(r Registrar) (int, error) {
 	params := r.Params()
 	ell := r.Ell()
 	conds := r.Conditions()
-	extracted := 0
+
+	// Prepare the OCBE receiver messages for every matching condition.
+	type prepared struct {
+		cond policy.Condition
+		recv *ocbe.Receiver
+		wit  *ocbe.Witness
+		req  *RegistrationRequest
+	}
+	var items []prepared
 	for _, cond := range conds {
 		s.mu.Lock()
 		ts, ok := s.tokens[cond.Attr]
@@ -110,26 +131,84 @@ func (s *Subscriber) RegisterAll(r Registrar) (int, error) {
 		pred := ocbe.Predicate{Op: cond.Op, X0: idtoken.EncodeValue(params.Order(), cond.Value)}
 		wit, req, err := recv.Prepare(pred, ell)
 		if err != nil {
-			return extracted, fmt.Errorf("pubsub: preparing for %q: %w", cond.ID(), err)
+			return 0, fmt.Errorf("pubsub: preparing for %q: %w", cond.ID(), err)
 		}
-		env, err := r.Register(&RegistrationRequest{Token: ts.token, CondID: cond.ID(), OCBE: req})
+		items = append(items, prepared{
+			cond: cond,
+			recv: recv,
+			wit:  wit,
+			req:  &RegistrationRequest{Token: ts.token, CondID: cond.ID(), OCBE: req},
+		})
+	}
+	if len(items) == 0 {
+		return 0, nil
+	}
+
+	// Collect the envelopes: one batched round trip when possible. An
+	// item-level failure is remembered but must not discard the other
+	// envelopes — the publisher has already committed their CSS cells to
+	// table T, so dropping them here would leave this subscriber counted in
+	// ACVs it cannot use.
+	envs := make([]*ocbe.Envelope, len(items))
+	var itemErr error
+	if br, ok := r.(BatchRegistrar); ok {
+		reqs := make([]*RegistrationRequest, len(items))
+		for i, it := range items {
+			reqs[i] = it.req
+		}
+		results, err := br.RegisterBatch(reqs)
 		if err != nil {
-			return extracted, fmt.Errorf("pubsub: registering for %q: %w", cond.ID(), err)
+			return 0, fmt.Errorf("pubsub: batch registration: %w", err)
 		}
-		payload, err := recv.Open(env, wit)
+		if len(results) != len(items) {
+			return 0, fmt.Errorf("pubsub: batch returned %d results for %d requests", len(results), len(items))
+		}
+		for i, res := range results {
+			if res.Err != "" {
+				if itemErr == nil {
+					itemErr = fmt.Errorf("pubsub: registering for %q: %s", items[i].cond.ID(), res.Err)
+				}
+				continue
+			}
+			envs[i] = res.Envelope
+		}
+	} else {
+		for i, it := range items {
+			env, err := r.Register(it.req)
+			if err != nil {
+				if itemErr == nil {
+					itemErr = fmt.Errorf("pubsub: registering for %q: %w", it.cond.ID(), err)
+				}
+				continue
+			}
+			envs[i] = env
+		}
+	}
+
+	extracted := 0
+	for i, it := range items {
+		if envs[i] == nil {
+			continue // item failed; error already recorded
+		}
+		payload, err := it.recv.Open(envs[i], it.wit)
 		if err != nil {
 			continue // condition not satisfied; indistinguishable to the publisher
 		}
 		css, err := core.CSSFromBytes(payload)
 		if err != nil {
-			return extracted, fmt.Errorf("pubsub: bad CSS payload for %q: %w", cond.ID(), err)
+			// Record and keep going: aborting here would abandon envelopes
+			// whose cells the publisher has already committed.
+			if itemErr == nil {
+				itemErr = fmt.Errorf("pubsub: bad CSS payload for %q: %w", it.cond.ID(), err)
+			}
+			continue
 		}
 		s.mu.Lock()
-		s.css[cond.ID()] = css
+		s.css[it.cond.ID()] = css
 		s.mu.Unlock()
 		extracted++
 	}
-	return extracted, nil
+	return extracted, itemErr
 }
 
 // Decrypt recovers every subdocument of a broadcast the subscriber is

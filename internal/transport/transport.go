@@ -1,7 +1,9 @@
 // Package transport puts the registration and dissemination phases on the
 // wire: a publisher-side TCP server and a subscriber-side client exchanging
-// gob-encoded messages. The client implements pubsub.Registrar, so a
-// subscriber can register over the network exactly as it does in process;
+// gob-encoded messages. The client implements pubsub.BatchRegistrar, so a
+// subscriber registering over the network sends all matching conditions in
+// a single register-batch round trip (falling back to per-condition
+// Register calls only against servers that predate the batch RPC);
 // broadcasts are fetched from the same endpoint.
 //
 // The Pedersen parameters themselves are system-wide public setup (group
@@ -13,6 +15,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 
@@ -24,9 +27,10 @@ import (
 
 // request is the single wire request envelope.
 type request struct {
-	Kind string // "info", "register", "fetch"
-	Reg  *pubsub.RegistrationRequest
-	Doc  string // for fetch: document name ("" = latest)
+	Kind  string // "info", "register", "register-batch", "fetch"
+	Reg   *pubsub.RegistrationRequest
+	Batch []*pubsub.RegistrationRequest
+	Doc   string // for fetch: document name ("" = latest)
 }
 
 // response is the single wire response envelope.
@@ -34,8 +38,13 @@ type response struct {
 	Err        string
 	Conditions []policy.Condition
 	Ell        int
-	Envelope   *ocbe.Envelope
-	Broadcast  *pubsub.Broadcast
+	// HasBatch advertises the register-batch RPC in "info" responses;
+	// servers that predate it leave the field unset, steering clients to
+	// the per-condition path without error-text sniffing.
+	HasBatch  bool
+	Envelope  *ocbe.Envelope
+	Batch     []pubsub.BatchResult
+	Broadcast *pubsub.Broadcast
 }
 
 // Server exposes a publisher over TCP.
@@ -89,13 +98,21 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// maxRequestBytes bounds how much a single gob-encoded request may read
+// from the connection before it is decoded — without it, a hostile client
+// could stream an arbitrarily large batch that is fully materialized before
+// the publisher's batch-size cap can reject it.
+const maxRequestBytes = 64 << 20
+
 func (s *Server) handle(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
+	lim := &io.LimitedReader{R: conn}
+	dec := gob.NewDecoder(lim)
 	enc := gob.NewEncoder(conn)
 	for {
+		lim.N = maxRequestBytes
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			return // client closed or garbage; drop the connection
+			return // client closed, over-limit, or garbage; drop the connection
 		}
 		resp := s.dispatch(&req)
 		if err := enc.Encode(resp); err != nil {
@@ -107,13 +124,19 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(req *request) *response {
 	switch req.Kind {
 	case "info":
-		return &response{Conditions: s.pub.Conditions(), Ell: s.pub.Ell()}
+		return &response{Conditions: s.pub.Conditions(), Ell: s.pub.Ell(), HasBatch: true}
 	case "register":
 		env, err := s.pub.Register(req.Reg)
 		if err != nil {
 			return &response{Err: err.Error()}
 		}
 		return &response{Envelope: env}
+	case "register-batch":
+		results, err := s.pub.RegisterBatch(req.Batch)
+		if err != nil {
+			return &response{Err: err.Error()}
+		}
+		return &response{Batch: results}
 	case "fetch":
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -164,14 +187,15 @@ func (s *Server) Close() error {
 // Client is the subscriber-side connection to a publisher server. It
 // implements pubsub.Registrar.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	params *pedersen.Params
-	ell    int
-	conds  []policy.Condition
-	haveIn bool
+	mu       sync.Mutex
+	conn     net.Conn
+	enc      *gob.Encoder
+	dec      *gob.Decoder
+	params   *pedersen.Params
+	ell      int
+	conds    []policy.Condition
+	hasBatch bool
+	haveIn   bool
 }
 
 // Dial connects to a publisher server. params must match the system-wide
@@ -220,6 +244,7 @@ func (c *Client) ensureInfo() error {
 	c.mu.Lock()
 	c.conds = resp.Conditions
 	c.ell = resp.Ell
+	c.hasBatch = resp.HasBatch
 	c.haveIn = true
 	c.mu.Unlock()
 	return nil
@@ -256,6 +281,46 @@ func (c *Client) Register(reg *pubsub.RegistrationRequest) (*ocbe.Envelope, erro
 	return resp.Envelope, nil
 }
 
+// RegisterBatch implements pubsub.BatchRegistrar: all registrations of one
+// subscriber travel in a single round trip instead of one per condition.
+// Against a server whose "info" response does not advertise the batch RPC
+// (one predating it), it transparently degrades to one Register round trip
+// per item.
+func (c *Client) RegisterBatch(reqs []*pubsub.RegistrationRequest) ([]pubsub.BatchResult, error) {
+	if err := c.ensureInfo(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	hasBatch := c.hasBatch
+	c.mu.Unlock()
+	if !hasBatch {
+		// Old server: fall back to the per-condition RPC.
+		results := make([]pubsub.BatchResult, len(reqs))
+		for i, req := range reqs {
+			if req == nil {
+				results[i].Err = "pubsub: incomplete registration request"
+				continue
+			}
+			results[i].CondID = req.CondID
+			env, err := c.Register(req)
+			if err != nil {
+				results[i].Err = err.Error()
+				continue
+			}
+			results[i].Envelope = env
+		}
+		return results, nil
+	}
+	resp, err := c.roundTrip(&request{Kind: "register-batch", Batch: reqs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Batch) != len(reqs) {
+		return nil, fmt.Errorf("transport: %d batch results for %d requests", len(resp.Batch), len(reqs))
+	}
+	return resp.Batch, nil
+}
+
 // Fetch retrieves the broadcast for a document name ("" = latest published).
 func (c *Client) Fetch(docName string) (*pubsub.Broadcast, error) {
 	resp, err := c.roundTrip(&request{Kind: "fetch", Doc: docName})
@@ -268,4 +333,4 @@ func (c *Client) Fetch(docName string) (*pubsub.Broadcast, error) {
 	return resp.Broadcast, nil
 }
 
-var _ pubsub.Registrar = (*Client)(nil)
+var _ pubsub.BatchRegistrar = (*Client)(nil)

@@ -213,3 +213,88 @@ func TestCloseIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBatchedRegistrationOverTCP(t *testing.T) {
+	// RegisterAll against a network client must complete in ONE round trip
+	// via the register-batch RPC, covering several conditions at once.
+	p, m := env(t)
+	acp1, err := policy.New("adult", "age >= 18", "mag.txt", "body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acp2, err := policy.New("senior", "age >= 65", "mag.txt", "extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equality condition: its OCBE request carries no bit commitments and
+	// must still survive the gob-encoded batch (regression: nil Bits
+	// placeholder broke gob).
+	acp3, err := policy.New("staff", "role = vip", "mag.txt", "extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pubsub.NewPublisher(p, m.PublicKey(), []*policy.ACP{acp1, acp2, acp3}, pubsub.Options{Ell: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	client, err := Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	sub, err := pubsub.NewSubscriber("pn-batch-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, sec, err := mgr.IssueString("pn-batch-net", "age", "70")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.AddToken(tok, sec); err != nil {
+		t.Fatal(err)
+	}
+	rtok, rsec, err := mgr.IssueString("pn-batch-net", "role", "vip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.AddToken(rtok, rsec); err != nil {
+		t.Fatal(err)
+	}
+	n, err := sub.RegisterAll(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("extracted %d CSSs, want 3 (two age + one role condition satisfied)", n)
+	}
+	if pub.SubscriberCount() != 1 {
+		t.Fatalf("SubscriberCount = %d", pub.SubscriberCount())
+	}
+
+	// An invalid item is reported per result, not as a connection error.
+	results, err := client.RegisterBatch([]*pubsub.RegistrationRequest{
+		{Token: tok, CondID: "ghost = 1", OCBE: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Err == "" {
+		t.Errorf("expected per-item error, got %+v", results)
+	}
+
+	// Empty batches are rejected server-side.
+	if _, err := client.RegisterBatch(nil); err == nil {
+		t.Error("empty batch accepted over the wire")
+	}
+}

@@ -1,9 +1,9 @@
 // Package wire defines a deterministic, language-neutral binary encoding
-// for the broadcast material of the system: ACV headers and full broadcast
-// packages. The TCP transport uses Go's gob for convenience; this format is
-// the stable interchange representation (e.g. for publishing broadcast
-// files, CDN distribution, or non-Go subscribers) and is what Header.Size
-// accounting corresponds to.
+// for the protocol messages of the system: ACV headers, full broadcast
+// packages, and the batched registration exchange. The TCP transport uses
+// Go's gob for convenience; this format is the stable interchange
+// representation (e.g. for publishing broadcast files, CDN distribution, or
+// non-Go subscribers) and is what Header.Size accounting corresponds to.
 //
 // All integers are big-endian. Every message starts with a one-byte format
 // version. Strings and byte fields are length-prefixed with uint32.
@@ -14,10 +14,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/big"
 
 	"ppcd/internal/core"
 	"ppcd/internal/ff64"
+	"ppcd/internal/idtoken"
 	"ppcd/internal/linalg"
+	"ppcd/internal/ocbe"
 	"ppcd/internal/policy"
 	"ppcd/internal/pubsub"
 )
@@ -223,6 +226,314 @@ func MarshalBroadcast(b *pubsub.Broadcast) []byte {
 		w.bytes(it.Ciphertext)
 	}
 	return w.buf.Bytes()
+}
+
+// maxEnvelopeDepth bounds the recursion of nested OCBE sub-envelopes. The
+// protocols produce depth ≤ 2 (a ≠ envelope containing two leaf envelopes).
+const maxEnvelopeDepth = 4
+
+// capHint clamps an attacker-controlled element count before it is used as
+// a preallocation capacity; append grows the slice past it as real payload
+// bytes arrive.
+func capHint(n uint32) int {
+	if n > 1024 {
+		return 1024
+	}
+	return int(n)
+}
+
+// MarshalRegistrationBatch encodes a batched registration request: every
+// (token, condition, OCBE receiver message) triple a subscriber submits in
+// one round trip. Nil requests or nil fields — which the publisher rejects
+// per item rather than per batch — encode as empty placeholders instead of
+// panicking.
+func MarshalRegistrationBatch(reqs []*pubsub.RegistrationRequest) []byte {
+	var w writer
+	w.u8(Version)
+	w.u32(uint32(len(reqs)))
+	for _, req := range reqs {
+		if req == nil {
+			req = &pubsub.RegistrationRequest{}
+		}
+		tok := req.Token
+		if tok == nil {
+			tok = &idtoken.Token{}
+		}
+		w.str(tok.Nym)
+		w.str(tok.Tag)
+		w.bytes(tok.Commitment)
+		w.bytes(tok.Sig)
+		w.str(req.CondID)
+		ocbeReq := req.OCBE
+		if ocbeReq == nil {
+			ocbeReq = &ocbe.Request{}
+		}
+		writeOCBERequest(&w, ocbeReq)
+	}
+	return w.buf.Bytes()
+}
+
+func writeOCBERequest(w *writer, req *ocbe.Request) {
+	w.bytes(req.Commitment)
+	w.u32(uint32(len(req.Bits)))
+	for _, bc := range req.Bits {
+		if bc == nil { // equality sub-predicate placeholder
+			w.u32(0)
+			continue
+		}
+		w.u32(uint32(len(bc.Cs)))
+		for _, c := range bc.Cs {
+			w.bytes(c)
+		}
+	}
+}
+
+// UnmarshalRegistrationBatch decodes a batched registration request.
+func UnmarshalRegistrationBatch(data []byte) ([]*pubsub.RegistrationRequest, error) {
+	r := &reader{data: data}
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, ErrBadVersion
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, ErrOversize
+	}
+	out := make([]*pubsub.RegistrationRequest, 0, capHint(n))
+	for i := uint32(0); i < n; i++ {
+		tok := &idtoken.Token{}
+		if tok.Nym, err = r.str(); err != nil {
+			return nil, err
+		}
+		if tok.Tag, err = r.str(); err != nil {
+			return nil, err
+		}
+		if tok.Commitment, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		if tok.Sig, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		req := &pubsub.RegistrationRequest{Token: tok}
+		if req.CondID, err = r.str(); err != nil {
+			return nil, err
+		}
+		if req.OCBE, err = readOCBERequest(r); err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func readOCBERequest(r *reader) (*ocbe.Request, error) {
+	req := &ocbe.Request{}
+	var err error
+	if req.Commitment, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	nb, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nb > 1<<16 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < nb; i++ {
+		nc, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nc > 1<<16 {
+			return nil, ErrOversize
+		}
+		bc := &ocbe.BitCommitments{Cs: make([][]byte, 0, capHint(nc))}
+		for j := uint32(0); j < nc; j++ {
+			c, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			bc.Cs = append(bc.Cs, c)
+		}
+		req.Bits = append(req.Bits, bc)
+	}
+	return req, nil
+}
+
+// MarshalBatchReply encodes the publisher's reply to a registration batch:
+// per item either an OCBE envelope or an error message.
+func MarshalBatchReply(results []pubsub.BatchResult) []byte {
+	var w writer
+	w.u8(Version)
+	w.u32(uint32(len(results)))
+	for _, res := range results {
+		w.str(res.CondID)
+		w.str(res.Err)
+		if res.Envelope == nil {
+			w.u8(0)
+			continue
+		}
+		w.u8(1)
+		writeEnvelope(&w, res.Envelope)
+	}
+	return w.buf.Bytes()
+}
+
+func writeEnvelope(w *writer, env *ocbe.Envelope) {
+	w.u8(byte(env.Op))
+	if env.X0 == nil {
+		w.u8(0)
+	} else if env.X0.Sign() >= 0 {
+		w.u8(1)
+		w.bytes(env.X0.Bytes())
+	} else {
+		w.u8(2)
+		w.bytes(new(big.Int).Neg(env.X0).Bytes())
+	}
+	w.u32(uint32(env.Ell))
+	w.bytes(env.Eta)
+	w.bytes(env.C)
+	w.u32(uint32(len(env.Bits)))
+	for _, bp := range env.Bits {
+		w.bytes(bp.C0)
+		w.bytes(bp.C1)
+	}
+	w.u32(uint32(len(env.Sub)))
+	for _, sub := range env.Sub {
+		writeEnvelope(w, sub)
+	}
+}
+
+// UnmarshalBatchReply decodes a registration batch reply.
+func UnmarshalBatchReply(data []byte) ([]pubsub.BatchResult, error) {
+	r := &reader{data: data}
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != Version {
+		return nil, ErrBadVersion
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, ErrOversize
+	}
+	out := make([]pubsub.BatchResult, 0, capHint(n))
+	for i := uint32(0); i < n; i++ {
+		var res pubsub.BatchResult
+		if res.CondID, err = r.str(); err != nil {
+			return nil, err
+		}
+		if res.Err, err = r.str(); err != nil {
+			return nil, err
+		}
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch has {
+		case 0:
+		case 1:
+			if res.Envelope, err = readEnvelope(r, 0); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wire: bad envelope presence byte %d", has)
+		}
+		out = append(out, res)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func readEnvelope(r *reader, depth int) (*ocbe.Envelope, error) {
+	if depth > maxEnvelopeDepth {
+		return nil, fmt.Errorf("wire: envelope nesting exceeds depth %d", maxEnvelopeDepth)
+	}
+	env := &ocbe.Envelope{}
+	op, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	env.Op = ocbe.CompareOp(op)
+	sign, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch sign {
+	case 0:
+	case 1, 2:
+		raw, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		env.X0 = new(big.Int).SetBytes(raw)
+		if sign == 2 {
+			env.X0.Neg(env.X0)
+		}
+	default:
+		return nil, fmt.Errorf("wire: bad X0 sign byte %d", sign)
+	}
+	ell, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ell > 1<<16 {
+		return nil, ErrOversize
+	}
+	env.Ell = int(ell)
+	if env.Eta, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	if env.C, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	nb, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nb > 1<<16 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < nb; i++ {
+		var bp ocbe.BitPair
+		if bp.C0, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		if bp.C1, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		env.Bits = append(env.Bits, bp)
+	}
+	ns, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ns > 16 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < ns; i++ {
+		sub, err := readEnvelope(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		env.Sub = append(env.Sub, sub)
+	}
+	return env, nil
 }
 
 // UnmarshalBroadcast decodes a broadcast package.

@@ -5,8 +5,12 @@ import (
 	"math/rand"
 	"testing"
 
+	"math/big"
+
 	"ppcd/internal/core"
 	"ppcd/internal/ff64"
+	"ppcd/internal/idtoken"
+	"ppcd/internal/ocbe"
 	"ppcd/internal/policy"
 	"ppcd/internal/pubsub"
 )
@@ -200,5 +204,99 @@ func TestEndToEndThroughWire(t *testing.T) {
 		if err != nil || k != key {
 			t.Fatal("wire header does not derive")
 		}
+	}
+}
+
+func TestRegistrationBatchRoundTrip(t *testing.T) {
+	// A synthetic batch covering both OCBE request shapes (equality: bare
+	// commitment; inequality: bit commitments) and both envelope shapes.
+	reqs := []*pubsub.RegistrationRequest{
+		{
+			Token:  &idtoken.Token{Nym: "pn-1", Tag: "role", Commitment: []byte{1, 2, 3}, Sig: []byte{9}},
+			CondID: "role = doc",
+			OCBE:   &ocbe.Request{Commitment: []byte{1, 2, 3}},
+		},
+		{
+			Token:  &idtoken.Token{Nym: "pn-1", Tag: "level", Commitment: []byte{4, 5}, Sig: []byte{8, 7}},
+			CondID: "level >= 59",
+			OCBE: &ocbe.Request{
+				Commitment: []byte{4, 5},
+				Bits:       []*ocbe.BitCommitments{{Cs: [][]byte{{0xa}, {0xb}, {0xc}}}},
+			},
+		},
+	}
+	enc := MarshalRegistrationBatch(reqs)
+	dec, err := UnmarshalRegistrationBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 2 {
+		t.Fatalf("decoded %d requests", len(dec))
+	}
+	if dec[0].Token.Nym != "pn-1" || dec[0].CondID != "role = doc" || !bytes.Equal(dec[0].OCBE.Commitment, []byte{1, 2, 3}) {
+		t.Errorf("request 0 mangled: %+v", dec[0])
+	}
+	if len(dec[1].OCBE.Bits) != 1 || len(dec[1].OCBE.Bits[0].Cs) != 3 || !bytes.Equal(dec[1].OCBE.Bits[0].Cs[2], []byte{0xc}) {
+		t.Errorf("bit commitments mangled: %+v", dec[1].OCBE)
+	}
+
+	// Re-encoding the decoded batch is byte-identical (deterministic format).
+	if !bytes.Equal(MarshalRegistrationBatch(dec), enc) {
+		t.Error("round trip not deterministic")
+	}
+}
+
+func TestBatchReplyRoundTrip(t *testing.T) {
+	neg := big.NewInt(-3)
+	results := []pubsub.BatchResult{
+		{CondID: "role = doc", Envelope: &ocbe.Envelope{
+			Op: ocbe.EQ, X0: big.NewInt(42), Eta: []byte{1}, C: []byte{2, 3},
+		}},
+		{CondID: "ghost = 1", Err: "pubsub: condition not in any policy"},
+		{CondID: "age != 7", Envelope: &ocbe.Envelope{
+			Op: ocbe.NE, X0: big.NewInt(7),
+			Sub: []*ocbe.Envelope{
+				{Op: ocbe.GE, X0: big.NewInt(8), Ell: 4, Eta: []byte{4}, C: []byte{5},
+					Bits: []ocbe.BitPair{{C0: []byte{6}, C1: []byte{7}}}},
+				{Op: ocbe.LE, X0: neg, Ell: 4, Eta: []byte{8}, C: []byte{9}},
+			},
+		}},
+	}
+	enc := MarshalBatchReply(results)
+	dec, err := UnmarshalBatchReply(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 3 {
+		t.Fatalf("decoded %d results", len(dec))
+	}
+	if dec[0].Envelope.X0.Int64() != 42 || dec[0].Envelope.Op != ocbe.EQ {
+		t.Errorf("result 0 mangled: %+v", dec[0].Envelope)
+	}
+	if dec[1].Envelope != nil || dec[1].Err == "" {
+		t.Errorf("error item mangled: %+v", dec[1])
+	}
+	sub := dec[2].Envelope.Sub
+	if len(sub) != 2 || sub[1].X0.Int64() != -3 || len(sub[0].Bits) != 1 {
+		t.Errorf("nested envelopes mangled: %+v", dec[2].Envelope)
+	}
+	if !bytes.Equal(MarshalBatchReply(dec), enc) {
+		t.Error("round trip not deterministic")
+	}
+
+	// Corruption anywhere must error, never panic.
+	for i := 0; i < len(enc); i += 3 {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0xff
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corrupt byte %d: %v", i, r)
+				}
+			}()
+			dec2, err := UnmarshalBatchReply(bad)
+			_ = dec2
+			_ = err
+		}()
 	}
 }

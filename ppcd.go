@@ -35,6 +35,7 @@
 package ppcd
 
 import (
+	"ppcd/internal/core"
 	"ppcd/internal/document"
 	"ppcd/internal/g2"
 	"ppcd/internal/group"
@@ -134,6 +135,16 @@ type Subscriber = pubsub.Subscriber
 // Registrar is the publisher-side interface a subscriber registers against
 // (satisfied by *Publisher and by the transport client).
 type Registrar = pubsub.Registrar
+
+// BatchRegistrar is a Registrar that accepts a whole registration batch in
+// one round trip; Subscriber.RegisterAll uses it automatically when
+// available (both *Publisher and the transport client provide it).
+type BatchRegistrar = pubsub.BatchRegistrar
+
+// RekeyStats are the publisher rekey engine's work counters (see
+// Publisher.Stats): configurations re-solved vs. served from the
+// incremental ACV cache.
+type RekeyStats = core.EngineStats
 
 // NewSubscriber creates a subscriber under a pseudonym.
 func NewSubscriber(nym string) (*Subscriber, error) { return pubsub.NewSubscriber(nym) }
