@@ -439,7 +439,8 @@ func BenchmarkEndToEndPublish(b *testing.B) {
 // first half of the pseudonyms hold only attr0 (revoking one dirties
 // exactly one configuration), the rest are fully registered. The state is
 // injected through the public import path so no OCBE exchanges run.
-func benchStatePublisher(b *testing.B, subs, policies int) (*Publisher, *Document, []byte) {
+// groupSize > 0 enables §VIII-C subscriber grouping.
+func benchStatePublisher(b *testing.B, subs, policies, groupSize int) (*Publisher, *Document, []byte) {
 	b.Helper()
 	_, sch := benchParams(b)
 	idmgr, err := NewIdentityManager(sch)
@@ -450,7 +451,7 @@ func benchStatePublisher(b *testing.B, subs, policies int) (*Publisher, *Documen
 	if err != nil {
 		b.Fatal(err)
 	}
-	pub, err := NewPublisher(sch, idmgr.PublicKey(), acps, Options{Ell: 8})
+	pub, err := NewPublisher(sch, idmgr.PublicKey(), acps, Options{Ell: 8, GroupSize: groupSize})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -463,7 +464,7 @@ func benchStatePublisher(b *testing.B, subs, policies int) (*Publisher, *Documen
 func BenchmarkPublishSteadyState(b *testing.B) {
 	for _, subs := range []int{100, 400} {
 		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
-			pub, doc, _ := benchStatePublisher(b, subs, 5)
+			pub, doc, _ := benchStatePublisher(b, subs, 5, 0)
 			if _, err := pub.Publish(doc); err != nil {
 				b.Fatal(err)
 			}
@@ -485,7 +486,7 @@ func BenchmarkPublishSteadyState(b *testing.B) {
 func BenchmarkPublishSingleLeave(b *testing.B) {
 	for _, subs := range []int{100, 400} {
 		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
-			pub, doc, state := benchStatePublisher(b, subs, 5)
+			pub, doc, state := benchStatePublisher(b, subs, 5, 0)
 			if _, err := pub.Publish(doc); err != nil {
 				b.Fatal(err)
 			}
@@ -516,10 +517,76 @@ func BenchmarkPublishSingleLeave(b *testing.B) {
 func BenchmarkPublishFullRebuild(b *testing.B) {
 	for _, subs := range []int{100, 400} {
 		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
-			pub, doc, state := benchStatePublisher(b, subs, 5)
+			pub, doc, state := benchStatePublisher(b, subs, 5, 0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := pub.ImportState(state); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pub.Publish(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Grouped engine (§VIII-C): full-rebuild and churn cost vs grouping g ---
+//
+// Sharding a policy's rows into g groups cuts a full rebuild from N³ to
+// ~N³/g² solve work, and a single leave from one configuration solve to one
+// shard solve of (N/g)³. These benchmarks measure both regimes across g;
+// g=1 (GroupSize 0) is the ungrouped baseline. The group-size cap is
+// ceil(subs/g), so the dominant full-subs policy (attr0) shards into
+// exactly g groups and the half-registered ones into ~g/2.
+
+func benchGroupSize(subs, g int) int {
+	if g <= 1 {
+		return 0
+	}
+	return (subs + g - 1) / g
+}
+
+func BenchmarkPublishGroupedFullRebuild(b *testing.B) {
+	const subs = 256
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("groups=%d", g), func(b *testing.B) {
+			pub, doc, state := benchStatePublisher(b, subs, 5, benchGroupSize(subs, g))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pub.ImportState(state); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pub.Publish(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPublishGroupedSingleLeave(b *testing.B) {
+	const subs = 256
+	for _, g := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("groups=%d", g), func(b *testing.B) {
+			pub, doc, state := benchStatePublisher(b, subs, 5, benchGroupSize(subs, g))
+			if _, err := pub.Publish(doc); err != nil {
+				b.Fatal(err)
+			}
+			pool := subs / 2
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%pool == 0 {
+					b.StopTimer()
+					if err := pub.ImportState(state); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := pub.Publish(doc); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				if err := pub.RevokeSubscription(fmt.Sprintf("pn-%d", i%pool)); err != nil {
 					b.Fatal(err)
 				}
 				if _, err := pub.Publish(doc); err != nil {

@@ -13,6 +13,7 @@
 //	ppcd-bench -group schnorr       # run OCBE figures over the Schnorr group
 //	ppcd-bench -quick               # reduced sweeps for smoke testing
 //	ppcd-bench -publish -subs 400   # steady-state vs churn publish timings (JSON)
+//	ppcd-bench -publish -groups 4   # same, sharded into 4 groups/policy (§VIII-C)
 package main
 
 import (
@@ -48,11 +49,12 @@ func main() {
 		subs      = flag.Int("subs", 200, "-publish: registered pseudonyms")
 		policies  = flag.Int("policies", 5, "-publish: single-condition policies / configurations")
 		pubRounds = flag.Int("publish-rounds", 10, "-publish: publishes measured per regime")
+		groups    = flag.Int("groups", 1, "-publish: §VIII-C grouping degree of the largest policy (1 = ungrouped baseline; half-filled policies shard into ~groups/2 groups)")
 	)
 	flag.Parse()
 
 	if *publish {
-		if err := runPublishBench(*subs, *policies, *pubRounds); err != nil {
+		if err := runPublishBench(*subs, *policies, *pubRounds, *groups); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -217,28 +219,39 @@ type publishReport struct {
 	Subs     int `json:"subs"`
 	Policies int `json:"policies"`
 	Rounds   int `json:"rounds"`
+	// Groups is the requested §VIII-C grouping degree g (1 = ungrouped);
+	// GroupSize is the resulting per-group row cap passed to the publisher,
+	// ceil(subs/g). The fully-registered policy (attr0, subs rows) shards
+	// into exactly g groups; the half-registered ones into ~g/2.
+	Groups    int `json:"groups"`
+	GroupSize int `json:"group_size"`
 	// SteadyNs: publish with no table change (zero ACV solves).
 	SteadyNs int64 `json:"steady_ns_per_publish"`
 	// ChurnNs: publish after one subscription revocation (only affected
-	// configurations re-solved).
+	// configurations — one shard, when grouped — re-solved).
 	ChurnNs int64 `json:"churn_ns_per_publish"`
 	// FullNs: publish after a wholesale state import (every configuration
-	// re-solved).
+	// re-solved; grouping cuts this by ~g²).
 	FullNs int64 `json:"full_ns_per_publish"`
 	Stats  struct {
-		Rekeys    uint64 `json:"rekeys"`
-		Rebuilds  uint64 `json:"rebuilds"`
-		CacheHits uint64 `json:"cache_hits"`
-		Solves    uint64 `json:"solves"`
+		Rekeys         uint64 `json:"rekeys"`
+		Rebuilds       uint64 `json:"rebuilds"`
+		CacheHits      uint64 `json:"cache_hits"`
+		Solves         uint64 `json:"solves"`
+		DominanceSkips uint64 `json:"dominance_skips"`
 	} `json:"engine_stats"`
 }
 
 // runPublishBench measures steady-state vs churn vs full-rebuild publish
 // cost on a synthetic table injected through the state-import path (no OCBE
-// exchanges), printing one JSON object to stdout.
-func runPublishBench(subs, policies, rounds int) error {
-	if subs < 4 || policies < 1 || rounds < 1 {
-		return fmt.Errorf("ppcd-bench: -publish needs subs>=4, policies>=1, rounds>=1")
+// exchanges), printing one JSON object to stdout. groups > 1 caps group
+// size at ceil(subs/groups) (§VIII-C), sharding the dominant full-subs
+// policy into exactly `groups` groups, which makes the N³/g² claim a
+// measured series: run with -groups 1 for the baseline and higher g to
+// compare.
+func runPublishBench(subs, policies, rounds, groups int) error {
+	if subs < 4 || policies < 1 || rounds < 1 || groups < 1 {
+		return fmt.Errorf("ppcd-bench: -publish needs subs>=4, policies>=1, rounds>=1, groups>=1")
 	}
 	params, err := ppcd.Setup(ppcd.SchnorrGroup(), []byte("ppcd-bench"))
 	if err != nil {
@@ -257,7 +270,11 @@ func runPublishBench(subs, policies, rounds int) error {
 	if err != nil {
 		return err
 	}
-	pub, err := ppcd.NewPublisher(params, idmgr.PublicKey(), acps, ppcd.Options{Ell: 8})
+	groupSize := 0
+	if groups > 1 {
+		groupSize = (subs + groups - 1) / groups
+	}
+	pub, err := ppcd.NewPublisher(params, idmgr.PublicKey(), acps, ppcd.Options{Ell: 8, GroupSize: groupSize})
 	if err != nil {
 		return err
 	}
@@ -281,6 +298,7 @@ func runPublishBench(subs, policies, rounds int) error {
 
 	var rep publishReport
 	rep.Subs, rep.Policies, rep.Rounds = subs, policies, rounds
+	rep.Groups, rep.GroupSize = groups, groupSize
 
 	// Full rebuild: re-import the table before every publish.
 	if rep.FullNs, err = measure(func(int) error { return pub.ImportState(state) }); err != nil {
@@ -318,8 +336,8 @@ func runPublishBench(subs, policies, rounds int) error {
 	}
 
 	s := pub.Stats()
-	rep.Stats.Rekeys, rep.Stats.Rebuilds, rep.Stats.CacheHits, rep.Stats.Solves =
-		s.Rekeys, s.Rebuilds, s.CacheHits, s.Solves
+	rep.Stats.Rekeys, rep.Stats.Rebuilds, rep.Stats.CacheHits, rep.Stats.Solves, rep.Stats.DominanceSkips =
+		s.Rekeys, s.Rebuilds, s.CacheHits, s.Solves, s.DominanceSkips
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)

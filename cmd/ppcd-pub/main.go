@@ -44,6 +44,7 @@ func main() {
 		seed       = flag.String("seed", "ppcd-system", "Pedersen parameter seed (must match subscribers)")
 		ell        = flag.Int("ell", 16, "bit bound for inequality conditions")
 		groupName  = flag.String("group", "schnorr", "commitment group: schnorr or jacobian")
+		groupSize  = flag.Int("group-size", 0, "shard each policy's subscribers into groups of at most this many rows (§VIII-C; 0 = one ACV per configuration)")
 	)
 	flag.Parse()
 
@@ -71,7 +72,7 @@ func main() {
 	}
 	log.Printf("loaded %d policies from %s", len(acps), *policyPath)
 
-	pub, err := ppcd.NewPublisher(params, key, acps, ppcd.Options{Ell: *ell})
+	pub, err := ppcd.NewPublisher(params, key, acps, ppcd.Options{Ell: *ell, GroupSize: *groupSize})
 	if err != nil {
 		log.Fatal(err)
 	}

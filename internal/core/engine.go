@@ -38,6 +38,11 @@ type Engine struct {
 
 	mu    sync.Mutex
 	cache map[string]engineEntry
+	// shardCache and groupedCache are the grouped (§VIII-C) counterparts of
+	// cache: per-shard solved sub-headers with their group keys, and
+	// per-configuration assembled grouped headers. See grouped.go.
+	shardCache   map[string]shardEntry
+	groupedCache map[string]groupedEntry
 
 	stats engineCounters
 }
@@ -46,6 +51,18 @@ type engineEntry struct {
 	sig string
 	hdr *Header
 	key ff64.Elem
+}
+
+type shardEntry struct {
+	sig string
+	hdr *Header
+	key ff64.Elem // the shard's long-lived group key S_i
+}
+
+type groupedEntry struct {
+	sig string
+	hdr *GroupedHeader
+	key ff64.Elem // the configuration key K
 }
 
 type engineCounters struct {
@@ -105,7 +122,12 @@ func NewEngine(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, cache: make(map[string]engineEntry)}
+	return &Engine{
+		workers:      workers,
+		cache:        make(map[string]engineEntry),
+		shardCache:   make(map[string]shardEntry),
+		groupedCache: make(map[string]groupedEntry),
+	}
 }
 
 // Stats returns a snapshot of the work counters.
@@ -124,6 +146,7 @@ func (e *Engine) Forget(id string) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.cache, id)
+	delete(e.groupedCache, id)
 }
 
 // Reset drops every cached build (e.g. after a wholesale table import).
@@ -131,6 +154,8 @@ func (e *Engine) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cache = make(map[string]engineEntry)
+	e.shardCache = make(map[string]shardEntry)
+	e.groupedCache = make(map[string]groupedEntry)
 }
 
 // RekeyAll produces a header and key for every configuration, reusing cached

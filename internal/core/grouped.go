@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ppcd/internal/ff64"
+	"ppcd/internal/linalg"
+)
+
+// This file is the grouped (§VIII-C) half of the rekey engine. A grouped
+// configuration's rows are partitioned into shards; each shard is an
+// independent small ACV system delivering a long-lived GROUP key, and the
+// per-publish configuration key travels wrapped under every group key
+// (multi.go, GroupedHeader). The engine caches on two levels:
+//
+//   - shardCache, keyed by the shard's stable ID (policy + group number),
+//     holds the solved sub-header and group key for the shard's current row
+//     content. A shard re-solves only when its signature — a digest of its
+//     rows — changes, so a single join/leave/revocation costs ONE small
+//     solve of (N/g)³ work instead of a full N³ configuration solve.
+//   - groupedCache, keyed by the configuration ID, holds the assembled
+//     GroupedHeader and configuration key. Its signature is the vector of
+//     shard signatures: any shard change (or shard appearing/vanishing)
+//     triggers a cheap reassembly — fresh configuration key, fresh rekey
+//     nonce, one hash per shard for the wraps — while clean shards keep
+//     their sub-headers, nonces and therefore the subscribers' cached KEVs.
+//
+// Forward and backward secrecy across the two levels: a leaver knows its old
+// shard's group key, but the dirty shard re-solves to a fresh one and every
+// other shard's key was never derivable by it, so no wrap of the new
+// configuration key opens for the leaver. A joiner's fresh group key
+// likewise unwraps only configuration keys published after the join.
+
+// ShardSpec describes one row shard of a grouped configuration. ID is stable
+// across sessions and configurations (shards are shared between
+// configurations that contain the same policy, exactly like RowGroups in the
+// ungrouped path); Sig changes iff the shard's row content changes.
+type ShardSpec struct {
+	ID   string
+	Sig  string
+	Rows [][]CSS
+}
+
+// GroupedConfigSpec describes one policy configuration to rekey in grouped
+// mode. The shard order is the caller's (deterministic) order; it defines
+// the sub-header order inside the resulting GroupedHeader.
+type GroupedConfigSpec struct {
+	// ID identifies the configuration across sessions (the cache key).
+	ID string
+	// Shards are the row shards whose union forms the configuration's
+	// subscriber set.
+	Shards []ShardSpec
+}
+
+// GroupedConfigKeys is the grouped rekey outcome for one configuration.
+type GroupedConfigKeys struct {
+	Hdr *GroupedHeader
+	Key ff64.Elem
+	// Rebuilt reports whether this session reassembled the grouped header
+	// (false = full cache hit).
+	Rebuilt bool
+}
+
+// groupedSig combines the shard identities and signatures into the
+// configuration-level cache signature.
+func groupedSig(s GroupedConfigSpec) string {
+	var b strings.Builder
+	for _, sh := range s.Shards {
+		b.WriteString(sh.ID)
+		b.WriteByte('=')
+		b.WriteString(sh.Sig)
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// RekeyAllGrouped is the grouped counterpart of RekeyAll: it produces a
+// grouped header and key for every configuration, re-solving only shards
+// whose row content changed and reassembling only configurations touched by
+// a dirty shard. Dirty shards shared between configurations are solved once.
+// Specs with zero total rows are rejected, mirroring RekeyAll.
+func (e *Engine) RekeyAllGrouped(specs []GroupedConfigSpec) (map[string]GroupedConfigKeys, error) {
+	e.stats.rekeys.Add(1)
+	out := make(map[string]GroupedConfigKeys, len(specs))
+
+	var dirty []GroupedConfigSpec
+	var solveList []ShardSpec
+	queued := make(map[string]bool)
+	maxN := 0
+
+	e.mu.Lock()
+	for _, s := range specs {
+		if ent, ok := e.groupedCache[s.ID]; ok && ent.sig == groupedSig(s) {
+			out[s.ID] = GroupedConfigKeys{Hdr: ent.hdr, Key: ent.key}
+			continue
+		}
+		total := 0
+		for _, sh := range s.Shards {
+			total += len(sh.Rows)
+		}
+		if total == 0 {
+			e.mu.Unlock()
+			return nil, fmt.Errorf("core: configuration %q has no rows: %w", s.ID, ErrNoRows)
+		}
+		dirty = append(dirty, s)
+		for _, sh := range s.Shards {
+			if queued[sh.ID] {
+				continue
+			}
+			queued[sh.ID] = true
+			if ent, ok := e.shardCache[sh.ID]; ok && ent.sig == sh.Sig {
+				continue // clean shard: sub-header and group key reused
+			}
+			solveList = append(solveList, sh)
+			if len(sh.Rows) > maxN {
+				maxN = len(sh.Rows)
+			}
+		}
+	}
+	e.mu.Unlock()
+	e.stats.cacheHits.Add(uint64(len(out)))
+
+	if len(dirty) == 0 {
+		return out, nil
+	}
+
+	// One nonce sequence for all shards solved this session; a shard of n
+	// rows uses the prefix z_1…z_n (the same cross-system nonce sharing the
+	// ungrouped engine applies across configurations).
+	zs := make([][]byte, maxN)
+	for j := range zs {
+		z := make([]byte, NonceSize)
+		if err := fillRandom(z); err != nil {
+			return nil, err
+		}
+		zs[j] = z
+	}
+
+	type solvedShard struct {
+		id  string
+		sig string
+		hdr *Header
+		key ff64.Elem
+		err error
+	}
+	results := make([]solvedShard, len(solveList))
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i, sh := range solveList {
+		wg.Add(1)
+		go func(i int, sh ShardSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			hdr, key, err := e.solveShard(sh, zs)
+			results[i] = solvedShard{id: sh.ID, sig: sh.Sig, hdr: hdr, key: key, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, fmt.Errorf("core: rekeying shard %q: %w", r.id, r.err)
+		}
+		e.shardCache[r.id] = shardEntry{sig: r.sig, hdr: r.hdr, key: r.key}
+	}
+	for _, s := range dirty {
+		key, err := ff64.RandNonZero()
+		if err != nil {
+			return nil, err
+		}
+		nonce := make([]byte, NonceSize)
+		if err := fillRandom(nonce); err != nil {
+			return nil, err
+		}
+		hdr := &GroupedHeader{RekeyNonce: nonce, Shards: make([]GroupShard, len(s.Shards))}
+		for i, sh := range s.Shards {
+			ent, ok := e.shardCache[sh.ID]
+			if !ok {
+				return nil, fmt.Errorf("core: configuration %q references unsolved shard %q", s.ID, sh.ID)
+			}
+			hdr.Shards[i] = GroupShard{Hdr: ent.hdr, Wrap: hdr.WrapKey(key, ent.key)}
+		}
+		e.groupedCache[s.ID] = groupedEntry{sig: groupedSig(s), hdr: hdr, key: key}
+		out[s.ID] = GroupedConfigKeys{Hdr: hdr, Key: key, Rebuilt: true}
+		e.stats.rebuilds.Add(1)
+	}
+	return out, nil
+}
+
+// solveShard solves one shard's small ACV system over the session nonce
+// prefix, delivering a fresh random group key. Shard capacity is exactly the
+// row count: with content-signature dirtiness, capacity headroom cannot save
+// a solve (any join changes the signature anyway), so the sub-header stays
+// as small as §VIII-C promises.
+func (e *Engine) solveShard(sh ShardSpec, zs [][]byte) (*Header, ff64.Elem, error) {
+	n := len(sh.Rows)
+	a := linalg.NewMatrix(n, n+1)
+	for i, css := range sh.Rows {
+		if len(css) == 0 {
+			return nil, 0, ErrEmptyCSS
+		}
+		row := a.Row(i)
+		row[0] = ff64.One
+		for j := 0; j < n; j++ {
+			row[j+1] = HashRow(css, zs[j])
+		}
+	}
+	e.stats.solves.Add(1)
+	y, err := a.RandomKernelVectorInPlace()
+	if err != nil {
+		return nil, 0, fmt.Errorf("solving AY=0: %w", err)
+	}
+	key, err := ff64.RandNonZero()
+	if err != nil {
+		return nil, 0, err
+	}
+	x := y
+	x[0] = ff64.Add(x[0], key)
+	if tailZero(x) {
+		// As in solveConfig: unreachable with ≥1 row, but stay defensive.
+		return nil, 0, errDegenerate
+	}
+	return &Header{X: x, Zs: zs[:n:n]}, key, nil
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"ppcd/internal/ff64"
@@ -117,27 +119,72 @@ func (c *KEVCache) Derive(hdr *Header) (ff64.Elem, error) {
 	return c.kev.Dot(hdr.X)
 }
 
-// GroupedHeader is the broadcast material of a grouped build (§VIII-C): all
-// groups share one document key; each group gets its own small header.
-type GroupedHeader struct {
-	Groups []*Header
+// GroupShard is one shard of a grouped header (§VIII-C): a small ACV
+// sub-header delivering the shard's long-lived GROUP key, plus the wrap of
+// the configuration key under it. The two-level indirection is what makes
+// per-group incremental rekeying possible: a membership change re-solves
+// only the affected shard's ACV (fresh group key), while every clean shard
+// keeps its sub-header — and therefore its subscribers' cached KEVs — and
+// merely receives a fresh wrap of the new configuration key.
+type GroupShard struct {
+	Hdr  *Header
+	Wrap ff64.Elem
 }
 
-// Size returns the total broadcast overhead across groups.
+// GroupedHeader is the broadcast material of a grouped build: one sub-header
+// per row shard, all delivering the same configuration key through per-shard
+// wraps W_i = K + H(S_i ‖ RekeyNonce). RekeyNonce is fresh whenever K is, so
+// reused group keys never reuse a mask. A nil RekeyNonce marks a legacy
+// direct-mode header (decoded from the old single-header wire format) whose
+// shards deliver the configuration key itself.
+type GroupedHeader struct {
+	RekeyNonce []byte
+	Shards     []GroupShard
+}
+
+// Size returns the total broadcast overhead across shards: sub-headers,
+// wraps and the rekey nonce. This is the grouped counterpart of Header.Size.
 func (g *GroupedHeader) Size() int {
-	n := 0
-	for _, h := range g.Groups {
-		n += h.Size()
+	n := len(g.RekeyNonce)
+	for _, sh := range g.Shards {
+		n += sh.Hdr.Size() + 8
 	}
 	return n
 }
 
-// BuildGrouped splits the subscriber rows into groups of at most groupSize
-// and computes an independent ACV per group, all delivering the SAME key —
-// the scalability strategy of §VIII-C: solving g small N×N systems costs
-// g·(N/g)³ = N³/g² field operations instead of N³, at the price of g
-// headers. A subscriber derives the key from its own group's header; since
-// it does not know its group index, DeriveKeyGrouped scans the groups.
+// maskShardKey derives the field mask hiding a configuration key from one
+// shard's group key, in the same random-oracle style as HashRow.
+func maskShardKey(s ff64.Elem, rekeyNonce []byte) ff64.Elem {
+	h := sha256.New()
+	h.Write([]byte("ppcd/group-wrap/v1"))
+	h.Write(s.Bytes())
+	h.Write(rekeyNonce)
+	digest := h.Sum(nil)
+	return ff64.New(binary.BigEndian.Uint64(digest[:8]))
+}
+
+// WrapKey masks the configuration key under a shard's group key.
+func (g *GroupedHeader) WrapKey(key, shardKey ff64.Elem) ff64.Elem {
+	return ff64.Add(key, maskShardKey(shardKey, g.RekeyNonce))
+}
+
+// Unwrap recovers the configuration key from shard i's group key. In legacy
+// direct mode (nil RekeyNonce) the group key IS the configuration key.
+func (g *GroupedHeader) Unwrap(i int, shardKey ff64.Elem) ff64.Elem {
+	if g.RekeyNonce == nil {
+		return shardKey
+	}
+	return ff64.Sub(g.Shards[i].Wrap, maskShardKey(shardKey, g.RekeyNonce))
+}
+
+// BuildGrouped splits the subscriber rows into shards of at most groupSize
+// and computes an independent small ACV per shard — the scalability strategy
+// of §VIII-C: solving g small systems costs g·(N/g)³ = N³/g² field
+// operations instead of N³, at the price of g sub-headers. Each shard's ACV
+// delivers a random group key; the shared configuration key travels wrapped
+// under every group key. A subscriber derives the key from its own shard's
+// sub-header; since it does not know its shard index, DeriveKeyGrouped scans
+// the shards (the pubsub layer remembers the index as a hint).
 func BuildGrouped(rows [][]CSS, groupSize int) (*GroupedHeader, ff64.Elem, error) {
 	if groupSize < 1 {
 		return nil, 0, fmt.Errorf("core: groupSize must be positive, got %d", groupSize)
@@ -149,18 +196,26 @@ func BuildGrouped(rows [][]CSS, groupSize int) (*GroupedHeader, ff64.Elem, error
 	if err != nil {
 		return nil, 0, err
 	}
-	out := &GroupedHeader{}
+	nonce := make([]byte, NonceSize)
+	if err := fillRandom(nonce); err != nil {
+		return nil, 0, err
+	}
+	out := &GroupedHeader{RekeyNonce: nonce}
 	for start := 0; start < len(rows); start += groupSize {
 		end := start + groupSize
 		if end > len(rows) {
 			end = len(rows)
 		}
 		chunk := rows[start:end]
-		hdr, err := buildWithKey(chunk, len(chunk), key)
+		skey, err := ff64.RandNonZero()
+		if err != nil {
+			return nil, 0, err
+		}
+		hdr, err := buildWithKey(chunk, len(chunk), skey)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: group starting at %d: %w", start, err)
 		}
-		out.Groups = append(out.Groups, hdr)
+		out.Shards = append(out.Shards, GroupShard{Hdr: hdr, Wrap: out.WrapKey(key, skey)})
 	}
 	return out, key, nil
 }
@@ -191,21 +246,25 @@ func buildWithKey(rows [][]CSS, n int, key ff64.Elem) (*Header, error) {
 	return nil, errDegenerate
 }
 
-// DeriveKeyGrouped recovers the key from a grouped header by trying each
-// group. It returns the first successful derivation along with the group
-// index; verification of correctness happens — as everywhere in the system —
-// through authenticated decryption of the payload, so callers should try
-// groups in order until decryption succeeds. For convenience it returns all
-// candidate keys when verify is nil.
+// DeriveKeyGrouped recovers the configuration key from a grouped header by
+// trying each shard: derive the shard's group key from the sub-header, then
+// unwrap. A non-member's derivation from the wrong shard yields an
+// unpredictable candidate rather than an error, so verification happens — as
+// everywhere in the system — through the verify callback (typically
+// authenticated decryption of the payload). It returns the accepted key and
+// the shard index; callers should remember the index as a hint, since sticky
+// grouping keeps it stable across rekeys. With a nil verify the first
+// candidate is returned.
 func DeriveKeyGrouped(css []CSS, g *GroupedHeader, verify func(ff64.Elem) bool) (ff64.Elem, int, error) {
-	if g == nil || len(g.Groups) == 0 {
+	if g == nil || len(g.Shards) == 0 {
 		return 0, -1, ErrBadHeader
 	}
-	for i, hdr := range g.Groups {
-		k, err := DeriveKey(css, hdr)
+	for i, sh := range g.Shards {
+		s, err := DeriveKey(css, sh.Hdr)
 		if err != nil {
 			continue
 		}
+		k := g.Unwrap(i, s)
 		if verify == nil || verify(k) {
 			return k, i, nil
 		}

@@ -137,8 +137,8 @@ func TestBuildGrouped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(g.Groups) != 5 { // ceil(23/5)
-		t.Fatalf("groups = %d, want 5", len(g.Groups))
+	if len(g.Shards) != 5 { // ceil(23/5)
+		t.Fatalf("shards = %d, want 5", len(g.Shards))
 	}
 	if g.Size() == 0 {
 		t.Error("zero grouped size")
@@ -194,20 +194,58 @@ func TestDeriveKeyGroupedNilVerify(t *testing.T) {
 }
 
 func TestGroupedMatchesUngroupedSemantics(t *testing.T) {
-	// groupSize >= len(rows) degenerates to a single Build.
+	// groupSize >= len(rows) degenerates to a single small Build plus one
+	// wrap of the configuration key.
 	rng := rand.New(rand.NewSource(18))
 	rows := randRows(rng, 6, 2)
 	g, key, err := BuildGrouped(rows, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(g.Groups) != 1 {
-		t.Fatalf("groups = %d", len(g.Groups))
+	if len(g.Shards) != 1 {
+		t.Fatalf("shards = %d", len(g.Shards))
 	}
 	for _, css := range rows {
-		k, err := DeriveKey(css, g.Groups[0])
-		if err != nil || k != key {
-			t.Fatal("single-group derivation failed")
+		s, err := DeriveKey(css, g.Shards[0].Hdr)
+		if err != nil || g.Unwrap(0, s) != key {
+			t.Fatal("single-shard derivation failed")
 		}
+	}
+}
+
+func TestGroupedWrapHidesKeyFromOtherShards(t *testing.T) {
+	// Two-level secrecy: a member of shard 0 holds that shard's group key
+	// but must not be able to unwrap the configuration key through any other
+	// shard's wrap, and the group keys themselves must be pairwise distinct.
+	rng := rand.New(rand.NewSource(19))
+	rows := randRows(rng, 8, 2)
+	g, key, err := BuildGrouped(rows, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Shards) != 2 {
+		t.Fatalf("shards = %d", len(g.Shards))
+	}
+	s0, err := DeriveKey(rows[0], g.Shards[0].Hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := DeriveKey(rows[4], g.Shards[1].Hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 == s1 {
+		t.Fatal("shards share a group key")
+	}
+	if g.Unwrap(0, s0) != key || g.Unwrap(1, s1) != key {
+		t.Fatal("members cannot unwrap the configuration key")
+	}
+	if g.Unwrap(1, s0) == key {
+		t.Error("shard-0 group key unwraps shard 1's wrap")
+	}
+	// A direct-mode header (nil RekeyNonce) passes the shard key through.
+	direct := &GroupedHeader{Shards: []GroupShard{{Hdr: g.Shards[0].Hdr}}}
+	if direct.Unwrap(0, s0) != s0 {
+		t.Error("direct mode did not pass the shard key through")
 	}
 }

@@ -16,12 +16,14 @@ type PolicyInfo struct {
 	CondIDs []string
 }
 
-// ConfigInfo carries the rekey header for one policy configuration. Header
-// is nil for configurations nobody can access (empty configuration or no
-// qualified subscriber rows).
+// ConfigInfo carries the rekey header for one policy configuration: Header
+// in the classic one-ACV mode, Grouped when the publisher shards subscriber
+// rows (§VIII-C, Options.GroupSize). Both are nil for configurations nobody
+// can access (empty configuration or no qualified subscriber rows).
 type ConfigInfo struct {
-	Key    policy.ConfigKey
-	Header *core.Header
+	Key     policy.ConfigKey
+	Header  *core.Header
+	Grouped *core.GroupedHeader
 }
 
 // Item is one encrypted subdocument.
@@ -68,9 +70,15 @@ func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
 	// typically appear in several configurations (acp3 covers four in the
 	// paper's Example 4), and scanning table T per configuration would redo
 	// that work (§VIII-A: eliminate redundant calculations at the Pub).
-	rowsByACP, vers := p.reg.snapshot(relevant)
-
-	infos, keys, err := p.keys.configKeys(cfgs, rowsByACP, vers)
+	var infos []ConfigInfo
+	var keys map[policy.ConfigKey][sym.KeySize]byte
+	var err error
+	if p.opts.GroupSize > 0 {
+		infos, keys, err = p.keys.configKeysGrouped(cfgs, p.reg.snapshotGrouped(relevant))
+	} else {
+		rowsByACP, vers := p.reg.snapshot(relevant)
+		infos, keys, err = p.keys.configKeys(cfgs, rowsByACP, vers)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,483 @@
+package pubsub
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ppcd/internal/benchutil"
+	"ppcd/internal/document"
+	"ppcd/internal/policy"
+)
+
+// importTable injects a synthetic CSS table through the public state-import
+// path (no OCBE exchanges).
+func importTable(t *testing.T, pub *Publisher, table map[string]map[string]uint64) {
+	t.Helper()
+	state, err := json.Marshal(map[string]any{"version": 1, "table": table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// subFromRow builds a subscriber holding exactly the given CSS cells,
+// matching one table row.
+func subFromRow(t *testing.T, nym string, row map[string]uint64) *Subscriber {
+	t.Helper()
+	s, err := NewSubscriber(nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(struct {
+		Version int               `json:"version"`
+		Nym     string            `json:"nym"`
+		CSS     map[string]uint64 `json:"css"`
+	}{Version: 1, Nym: nym, CSS: row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ImportCSS(payload); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// equivFixture builds the two-policy document used by the equivalence and
+// dominance tests: acpA (two conditions) covers sd1+sd2, acpB covers
+// sd2+sd3, so sd2's configuration is {acpA, acpB}.
+func equivFixture(t *testing.T) ([]*policy.ACP, *document.Document) {
+	t.Helper()
+	acpA, err := policy.New("acpA", "a >= 1 && b >= 1", "doc", "sd1", "sd2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acpB, err := policy.New("acpB", "c >= 1", "doc", "sd2", "sd3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := document.New("doc",
+		document.Subdocument{Name: "sd1", Content: []byte("one")},
+		document.Subdocument{Name: "sd2", Content: []byte("two")},
+		document.Subdocument{Name: "sd3", Content: []byte("three")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*policy.ACP{acpA, acpB}, doc
+}
+
+func TestGroupedMatchesUngroupedAccess(t *testing.T) {
+	// Property: for random membership tables, a grouped publisher grants
+	// every subscriber exactly the same subdocuments (with identical
+	// plaintexts) as an ungrouped one, and non-members get nothing — the
+	// §VIII-C refactor must not move the access boundary.
+	params, mgr := testEnv(t)
+	acps, doc := equivFixture(t)
+	conds := []string{"a >= 1", "b >= 1", "c >= 1"}
+
+	for seed := int64(0); seed < 4; seed++ {
+		for _, groupSize := range []int{1, 2, 3, 100} {
+			rng := rand.New(rand.NewSource(seed))
+			table := make(map[string]map[string]uint64)
+			for i := 0; i < 10; i++ {
+				row := make(map[string]uint64)
+				for _, c := range conds {
+					if rng.Intn(2) == 1 {
+						row[c] = rng.Uint64()%1000003 + 1
+					}
+				}
+				if len(row) > 0 {
+					table[fmt.Sprintf("pn-%d", i)] = row
+				}
+			}
+
+			plain, err := NewPublisher(params, mgr.PublicKey(), acps, Options{Ell: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			grouped, err := NewPublisher(params, mgr.PublicKey(), acps, Options{Ell: 8, GroupSize: groupSize})
+			if err != nil {
+				t.Fatal(err)
+			}
+			importTable(t, plain, table)
+			importTable(t, grouped, table)
+			bPlain, err := plain.Publish(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bGrouped, err := grouped.Publish(doc)
+			if err != nil {
+				t.Fatalf("seed %d g=%d: %v", seed, groupSize, err)
+			}
+
+			for nym, row := range table {
+				gotPlain, err := subFromRow(t, nym, row).Decrypt(bPlain)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotGrouped, err := subFromRow(t, nym, row).Decrypt(bGrouped)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(gotPlain) != len(gotGrouped) {
+					t.Fatalf("seed %d g=%d %s: plain decrypts %d, grouped %d",
+						seed, groupSize, nym, len(gotPlain), len(gotGrouped))
+				}
+				for name, pt := range gotPlain {
+					if !bytes.Equal(gotGrouped[name], pt) {
+						t.Fatalf("seed %d g=%d %s: %s differs across modes", seed, groupSize, nym, name)
+					}
+				}
+				// Cross-check against the policy semantics.
+				hasA := row["a >= 1"] != 0 && row["b >= 1"] != 0
+				hasB := row["c >= 1"] != 0
+				want := 0
+				if hasA {
+					want++ // sd1
+				}
+				if hasA || hasB {
+					want++ // sd2
+				}
+				if hasB {
+					want++ // sd3
+				}
+				if len(gotGrouped) != want {
+					t.Fatalf("seed %d g=%d %s: decrypted %d subdocs, policy says %d",
+						seed, groupSize, nym, len(gotGrouped), want)
+				}
+			}
+			// A non-member derives nothing from either broadcast.
+			outsider := subFromRow(t, "pn-out", map[string]uint64{"a >= 1": 999983})
+			if got, _ := outsider.Decrypt(bGrouped); len(got) != 0 {
+				t.Fatalf("seed %d g=%d: outsider decrypted %d subdocs", seed, groupSize, len(got))
+			}
+		}
+	}
+}
+
+func TestGroupedChurnSolvesExactlyOneShard(t *testing.T) {
+	// Acceptance criterion: a single-leave churn publish re-solves exactly
+	// one shard (one small ACV), not whole configurations. The benchutil
+	// workload's first half of pseudonyms hold only attr0, so revoking one
+	// touches one policy — and with grouping, one group of that policy.
+	params, mgr := testEnv(t)
+	acps, doc, state, err := benchutil.Workload(12, 3, 6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(params, mgr.PublicKey(), acps, Options{Ell: 8, GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish(doc); err != nil {
+		t.Fatal(err)
+	}
+	base := pub.Stats()
+	// acp0 has 12 rows in 4 groups of 3; acp1 and acp2 have 6 rows in 2
+	// groups each: 8 shard solves for the settling publish.
+	if base.Solves != 8 {
+		t.Fatalf("settling publish solved %d shards, want 8", base.Solves)
+	}
+
+	// Steady state: zero solves, zero rebuilds.
+	b1, err := pub.Publish(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := pub.Stats(); s.Solves != base.Solves || s.Rebuilds != base.Rebuilds {
+		t.Fatalf("steady-state publish solved %d shards, rebuilt %d configs",
+			s.Solves-base.Solves, s.Rebuilds-base.Rebuilds)
+	}
+
+	// The leaver holds only attr0: exactly one of acp0's four groups loses a
+	// row, so the churn publish must re-solve exactly ONE shard and rebuild
+	// exactly ONE configuration.
+	var table map[string]map[string]uint64
+	var sf struct {
+		Table map[string]map[string]uint64 `json:"table"`
+	}
+	if err := json.Unmarshal(state, &sf); err != nil {
+		t.Fatal(err)
+	}
+	table = sf.Table
+	leaver := subFromRow(t, "pn-0", table["pn-0"])
+	stayer := subFromRow(t, "pn-1", table["pn-1"])
+	if got, _ := leaver.Decrypt(b1); len(got) != 1 {
+		t.Fatalf("leaver decrypted %d subdocs before revocation", len(got))
+	}
+
+	if err := pub.RevokeSubscription("pn-0"); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := pub.Publish(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pub.Stats()
+	if got := s.Solves - base.Solves; got != 1 {
+		t.Errorf("single-leave churn publish solved %d shards, want 1", got)
+	}
+	if got := s.Rebuilds - base.Rebuilds; got != 1 {
+		t.Errorf("single-leave churn publish rebuilt %d configurations, want 1", got)
+	}
+
+	// Forward secrecy: the leaver cannot decrypt the post-revocation
+	// broadcast; a remaining member of the same policy still can.
+	if got, _ := leaver.Decrypt(b2); len(got) != 0 {
+		t.Errorf("revoked subscriber decrypted %d subdocs", len(got))
+	}
+	if got, _ := stayer.Decrypt(b2); len(got) != 1 {
+		t.Errorf("remaining subscriber decrypted %d subdocs, want 1", len(got))
+	}
+}
+
+func TestGroupedSubscriberKEVCacheAndHint(t *testing.T) {
+	// §VIII-D receiver half: steady-state republish re-hashes nothing (the
+	// KEV cache hits on every shard), and after churn in a DIFFERENT group
+	// the subscriber's own shard is clean — hint plus cache make the whole
+	// derivation hash-free.
+	params, mgr := testEnv(t)
+	acps, doc, state, err := benchutil.Workload(6, 1, 6, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(params, mgr.PublicKey(), acps, Options{Ell: 8, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	var sf struct {
+		Table map[string]map[string]uint64 `json:"table"`
+	}
+	if err := json.Unmarshal(state, &sf); err != nil {
+		t.Fatal(err)
+	}
+	// Sticky assignment fills groups in sorted-nym order: pn-0,pn-1 → group
+	// 0, pn-2,pn-3 → group 1, pn-4,pn-5 → group 2.
+	sub := subFromRow(t, "pn-3", sf.Table["pn-3"])
+
+	b1, err := pub.Publish(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sub.Decrypt(b1); len(got) != 1 {
+		t.Fatalf("first decrypt got %d subdocs", len(got))
+	}
+	missesAfterFirst := sub.kevMisses
+	if missesAfterFirst == 0 {
+		t.Fatal("first decrypt hashed nothing")
+	}
+	if hint, ok := sub.grpHint[policy.ConfigOf("acp0")]; !ok || hint != 1 {
+		t.Fatalf("group hint = %d (ok=%v), want 1", hint, ok)
+	}
+
+	// Steady-state republish: same headers, zero fresh hashings.
+	b2, err := pub.Publish(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sub.Decrypt(b2); len(got) != 1 {
+		t.Fatal("steady-state decrypt failed")
+	}
+	if sub.kevMisses != missesAfterFirst {
+		t.Errorf("steady-state decrypt hashed %d fresh KEVs", sub.kevMisses-missesAfterFirst)
+	}
+
+	// Churn in group 0 (pn-0 leaves): pn-3's group 1 keeps its sub-header,
+	// so the hint hits and the cached KEV derives without any hashing.
+	if err := pub.RevokeSubscription("pn-0"); err != nil {
+		t.Fatal(err)
+	}
+	b3, err := pub.Publish(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := sub.Decrypt(b3); len(got) != 1 {
+		t.Fatal("post-churn decrypt failed")
+	}
+	if sub.kevMisses != missesAfterFirst {
+		t.Errorf("post-churn decrypt hashed %d fresh KEVs, want 0 (clean shard)", sub.kevMisses-missesAfterFirst)
+	}
+}
+
+func TestDominanceReusesSolve(t *testing.T) {
+	// §VIII-B: with nobody qualifying for acpB, sd2's configuration
+	// {acpA, acpB} has the same subscriber rows as {acpA}, which dominates
+	// it — one solve serves both, counted in Stats().DominanceSkips, and an
+	// acpA subscriber reads both subdocuments.
+	params, mgr := testEnv(t)
+	acps, doc := equivFixture(t)
+	table := map[string]map[string]uint64{
+		"pn-a1": {"a >= 1": 11, "b >= 1": 12},
+		"pn-a2": {"a >= 1": 21, "b >= 1": 22},
+	}
+	for _, groupSize := range []int{0, 1} {
+		pub, err := NewPublisher(params, mgr.PublicKey(), acps, Options{Ell: 8, GroupSize: groupSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		importTable(t, pub, table)
+		b, err := pub.Publish(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := pub.Stats()
+		if s.DominanceSkips != 1 {
+			t.Errorf("groupSize=%d: %d dominance skips, want 1", groupSize, s.DominanceSkips)
+		}
+		wantSolves := uint64(1) // ungrouped: one config; grouped: acpA's single group of 2
+		if groupSize == 1 {
+			wantSolves = 2 // two single-member groups
+		}
+		if s.Solves != wantSolves {
+			t.Errorf("groupSize=%d: %d solves, want %d", groupSize, s.Solves, wantSolves)
+		}
+		got, err := subFromRow(t, "pn-a1", table["pn-a1"]).Decrypt(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 2 || got["sd1"] == nil || got["sd2"] == nil {
+			t.Errorf("groupSize=%d: acpA subscriber decrypted %v, want sd1+sd2", groupSize, len(got))
+		}
+		// The aliased configuration reuses the representative's build.
+		var sd1, sd2 ConfigInfo
+		for _, ci := range b.Configs {
+			switch ci.Key {
+			case policy.ConfigOf("acpA"):
+				sd1 = ci
+			case policy.ConfigOf("acpA", "acpB"):
+				sd2 = ci
+			}
+		}
+		if groupSize == 0 && (sd1.Header == nil || sd1.Header != sd2.Header) {
+			t.Errorf("groupSize=0: dominated configuration did not reuse the representative header")
+		}
+		if groupSize == 1 && (sd1.Grouped == nil || sd1.Grouped != sd2.Grouped) {
+			t.Errorf("groupSize=1: dominated configuration did not reuse the representative grouped header")
+		}
+	}
+}
+
+func TestConcurrentRegisterDuringGroupedPublish(t *testing.T) {
+	// Registrations racing grouped publishes must neither corrupt the
+	// sticky assignment state nor deadlock; run with -race in CI.
+	params, mgr := testEnv(t)
+	acps, doc, state, err := benchutil.Workload(8, 2, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(params, mgr.PublicKey(), acps, Options{Ell: 8, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+1)
+	subs := make([]*Subscriber, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			nym := fmt.Sprintf("pn-race-%d", w)
+			sub, err := NewSubscriber(nym)
+			if err != nil {
+				errs <- err
+				return
+			}
+			tok, sec, err := mgr.IssueString(nym, "attr0", "5")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if err := sub.AddToken(tok, sec); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := sub.RegisterAll(pub); err != nil {
+				errs <- err
+				return
+			}
+			subs[w] = sub
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if _, err := pub.Publish(doc); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// After the dust settles every racer decrypts its subdocument.
+	b, err := pub.Publish(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, sub := range subs {
+		if got, _ := sub.Decrypt(b); len(got) != 1 {
+			t.Errorf("racer %d decrypted %d subdocs", w, len(got))
+		}
+	}
+}
+
+func TestGroupedBroadcastGobRoundTrip(t *testing.T) {
+	// The TCP transport moves broadcasts as gob; grouped headers must
+	// survive it.
+	params, mgr := testEnv(t)
+	acps, doc, state, err := benchutil.Workload(5, 2, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(params, mgr.PublicKey(), acps, Options{Ell: 8, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	b, err := pub.Publish(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(b); err != nil {
+		t.Fatal(err)
+	}
+	var dec Broadcast
+	if err := gob.NewDecoder(&buf).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	var sf struct {
+		Table map[string]map[string]uint64 `json:"table"`
+	}
+	if err := json.Unmarshal(state, &sf); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := subFromRow(t, "pn-4", sf.Table["pn-4"]).Decrypt(&dec); len(got) != 2 {
+		t.Errorf("decrypted %d subdocs from gob copy, want 2", len(got))
+	}
+}

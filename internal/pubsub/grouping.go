@@ -1,0 +1,209 @@
+package pubsub
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/binary"
+	"sort"
+
+	"ppcd/internal/core"
+	"ppcd/internal/policy"
+)
+
+// This file is the registry's grouping layer (§VIII-C): each policy's
+// qualified rows are partitioned into sticky groups of at most groupSize
+// members, so the keymgr can hand the engine per-shard row blocks whose
+// content signatures change only when that shard's membership does.
+//
+// Assignment is STICKY under churn: a (nym, policy) row keeps its group for
+// as long as the row exists; a departing row frees its slot (later joiners
+// refill it) without moving anyone else. A single join/leave/credential
+// update therefore changes exactly one group's content per affected policy,
+// which is what turns the engine's per-shard cache into "one small solve per
+// churn event".
+
+// shardRows is one group's row block for one policy: the stable group
+// number, a digest of the block's content (the engine's dirtiness signal),
+// and the member rows in deterministic (sorted-nym) order.
+type shardRows struct {
+	GID  int
+	Sig  string
+	Rows [][]core.CSS
+}
+
+// groupedPolicyRows is the cached grouped assembly of one policy, tagged
+// with the membership version it was built at (same invalidation protocol as
+// the ungrouped rowsCache).
+type groupedPolicyRows struct {
+	ver    uint64
+	shards []shardRows
+}
+
+// shardSig digests one group's content: policy, group number and the
+// ordered (nym, CSS row) members. Length prefixes keep crafted nyms from
+// colliding across boundaries.
+func shardSig(acpID string, gid int, nyms []string, rows [][]core.CSS) string {
+	h := sha256.New()
+	var num [8]byte
+	writeStr := func(s string) {
+		binary.BigEndian.PutUint64(num[:], uint64(len(s)))
+		h.Write(num[:])
+		h.Write([]byte(s))
+	}
+	writeStr(acpID)
+	binary.BigEndian.PutUint64(num[:], uint64(gid))
+	h.Write(num[:])
+	for i, nym := range nyms {
+		writeStr(nym)
+		binary.BigEndian.PutUint64(num[:], uint64(len(rows[i])))
+		h.Write(num[:])
+		for _, css := range rows[i] {
+			h.Write(css.Bytes())
+		}
+	}
+	return base64.RawStdEncoding.EncodeToString(h.Sum(nil))
+}
+
+// snapshotGrouped is the grouped counterpart of snapshot: for every policy
+// it returns the qualified rows partitioned into sticky groups, with a
+// content signature per group. Policies whose membership version is
+// unchanged reuse their cached grouped assembly, so a steady-state snapshot
+// costs O(policies). The returned shard slices are immutable once cached;
+// callers use them lock-free.
+func (r *registry) snapshotGrouped(acps []*policy.ACP) map[string][]shardRows {
+	out := make(map[string][]shardRows, len(acps))
+
+	// grpMu serializes grouped assembly (concurrent publishes) and guards
+	// the assignment state. The stale-policy table scan below holds the
+	// shared read lock — mutations queue behind it just as they do behind
+	// the ungrouped snapshot's scan — while the regroup/digest phase
+	// afterwards runs under grpMu alone, overlapping registrations and
+	// revocations.
+	r.grpMu.Lock()
+	defer r.grpMu.Unlock()
+
+	type staleScan struct {
+		acp  *policy.ACP
+		ver  uint64
+		nyms []string
+		rows [][]core.CSS
+	}
+	var stale []staleScan
+
+	r.mu.RLock()
+	var allNyms []string
+	for _, a := range acps {
+		ver := r.memVer[a.ID]
+		if c, ok := r.grpCache[a.ID]; ok && c.ver == ver {
+			out[a.ID] = c.shards
+			continue
+		}
+		if allNyms == nil {
+			allNyms = make([]string, 0, len(r.table))
+			for nym := range r.table {
+				allNyms = append(allNyms, nym)
+			}
+			sort.Strings(allNyms)
+		}
+		sc := staleScan{acp: a, ver: ver}
+		for _, nym := range allNyms {
+			row := r.table[nym]
+			css := make([]core.CSS, 0, len(a.Conds))
+			complete := true
+			for _, c := range a.Conds {
+				v, ok := row[c.ID()]
+				if !ok {
+					complete = false
+					break
+				}
+				css = append(css, v)
+			}
+			if complete {
+				sc.nyms = append(sc.nyms, nym)
+				sc.rows = append(sc.rows, css)
+			}
+		}
+		stale = append(stale, sc)
+	}
+	r.mu.RUnlock()
+
+	for _, sc := range stale {
+		shards := r.regroup(sc.acp.ID, sc.nyms, sc.rows)
+		// The version recorded is the one read together with the rows; a
+		// mutation racing with the scan bumps memVer past it, so the next
+		// snapshot reassembles.
+		r.grpCache[sc.acp.ID] = groupedPolicyRows{ver: sc.ver, shards: shards}
+		out[sc.acp.ID] = shards
+	}
+	return out
+}
+
+// regroup folds the current qualified members of one policy into the sticky
+// assignment and rebuilds the per-group row blocks. Callers hold grpMu.
+func (r *registry) regroup(acpID string, nyms []string, rows [][]core.CSS) []shardRows {
+	assign := r.grpAssign[acpID]
+	if assign == nil {
+		assign = make(map[string]int)
+		r.grpAssign[acpID] = assign
+	}
+	counts := r.grpCounts[acpID]
+
+	// Release departed members so their slots refill later; everyone still
+	// present keeps their group.
+	present := make(map[string]bool, len(nyms))
+	for _, nym := range nyms {
+		present[nym] = true
+	}
+	for nym, gid := range assign {
+		if !present[nym] {
+			delete(assign, nym)
+			counts[gid]--
+		}
+	}
+	// Assign newcomers to the least-full group with spare capacity (lowest
+	// group number on ties, so refills are deterministic), opening a new
+	// group once all are full.
+	for _, nym := range nyms {
+		if _, ok := assign[nym]; ok {
+			continue
+		}
+		best := -1
+		for gid, c := range counts {
+			if c < r.groupSize && (best == -1 || c < counts[best]) {
+				best = gid
+			}
+		}
+		if best == -1 {
+			best = len(counts)
+			counts = append(counts, 0)
+		}
+		assign[nym] = best
+		counts[best]++
+	}
+	r.grpCounts[acpID] = counts
+
+	// Build the per-group blocks in sorted-nym order (nyms arrive sorted).
+	byGid := make([][]int, len(counts))
+	for i, nym := range nyms {
+		gid := assign[nym]
+		byGid[gid] = append(byGid[gid], i)
+	}
+	var shards []shardRows
+	for gid, members := range byGid {
+		if len(members) == 0 {
+			continue
+		}
+		gNyms := make([]string, len(members))
+		gRows := make([][]core.CSS, len(members))
+		for j, i := range members {
+			gNyms[j] = nyms[i]
+			gRows[j] = rows[i]
+		}
+		shards = append(shards, shardRows{
+			GID:  gid,
+			Sig:  shardSig(acpID, gid, gNyms, gRows),
+			Rows: gRows,
+		})
+	}
+	return shards
+}

@@ -43,8 +43,16 @@ type Options struct {
 	Ell int
 	// MinN forces a lower bound on the maximum-user parameter N of every
 	// header (headroom for joins without resizing). Default: exactly the
-	// number of qualified rows.
+	// number of qualified rows. Ignored in grouped mode (GroupSize > 0),
+	// where shard capacity is exactly the shard's row count.
 	MinN int
+	// GroupSize enables subscriber grouping (§VIII-C): each policy's
+	// qualified rows are partitioned into sticky groups of at most GroupSize
+	// members, each solved as its own small ACV. A full rebuild then costs
+	// ~N³/g² instead of N³ and a single join/leave re-solves one shard
+	// instead of whole configurations, at the price of g sub-headers per
+	// configuration. 0 (the default) keeps the classic one-ACV mode.
+	GroupSize int
 	// Workers bounds the parallel pools for ACV solving and batch envelope
 	// composition. Default GOMAXPROCS.
 	Workers int
@@ -81,6 +89,9 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 	if opts.Ell < 1 {
 		return nil, errors.New("pubsub: Ell must be positive")
 	}
+	if opts.GroupSize < 0 {
+		return nil, errors.New("pubsub: GroupSize must be non-negative")
+	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -103,7 +114,7 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 		conds:    conds,
 		condByID: byID,
 		opts:     opts,
-		reg:      newRegistry(acps),
+		reg:      newRegistry(acps, opts.GroupSize),
 		keys:     newKeyManager(opts.Workers, opts.MinN),
 	}, nil
 }
@@ -126,10 +137,11 @@ func (p *Publisher) Policies() []*policy.ACP {
 	return append([]*policy.ACP(nil), p.acps...)
 }
 
-// Stats returns the rekey engine's work counters: how many configurations
-// were re-solved vs. served from the incremental cache. A steady-state
+// Stats returns the rekey work counters: how many configurations were
+// re-solved vs. served from the incremental cache (in grouped mode Solves
+// counts per-shard solves), plus §VIII-B dominance skips. A steady-state
 // publish (no table change since the previous one) adds zero solves.
-func (p *Publisher) Stats() core.EngineStats { return p.keys.stats() }
+func (p *Publisher) Stats() Stats { return p.keys.stats() }
 
 // RegistrationRequest is one condition registration from a subscriber: the
 // identity token, the target condition and the OCBE receiver message.

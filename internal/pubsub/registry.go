@@ -32,6 +32,16 @@ type registry struct {
 	// the membership version they were built at; a steady-state snapshot is
 	// then O(policies) instead of a full table scan.
 	rowsCache map[string]policyRows
+
+	// Grouped mode (§VIII-C, grouping.go): groupSize > 0 partitions each
+	// policy's rows into sticky groups of at most groupSize members. grpMu
+	// guards the assignment state and the grouped rows cache; it is
+	// independent of mu so mutations never wait on a grouped assembly.
+	groupSize int
+	grpMu     sync.Mutex
+	grpAssign map[string]map[string]int // policy → nym → group number
+	grpCounts map[string][]int          // policy → members per group
+	grpCache  map[string]groupedPolicyRows
 }
 
 // policyRows is one cached row assembly. The rows slice is immutable once
@@ -42,12 +52,16 @@ type policyRows struct {
 	rows [][]core.CSS
 }
 
-func newRegistry(acps []*policy.ACP) *registry {
+func newRegistry(acps []*policy.ACP, groupSize int) *registry {
 	r := &registry{
 		table:     make(map[string]map[string]core.CSS),
 		memVer:    make(map[string]uint64, len(acps)),
 		byCond:    make(map[string][]string),
 		rowsCache: make(map[string]policyRows, len(acps)),
+		groupSize: groupSize,
+		grpAssign: make(map[string]map[string]int),
+		grpCounts: make(map[string][]int),
+		grpCache:  make(map[string]groupedPolicyRows),
 	}
 	for _, a := range acps {
 		r.memVer[a.ID] = 0

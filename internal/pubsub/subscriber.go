@@ -1,6 +1,8 @@
 package pubsub
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +11,7 @@ import (
 	"ppcd/internal/core"
 	"ppcd/internal/ff64"
 	"ppcd/internal/idtoken"
+	"ppcd/internal/linalg"
 	"ppcd/internal/ocbe"
 	"ppcd/internal/pedersen"
 	"ppcd/internal/policy"
@@ -43,7 +46,25 @@ type Subscriber struct {
 	nym    string
 	tokens map[string]tokenSecret // by tag
 	css    map[string]core.CSS    // by condition ID
+
+	// kev caches key extraction vectors by (CSS row, nonce set) digest
+	// (§VIII-D, receiver half): shared-nonce sessions, steady-state
+	// republish and the clean shards of grouped headers hash each row once,
+	// then every later derivation is a single inner product. kevMisses
+	// counts fresh hashings (white-box test observability).
+	kev       map[[32]byte]linalg.Vector
+	kevMisses uint64
+
+	// grpHint remembers, per configuration, the shard index that last
+	// decrypted successfully. Sticky grouping keeps the index stable across
+	// rekeys, so the trial-derivation scan over a grouped header almost
+	// always succeeds on the first try.
+	grpHint map[policy.ConfigKey]int
 }
+
+// maxKEVCache bounds the KEV cache; crossing it drops the whole cache
+// (stale nonce sets from dead sessions dominate by then).
+const maxKEVCache = 512
 
 type tokenSecret struct {
 	token  *idtoken.Token
@@ -56,9 +77,11 @@ func NewSubscriber(nym string) (*Subscriber, error) {
 		return nil, errors.New("pubsub: empty pseudonym")
 	}
 	return &Subscriber{
-		nym:    nym,
-		tokens: make(map[string]tokenSecret),
-		css:    make(map[string]core.CSS),
+		nym:     nym,
+		tokens:  make(map[string]tokenSecret),
+		css:     make(map[string]core.CSS),
+		kev:     make(map[[32]byte]linalg.Vector),
+		grpHint: make(map[policy.ConfigKey]int),
 	}, nil
 }
 
@@ -215,7 +238,10 @@ func (s *Subscriber) RegisterAll(r Registrar) (int, error) {
 // authorized for. For each configuration it searches for a policy whose
 // conditions it holds CSSs for, derives the key from the public header
 // (paper "Decryption Key Derivation"), and decrypts the matching items.
-// Subdocuments it cannot decrypt are simply absent from the result.
+// Grouped headers (§VIII-C) are located via the remembered group-index hint
+// first, falling back to a trial-derivation scan verified by authenticated
+// decryption. Subdocuments it cannot decrypt are simply absent from the
+// result.
 func (s *Subscriber) Decrypt(b *Broadcast) (map[string][]byte, error) {
 	if b == nil {
 		return nil, errors.New("pubsub: nil broadcast")
@@ -227,12 +253,19 @@ func (s *Subscriber) Decrypt(b *Broadcast) (map[string][]byte, error) {
 	for _, pi := range b.Policies {
 		polByID[pi.ID] = pi
 	}
+	// The shortest ciphertext of each configuration doubles as the verifier
+	// for grouped trial derivation: all of a configuration's items share the
+	// key, and a wrong-shard candidate then costs one small AEAD attempt
+	// instead of a full-payload decryption.
+	verifyCT := make(map[policy.ConfigKey][]byte, len(b.Configs))
+	for _, item := range b.Items {
+		if ct, ok := verifyCT[item.Config]; !ok || len(item.Ciphertext) < len(ct) {
+			verifyCT[item.Config] = item.Ciphertext
+		}
+	}
 
 	keys := make(map[policy.ConfigKey][sym.KeySize]byte)
 	for _, ci := range b.Configs {
-		if ci.Header == nil {
-			continue
-		}
 		for _, acpID := range ci.Key.IDs() {
 			pi, ok := polByID[acpID]
 			if !ok {
@@ -242,12 +275,24 @@ func (s *Subscriber) Decrypt(b *Broadcast) (map[string][]byte, error) {
 			if !ok {
 				continue
 			}
-			k, err := core.DeriveKey(row, ci.Header)
+			var key [sym.KeySize]byte
+			var derived bool
+			var err error
+			switch {
+			case ci.Grouped != nil:
+				key, derived, err = s.groupedKey(row, ci, verifyCT[ci.Key])
+			case ci.Header != nil:
+				key, derived, err = s.headerKey(row, ci.Header)
+			default:
+				continue
+			}
 			if err != nil {
 				return nil, fmt.Errorf("pubsub: deriving key for %q: %w", ci.Key, err)
 			}
-			keys[ci.Key] = core.ExpandKey(k)
-			break
+			if derived {
+				keys[ci.Key] = key
+				break
+			}
 		}
 	}
 
@@ -266,6 +311,92 @@ func (s *Subscriber) Decrypt(b *Broadcast) (map[string][]byte, error) {
 		out[item.Subdoc] = pt
 	}
 	return out, nil
+}
+
+// headerKey derives the configuration key from a classic single-ACV header
+// through the KEV cache. Callers hold s.mu.
+func (s *Subscriber) headerKey(row []core.CSS, hdr *core.Header) ([sym.KeySize]byte, bool, error) {
+	kev, err := s.cachedKEV(row, hdr)
+	if err != nil {
+		return [sym.KeySize]byte{}, false, err
+	}
+	k, err := kev.Dot(hdr.X)
+	if err != nil {
+		return [sym.KeySize]byte{}, false, err
+	}
+	return core.ExpandKey(k), true, nil
+}
+
+// groupedKey locates the subscriber's shard inside a grouped header: the
+// remembered hint index first, then a scan over the remaining shards. Each
+// candidate key is verified by authenticated decryption of the
+// configuration's verifier ciphertext — a wrong shard yields an
+// unpredictable key, not an error. Callers hold s.mu.
+func (s *Subscriber) groupedKey(row []core.CSS, ci ConfigInfo, verifyCT []byte) ([sym.KeySize]byte, bool, error) {
+	g := ci.Grouped
+	if len(g.Shards) == 0 || verifyCT == nil {
+		return [sym.KeySize]byte{}, false, nil
+	}
+	order := make([]int, 0, len(g.Shards))
+	if hint, ok := s.grpHint[ci.Key]; ok && hint >= 0 && hint < len(g.Shards) {
+		order = append(order, hint)
+	}
+	for i := range g.Shards {
+		if len(order) > 0 && i == order[0] {
+			continue
+		}
+		order = append(order, i)
+	}
+	for _, i := range order {
+		kev, err := s.cachedKEV(row, g.Shards[i].Hdr)
+		if err != nil {
+			return [sym.KeySize]byte{}, false, err
+		}
+		shardKey, err := kev.Dot(g.Shards[i].Hdr.X)
+		if err != nil {
+			return [sym.KeySize]byte{}, false, err
+		}
+		key := core.ExpandKey(g.Unwrap(i, shardKey))
+		if _, err := sym.Decrypt(key, verifyCT); err == nil {
+			s.grpHint[ci.Key] = i
+			return key, true, nil
+		}
+	}
+	return [sym.KeySize]byte{}, false, nil
+}
+
+// cachedKEV returns the key extraction vector for one (CSS row, nonce set)
+// pair, hashing it only on first sight (§VIII-D: "the Sub can compute the
+// hash values and cache the resultant vector for future use"). Callers hold
+// s.mu.
+func (s *Subscriber) cachedKEV(row []core.CSS, hdr *core.Header) (linalg.Vector, error) {
+	h := sha256.New()
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], uint64(len(row)))
+	h.Write(num[:])
+	for _, css := range row {
+		h.Write(css.Bytes())
+	}
+	for _, z := range hdr.Zs {
+		binary.BigEndian.PutUint64(num[:], uint64(len(z)))
+		h.Write(num[:])
+		h.Write(z)
+	}
+	var key [32]byte
+	copy(key[:], h.Sum(nil))
+	if kev, ok := s.kev[key]; ok && len(kev) == len(hdr.X) {
+		return kev, nil
+	}
+	kev, err := core.KEV(row, hdr)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.kev) >= maxKEVCache {
+		s.kev = make(map[[32]byte]linalg.Vector)
+	}
+	s.kev[key] = kev
+	s.kevMisses++
+	return kev, nil
 }
 
 // ExportCSS serializes the subscriber's extracted CSSs so a command-line

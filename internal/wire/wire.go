@@ -25,8 +25,15 @@ import (
 	"ppcd/internal/pubsub"
 )
 
-// Version is the current format version byte.
+// Version is the original format version byte (single-ACV headers).
 const Version = 1
+
+// VersionGrouped marks messages carrying grouped (§VIII-C) headers: one
+// small sub-header per subscriber shard plus a wrapped configuration key.
+// Decoders accept both versions; encoders emit VersionGrouped only when a
+// grouped header is present, so ungrouped traffic stays byte-identical to
+// the old format.
+const VersionGrouped = 2
 
 // Errors returned by the decoders.
 var (
@@ -38,6 +45,17 @@ var (
 // maxField caps individual length fields to keep a corrupt length byte from
 // driving huge allocations.
 const maxField = 1 << 28 // 256 MiB
+
+// maxGroupShards clamps the shard count of one grouped header; far above any
+// real grouping (it exceeds the registration batch cap) but small enough
+// that a crafted count cannot drive the decode loop.
+const maxGroupShards = 1 << 16
+
+// maxHeaderBudget bounds the cumulative decoded size of all grouped
+// sub-headers in one message, mirroring the transport's 64 MiB per-request
+// gob budget so a wire-decoded broadcast can never out-allocate a
+// transport-decoded one.
+const maxHeaderBudget = 64 << 20
 
 type writer struct {
 	buf bytes.Buffer
@@ -55,6 +73,23 @@ func (w *writer) str(s string) { w.bytes([]byte(s)) }
 type reader struct {
 	data []byte
 	off  int
+	// hdrBudget is the remaining cumulative grouped-sub-header allowance
+	// (maxHeaderBudget at the start of a message).
+	hdrBudget int
+}
+
+func newReader(data []byte) *reader {
+	return &reader{data: data, hdrBudget: maxHeaderBudget}
+}
+
+// takeHeaderBudget charges n bytes of decoded grouped-header material
+// against the message budget.
+func (r *reader) takeHeaderBudget(n int) error {
+	if n > r.hdrBudget {
+		return ErrOversize
+	}
+	r.hdrBudget -= n
+	return nil
 }
 
 func (r *reader) u8() (byte, error) {
@@ -134,7 +169,7 @@ func writeHeaderBody(w *writer, h *core.Header) {
 // UnmarshalHeader decodes an ACV header and validates its shape
 // (|X| = N + 1, field elements reduced).
 func UnmarshalHeader(data []byte) (*core.Header, error) {
-	r := &reader{data: data}
+	r := newReader(data)
 	v, err := r.u8()
 	if err != nil {
 		return nil, err
@@ -193,10 +228,122 @@ func readHeaderBody(r *reader) (*core.Header, error) {
 	return h, nil
 }
 
-// MarshalBroadcast encodes a complete broadcast package.
-func MarshalBroadcast(b *pubsub.Broadcast) []byte {
+// MarshalGroupedHeader encodes a grouped (§VIII-C) header. Like
+// MarshalHeader for single headers, this is the standalone interchange form
+// (broadcast files, CDN distribution); the broadcast codec embeds the same
+// body. A direct-mode header (nil RekeyNonce — only produced by the
+// UnmarshalGroupedHeader fallback for old single-header messages, hence
+// always exactly one shard) re-encodes as the Version 1 message it came
+// from, so decode→encode round trips stay stable; direct mode has no
+// multi-shard encoding.
+func MarshalGroupedHeader(g *core.GroupedHeader) []byte {
+	if g.RekeyNonce == nil && len(g.Shards) == 1 {
+		return MarshalHeader(g.Shards[0].Hdr)
+	}
 	var w writer
-	w.u8(Version)
+	w.u8(VersionGrouped)
+	writeGroupedBody(&w, g)
+	return w.buf.Bytes()
+}
+
+func writeGroupedBody(w *writer, g *core.GroupedHeader) {
+	w.bytes(g.RekeyNonce)
+	w.u32(uint32(len(g.Shards)))
+	for _, sh := range g.Shards {
+		writeHeaderBody(w, sh.Hdr)
+		w.u64(uint64(sh.Wrap))
+	}
+}
+
+// UnmarshalGroupedHeader decodes a grouped header. It also accepts the old
+// single-header format (Version 1), returning it as a one-shard direct-mode
+// grouped header, so readers upgraded to the grouped decoder keep
+// understanding pre-grouping publishers.
+func UnmarshalGroupedHeader(data []byte) (*core.GroupedHeader, error) {
+	r := newReader(data)
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	var g *core.GroupedHeader
+	switch v {
+	case Version:
+		h, err := readHeaderBody(r)
+		if err != nil {
+			return nil, err
+		}
+		g = &core.GroupedHeader{Shards: []core.GroupShard{{Hdr: h}}}
+	case VersionGrouped:
+		if g, err = readGroupedBody(r); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, ErrBadVersion
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// readGroupedBody decodes a grouped header body with the hardened clamps:
+// shard count bounded, every sub-header well-shaped (|X| = N + 1 via
+// readHeaderBody) with uniformly NonceSize nonces, wraps reduced, and the
+// cumulative decoded size charged against the message's 64 MiB budget.
+func readGroupedBody(r *reader) (*core.GroupedHeader, error) {
+	nonce, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(nonce) != core.NonceSize {
+		return nil, fmt.Errorf("wire: grouped rekey nonce of %d bytes, want %d", len(nonce), core.NonceSize)
+	}
+	ns, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ns == 0 || ns > maxGroupShards {
+		return nil, ErrOversize
+	}
+	g := &core.GroupedHeader{RekeyNonce: nonce, Shards: make([]core.GroupShard, 0, capHint(ns))}
+	for i := uint32(0); i < ns; i++ {
+		h, err := readHeaderBody(r)
+		if err != nil {
+			return nil, err
+		}
+		for _, z := range h.Zs {
+			if len(z) != core.NonceSize {
+				return nil, fmt.Errorf("wire: grouped sub-header %d has a %d-byte nonce, want %d", i, len(z), core.NonceSize)
+			}
+		}
+		if err := r.takeHeaderBudget(h.Size()); err != nil {
+			return nil, err
+		}
+		raw, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		if raw >= ff64.Modulus {
+			return nil, fmt.Errorf("wire: shard %d wrap not a reduced field element", i)
+		}
+		g.Shards = append(g.Shards, core.GroupShard{Hdr: h, Wrap: ff64.Elem(raw)})
+	}
+	return g, nil
+}
+
+// MarshalBroadcast encodes a complete broadcast package. The version byte is
+// VersionGrouped iff any configuration carries a grouped header; ungrouped
+// broadcasts keep the original byte-identical Version 1 encoding.
+func MarshalBroadcast(b *pubsub.Broadcast) []byte {
+	ver := byte(Version)
+	for _, ci := range b.Configs {
+		if ci.Grouped != nil {
+			ver = VersionGrouped
+			break
+		}
+	}
+	var w writer
+	w.u8(ver)
 	w.str(b.DocName)
 
 	w.u32(uint32(len(b.Policies)))
@@ -211,12 +358,16 @@ func MarshalBroadcast(b *pubsub.Broadcast) []byte {
 	w.u32(uint32(len(b.Configs)))
 	for _, ci := range b.Configs {
 		w.str(string(ci.Key))
-		if ci.Header == nil {
+		switch {
+		case ci.Grouped != nil:
+			w.u8(2)
+			writeGroupedBody(&w, ci.Grouped)
+		case ci.Header != nil:
+			w.u8(1)
+			writeHeaderBody(&w, ci.Header)
+		default:
 			w.u8(0)
-			continue
 		}
-		w.u8(1)
-		writeHeaderBody(&w, ci.Header)
 	}
 
 	w.u32(uint32(len(b.Items)))
@@ -290,7 +441,7 @@ func writeOCBERequest(w *writer, req *ocbe.Request) {
 
 // UnmarshalRegistrationBatch decodes a batched registration request.
 func UnmarshalRegistrationBatch(data []byte) ([]*pubsub.RegistrationRequest, error) {
-	r := &reader{data: data}
+	r := newReader(data)
 	v, err := r.u8()
 	if err != nil {
 		return nil, err
@@ -415,7 +566,7 @@ func writeEnvelope(w *writer, env *ocbe.Envelope) {
 
 // UnmarshalBatchReply decodes a registration batch reply.
 func UnmarshalBatchReply(data []byte) ([]pubsub.BatchResult, error) {
-	r := &reader{data: data}
+	r := newReader(data)
 	v, err := r.u8()
 	if err != nil {
 		return nil, err
@@ -536,14 +687,15 @@ func readEnvelope(r *reader, depth int) (*ocbe.Envelope, error) {
 	return env, nil
 }
 
-// UnmarshalBroadcast decodes a broadcast package.
+// UnmarshalBroadcast decodes a broadcast package, accepting both the
+// original single-header format and the grouped VersionGrouped format.
 func UnmarshalBroadcast(data []byte) (*pubsub.Broadcast, error) {
-	r := &reader{data: data}
+	r := newReader(data)
 	v, err := r.u8()
 	if err != nil {
 		return nil, err
 	}
-	if v != Version {
+	if v != Version && v != VersionGrouped {
 		return nil, ErrBadVersion
 	}
 	b := &pubsub.Broadcast{}
@@ -598,10 +750,14 @@ func UnmarshalBroadcast(data []byte) (*pubsub.Broadcast, error) {
 		if err != nil {
 			return nil, err
 		}
-		switch has {
-		case 0:
-		case 1:
+		switch {
+		case has == 0:
+		case has == 1:
 			if ci.Header, err = readHeaderBody(r); err != nil {
+				return nil, err
+			}
+		case has == 2 && v == VersionGrouped:
+			if ci.Grouped, err = readGroupedBody(r); err != nil {
 				return nil, err
 			}
 		default:

@@ -155,9 +155,17 @@ func TestBroadcastRejectsCorruption(t *testing.T) {
 		t.Error("truncated accepted")
 	}
 	bad := append([]byte(nil), enc...)
-	bad[0] = 2
+	bad[0] = VersionGrouped + 1
 	if _, err := UnmarshalBroadcast(bad); err != ErrBadVersion {
 		t.Errorf("version: %v", err)
+	}
+	// An ungrouped broadcast re-labelled VersionGrouped still decodes (the
+	// grouped format is a superset), but a grouped presence byte inside a
+	// Version 1 message does not.
+	relabel := append([]byte(nil), enc...)
+	relabel[0] = VersionGrouped
+	if _, err := UnmarshalBroadcast(relabel); err != nil {
+		t.Errorf("relabelled v2: %v", err)
 	}
 	if _, err := UnmarshalBroadcast(append(enc, 0)); err == nil {
 		t.Error("trailing accepted")

@@ -35,7 +35,6 @@
 package ppcd
 
 import (
-	"ppcd/internal/core"
 	"ppcd/internal/document"
 	"ppcd/internal/g2"
 	"ppcd/internal/group"
@@ -117,7 +116,8 @@ func SplitXML(name string, data []byte, marks []string) (*Document, error) {
 // Publisher distributes selectively encrypted documents.
 type Publisher = pubsub.Publisher
 
-// Options tunes a publisher (inequality bit bound ℓ, header capacity).
+// Options tunes a publisher (inequality bit bound ℓ, header capacity,
+// subscriber grouping via GroupSize — §VIII-C).
 type Options = pubsub.Options
 
 // Broadcast is a selectively encrypted document package; everything in it is
@@ -141,10 +141,10 @@ type Registrar = pubsub.Registrar
 // available (both *Publisher and the transport client provide it).
 type BatchRegistrar = pubsub.BatchRegistrar
 
-// RekeyStats are the publisher rekey engine's work counters (see
-// Publisher.Stats): configurations re-solved vs. served from the
-// incremental ACV cache.
-type RekeyStats = core.EngineStats
+// RekeyStats are the publisher's rekey work counters (see Publisher.Stats):
+// configurations re-solved vs. served from the incremental ACV cache (shard
+// solves in grouped mode), plus §VIII-B dominance skips.
+type RekeyStats = pubsub.Stats
 
 // NewSubscriber creates a subscriber under a pseudonym.
 func NewSubscriber(nym string) (*Subscriber, error) { return pubsub.NewSubscriber(nym) }
