@@ -14,6 +14,7 @@
 //	ppcd-bench -quick               # reduced sweeps for smoke testing
 //	ppcd-bench -publish -subs 400   # steady-state vs churn publish timings (JSON)
 //	ppcd-bench -publish -groups 4   # same, sharded into 4 groups/policy (§VIII-C)
+//	ppcd-bench -register -subs 50 -conds 4   # oblivious registration timings (JSON)
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"ppcd"
@@ -29,7 +31,10 @@ import (
 	"ppcd/internal/experiments"
 	"ppcd/internal/g2"
 	"ppcd/internal/group"
+	"ppcd/internal/idtoken"
+	"ppcd/internal/ocbe"
 	"ppcd/internal/pedersen"
+	"ppcd/internal/pubsub"
 	"ppcd/internal/schnorr"
 )
 
@@ -46,15 +51,24 @@ func main() {
 		groupName = flag.String("group", "jacobian", "commitment group for OCBE figures: jacobian (paper) or schnorr")
 		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
 		publish   = flag.Bool("publish", false, "measure steady-state vs churn vs full-rebuild publish, emit JSON")
-		subs      = flag.Int("subs", 200, "-publish: registered pseudonyms")
+		subs      = flag.Int("subs", 200, "-publish/-register: registered pseudonyms")
 		policies  = flag.Int("policies", 5, "-publish: single-condition policies / configurations")
 		pubRounds = flag.Int("publish-rounds", 10, "-publish: publishes measured per regime")
 		groups    = flag.Int("groups", 1, "-publish: §VIII-C grouping degree of the largest policy (1 = ungrouped baseline; half-filled policies shard into ~groups/2 groups)")
+		register  = flag.Bool("register", false, "measure the oblivious registration path (token verify, envelope compose, batch register), emit JSON")
+		conds     = flag.Int("conds", 4, "-register: conditions per subscriber (alternating EQ and GE)")
+		ell       = flag.Int("ell", 8, "-register: bit-length bound for inequality OCBE")
 	)
 	flag.Parse()
 
 	if *publish {
 		if err := runPublishBench(*subs, *policies, *pubRounds, *groups); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *register {
+		if err := runRegisterBench(*groupName, *subs, *conds, *ell); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -210,6 +224,166 @@ func runFieldAblation() error {
 			float64(slow)/float64(fast))
 	}
 	return nil
+}
+
+// registerReport is the JSON document emitted by -register: averaged step
+// times of the oblivious registration path (§V-B) over the chosen commitment
+// group, covering both sides of the protocol, plus the end-to-end batch
+// throughput. This is the registration counterpart of -publish, so the bench
+// trajectory covers both hot phases.
+type registerReport struct {
+	Group string `json:"group"`
+	Subs  int    `json:"subs"`
+	Conds int    `json:"conds"`
+	Ell   int    `json:"ell"`
+	// TokenVerifyNs: one IdMgr signature + commitment check (Pub side).
+	TokenVerifyNs int64 `json:"token_verify_ns"`
+	// PrepareNs: Sub-side Prepare (bit commitments for GE conditions),
+	// averaged per condition.
+	PrepareNs int64 `json:"prepare_ns_per_cond"`
+	// ComposeEQNs / ComposeGENs: Pub-side envelope composition for one
+	// equality / one bitwise inequality condition.
+	ComposeEQNs int64 `json:"compose_eq_ns"`
+	ComposeGENs int64 `json:"compose_ge_ns"`
+	// BatchRegisterNs: end-to-end RegisterBatch wall time for all
+	// subscribers (token dedup + parallel envelope compose + table commit).
+	BatchRegisterNs int64   `json:"batch_register_ns"`
+	Envelopes       int     `json:"envelopes"`
+	EnvelopesPerSec float64 `json:"envelopes_per_sec"`
+}
+
+// runRegisterBench measures the registration crypto path: subscribers hold
+// satisfying attribute tokens and register every condition of one policy
+// with alternating EQ / GE predicates, batched per subscriber exactly like
+// Subscriber.RegisterAll.
+func runRegisterBench(groupName string, subs, conds, ell int) error {
+	if subs < 1 || conds < 1 || ell < 1 {
+		return fmt.Errorf("ppcd-bench: -register needs subs>=1, conds>=1, ell>=1")
+	}
+	var grp group.Group
+	if groupName == "schnorr" {
+		grp = schnorr.Must2048()
+	} else {
+		groupName = "jacobian"
+		grp = g2.MustPaperCurve()
+	}
+	params, err := pedersen.Setup(grp, []byte("ppcd-bench"))
+	if err != nil {
+		return err
+	}
+	idmgr, err := ppcd.NewIdentityManager(params)
+	if err != nil {
+		return err
+	}
+	exprs := make([]string, conds)
+	for i := range exprs {
+		if i%2 == 0 {
+			exprs[i] = fmt.Sprintf("dept%d = eng", i)
+		} else {
+			exprs[i] = fmt.Sprintf("level%d >= 10", i)
+		}
+	}
+	acp, err := ppcd.NewPolicy("reg-bench", strings.Join(exprs, " && "), "doc", "body")
+	if err != nil {
+		return err
+	}
+	pub, err := ppcd.NewPublisher(params, idmgr.PublicKey(), []*ppcd.Policy{acp}, ppcd.Options{Ell: ell})
+	if err != nil {
+		return err
+	}
+
+	var rep registerReport
+	rep.Group, rep.Subs, rep.Conds, rep.Ell = groupName, subs, conds, ell
+	order := params.Order()
+
+	// Sub side: issue tokens and prepare OCBE requests (timed per condition).
+	batches := make([][]*pubsub.RegistrationRequest, subs)
+	var firstToken *ppcd.Token
+	var prepare time.Duration
+	for s := 0; s < subs; s++ {
+		nym := fmt.Sprintf("pn-%d", s)
+		for _, cond := range acp.Conds {
+			val := "eng"
+			if cond.Op != ocbe.EQ {
+				val = "37"
+			}
+			tok, sec, err := idmgr.IssueString(nym, cond.Attr, val)
+			if err != nil {
+				return err
+			}
+			if firstToken == nil {
+				firstToken = tok
+			}
+			recv := ocbe.NewReceiver(params, sec.Value, sec.Blinding)
+			pred := ocbe.Predicate{Op: cond.Op, X0: idtoken.EncodeValue(order, cond.Value)}
+			start := time.Now()
+			_, req, err := recv.Prepare(pred, ell)
+			if err != nil {
+				return err
+			}
+			prepare += time.Since(start)
+			batches[s] = append(batches[s], &pubsub.RegistrationRequest{Token: tok, CondID: cond.ID(), OCBE: req})
+		}
+	}
+	rep.PrepareNs = prepare.Nanoseconds() / int64(subs*conds)
+
+	// Isolated Pub-side steps, averaged over a few rounds.
+	const stepRounds = 5
+	var verify time.Duration
+	for i := 0; i < stepRounds; i++ {
+		start := time.Now()
+		if err := idtoken.Verify(params, idmgr.PublicKey(), firstToken); err != nil {
+			return err
+		}
+		verify += time.Since(start)
+	}
+	rep.TokenVerifyNs = verify.Nanoseconds() / stepRounds
+	msg := make([]byte, 8)
+	for i, cond := range acp.Conds {
+		isEQ := cond.Op == ocbe.EQ
+		// One representative condition per kind is enough.
+		if (isEQ && rep.ComposeEQNs != 0) || (!isEQ && rep.ComposeGENs != 0) {
+			continue
+		}
+		req := batches[0][i]
+		pred := ocbe.Predicate{Op: cond.Op, X0: idtoken.EncodeValue(order, cond.Value)}
+		var total time.Duration
+		for r := 0; r < stepRounds; r++ {
+			start := time.Now()
+			if _, err := ocbe.Compose(params, pred, ell, req.OCBE, msg); err != nil {
+				return err
+			}
+			total += time.Since(start)
+		}
+		if isEQ {
+			rep.ComposeEQNs = total.Nanoseconds() / stepRounds
+		} else {
+			rep.ComposeGENs = total.Nanoseconds() / stepRounds
+		}
+	}
+
+	// End-to-end: one RegisterBatch round trip per subscriber, as
+	// Subscriber.RegisterAll issues them.
+	start := time.Now()
+	for _, reqs := range batches {
+		results, err := pub.RegisterBatch(reqs)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			if r.Err != "" {
+				return fmt.Errorf("ppcd-bench: registration item failed: %s", r.Err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	rep.BatchRegisterNs = elapsed.Nanoseconds()
+	rep.Envelopes = subs * conds
+	rep.EnvelopesPerSec = float64(rep.Envelopes) / elapsed.Seconds()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // publishReport is the JSON document emitted by -publish: per-publish wall

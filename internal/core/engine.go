@@ -298,8 +298,9 @@ func (e *Engine) hashGroups(groups []RowGroup, groupN map[string]int, zs [][]byt
 					return
 				}
 				v := linalg.NewVector(nz)
+				rh := NewRowHasher(css)
 				for j := 0; j < nz; j++ {
-					v[j] = HashRow(css, zs[j])
+					v[j] = rh.Hash(zs[j])
 				}
 				rows[i] = v
 			}

@@ -206,8 +206,9 @@ func (e *Engine) solveShard(sh ShardSpec, zs [][]byte) (*Header, ff64.Elem, erro
 		}
 		row := a.Row(i)
 		row[0] = ff64.One
+		rh := NewRowHasher(css)
 		for j := 0; j < n; j++ {
-			row[j+1] = HashRow(css, zs[j])
+			row[j+1] = rh.Hash(zs[j])
 		}
 	}
 	e.stats.solves.Add(1)

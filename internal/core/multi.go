@@ -85,8 +85,9 @@ func buildMatrix(rows [][]CSS, n int) ([][]byte, *linalg.Matrix, error) {
 	a := linalg.NewMatrix(len(rows), n+1)
 	for i, css := range rows {
 		a.Set(i, 0, ff64.One)
+		rh := NewRowHasher(css)
 		for j, z := range zs {
-			a.Set(i, j+1, HashRow(css, z))
+			a.Set(i, j+1, rh.Hash(z))
 		}
 	}
 	return zs, a, nil

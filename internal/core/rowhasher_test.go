@@ -1,0 +1,98 @@
+package core
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"ppcd/internal/ff64"
+)
+
+func randomRow(t *testing.T, m int) []CSS {
+	t.Helper()
+	row := make([]CSS, m)
+	for i := range row {
+		c, err := NewCSS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		row[i] = c
+	}
+	return row
+}
+
+// TestRowHasherMatchesHashRow pins the midstate-clone path to the direct
+// hash on random rows and nonces.
+func TestRowHasherMatchesHashRow(t *testing.T) {
+	for _, m := range []int{1, 3, 7, 16} {
+		row := randomRow(t, m)
+		rh := NewRowHasher(row)
+		for i := 0; i < 20; i++ {
+			z := make([]byte, NonceSize)
+			if _, err := rand.Read(z); err != nil {
+				t.Fatal(err)
+			}
+			if got, want := rh.Hash(z), HashRow(row, z); got != want {
+				t.Fatalf("m=%d: RowHasher=%v HashRow=%v", m, got, want)
+			}
+		}
+	}
+}
+
+// TestRowHasherPrefixAbsorptionDrop asserts the point of the midstate reuse:
+// hashing one row against N nonces absorbs the CSS prefix once, not N times.
+func TestRowHasherPrefixAbsorptionDrop(t *testing.T) {
+	const nonces = 64
+	row := randomRow(t, 8)
+	zs := make([][]byte, nonces)
+	for i := range zs {
+		zs[i] = make([]byte, NonceSize)
+		if _, err := rand.Read(zs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	direct := make([]ff64.Elem, nonces)
+	before := prefixAbsorptions.Load()
+	for i, z := range zs {
+		direct[i] = HashRow(row, z)
+	}
+	if got := prefixAbsorptions.Load() - before; got != nonces {
+		t.Fatalf("HashRow loop absorbed the prefix %d times, want %d", got, nonces)
+	}
+
+	before = prefixAbsorptions.Load()
+	rh := NewRowHasher(row)
+	for i, z := range zs {
+		if got := rh.Hash(z); got != direct[i] {
+			t.Fatalf("nonce %d: midstate result diverges from direct hash", i)
+		}
+	}
+	if got := prefixAbsorptions.Load() - before; got != 1 {
+		t.Fatalf("RowHasher absorbed the prefix %d times for %d nonces, want exactly 1", got, nonces)
+	}
+}
+
+func BenchmarkHashRowDirect(b *testing.B) {
+	row := make([]CSS, 8)
+	for i := range row {
+		row[i], _ = ff64.Rand()
+	}
+	z := make([]byte, NonceSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HashRow(row, z)
+	}
+}
+
+func BenchmarkHashRowMidstate(b *testing.B) {
+	row := make([]CSS, 8)
+	for i := range row {
+		row[i], _ = ff64.Rand()
+	}
+	rh := NewRowHasher(row)
+	z := make([]byte, NonceSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rh.Hash(z)
+	}
+}

@@ -1,0 +1,206 @@
+package ff128
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"ppcd/internal/ffbig"
+)
+
+// paperQ is the 83-bit base field of the paper's genus-2 curve.
+var paperQ, _ = new(big.Int).SetString("5000000000000000008503491", 10)
+
+// testModuli covers the paper's field plus a small and a near-maximal
+// modulus, and both square-root residue classes (paperQ ≡ 3, p1mod4 ≡ 1).
+func testModuli(t *testing.T) []*big.Int {
+	t.Helper()
+	small := big.NewInt(1000003)
+	// A 126-bit prime.
+	big126, ok := new(big.Int).SetString("85070591730234615865843651857942052871", 10)
+	if !ok || !big126.ProbablyPrime(32) {
+		t.Fatal("bad 126-bit prime literal")
+	}
+	p1mod4 := big.NewInt(1000033) // ≡ 1 (mod 4): exercises the Sqrt fallback
+	return []*big.Int{paperQ, small, big126, p1mod4}
+}
+
+func TestNewFieldRejects(t *testing.T) {
+	for _, p := range []*big.Int{
+		nil,
+		big.NewInt(0),
+		big.NewInt(2),
+		big.NewInt(15), // composite
+		new(big.Int).Lsh(big.NewInt(1), 130),
+	} {
+		if _, err := NewField(p); err == nil {
+			t.Errorf("NewField(%v) accepted an invalid modulus", p)
+		}
+	}
+}
+
+// TestDifferentialAgainstFFBig drives every ff128 operation against the
+// math/big reference on random operands.
+func TestDifferentialAgainstFFBig(t *testing.T) {
+	for _, p := range testModuli(t) {
+		fast := MustField(p)
+		ref := ffbig.MustField(p)
+		for i := 0; i < 300; i++ {
+			a, err := rand.Int(rand.Reader, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := rand.Int(rand.Reader, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fa, fb := fast.FromBig(a), fast.FromBig(b)
+
+			check := func(op string, got Elem, want *big.Int) {
+				t.Helper()
+				if fast.ToBig(got).Cmp(want) != 0 {
+					t.Fatalf("p=%s %s(%s, %s): fast=%s ref=%s", p, op, a, b, fast.ToBig(got), want)
+				}
+			}
+			check("add", fast.Add(fa, fb), ref.Add(a, b))
+			check("sub", fast.Sub(fa, fb), ref.Sub(a, b))
+			check("neg", fast.Neg(fa), ref.Neg(a))
+			check("mul", fast.Mul(fa, fb), ref.Mul(a, b))
+			check("sq", fast.Sq(fa), ref.Sq(a))
+			check("double", fast.Double(fa), ref.Add(a, a))
+
+			if a.Sign() != 0 {
+				inv, err := fast.Inv(fa)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantInv, err := ref.Inv(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("inv", inv, wantInv)
+			}
+
+			// Sqrt agreement: both must classify residues identically, and a
+			// returned root must square back.
+			r, err := fast.Sqrt(fa)
+			if ref.IsSquare(a) {
+				if err != nil {
+					t.Fatalf("p=%s sqrt(%s): fast says non-residue, ref says residue", p, a)
+				}
+				if !fast.Sq(r).Equal(fa) {
+					t.Fatalf("p=%s sqrt(%s)² != a", p, a)
+				}
+			} else if err == nil {
+				t.Fatalf("p=%s sqrt(%s): fast returned a root of a non-residue", p, a)
+			}
+
+			// Exp on a random positive and a random negative exponent.
+			e, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 160))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast.Exp(fa, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Exp(a, e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("exp", got, want)
+			if a.Sign() != 0 {
+				ne := new(big.Int).Neg(e)
+				got, err := fast.Exp(fa, ne)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := ref.Exp(a, ne)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check("exp-neg", got, want)
+			}
+		}
+	}
+}
+
+func TestRoundTripAndIdentities(t *testing.T) {
+	f := MustField(paperQ)
+	if !f.FromUint64(1).Equal(f.One()) {
+		t.Error("FromUint64(1) != One")
+	}
+	if !f.FromBig(big.NewInt(0)).IsZero() {
+		t.Error("FromBig(0) not zero")
+	}
+	neg := f.FromBig(big.NewInt(-5))
+	want := new(big.Int).Sub(paperQ, big.NewInt(5))
+	if f.ToBig(neg).Cmp(want) != 0 {
+		t.Errorf("FromBig(-5) = %s, want %s", f.ToBig(neg), want)
+	}
+	over := f.FromBig(new(big.Int).Add(paperQ, big.NewInt(7)))
+	if f.ToBig(over).Cmp(big.NewInt(7)) != 0 {
+		t.Errorf("FromBig(p+7) = %s, want 7", f.ToBig(over))
+	}
+	for i := 0; i < 50; i++ {
+		x, err := f.Rand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.FromBig(f.ToBig(x)).Equal(x) {
+			t.Fatal("FromBig(ToBig(x)) != x")
+		}
+	}
+}
+
+func TestExpZeroBase(t *testing.T) {
+	f := MustField(paperQ)
+	zero := f.Zero()
+	got, err := f.Exp(zero, big.NewInt(0))
+	if err != nil || !got.Equal(f.One()) {
+		t.Errorf("0^0 = %v, want 1", f.ToBig(got))
+	}
+	// Exponent a multiple of p−1: Fermat reduction must not turn 0 into 1.
+	pm1 := new(big.Int).Sub(paperQ, big.NewInt(1))
+	big1 := new(big.Int).Lsh(pm1, 40) // (p−1)·2⁴⁰ > 128 bits triggers reduction
+	got, err = f.Exp(zero, big1)
+	if err != nil || !got.IsZero() {
+		t.Errorf("0^((p-1)<<40) = %v, want 0", f.ToBig(got))
+	}
+	if _, err := f.Inv(zero); err != ErrNoInverse {
+		t.Errorf("Inv(0) err = %v, want ErrNoInverse", err)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	f := MustField(paperQ)
+	x, _ := f.Rand()
+	y, _ := f.Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	f := MustField(paperQ)
+	x, _ := f.Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, _ = f.Inv(x)
+	}
+	_ = x
+}
+
+// BenchmarkMulBig is the math/big baseline for one field multiplication.
+func BenchmarkMulBig(b *testing.B) {
+	f := ffbig.MustField(paperQ)
+	x, _ := f.Rand()
+	y, _ := f.Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, y)
+	}
+	_ = x
+}

@@ -91,6 +91,19 @@ func Mul(a, b Elem) Elem {
 // Sq returns a² in F_q.
 func Sq(a Elem) Elem { return Mul(a, a) }
 
+// MulAdd returns acc + a·b with a single 128-bit reduction instead of the
+// two a separate Mul-then-Add performs. It is the inner-product primitive of
+// package linalg (matrix elimination and KEV dot products). The fusion is
+// sound: for reduced operands the high product limb is below 2⁵⁸, so adding
+// acc < 2⁶¹ cannot push the 128-bit sum past reduce128's input range.
+func MulAdd(acc, a, b Elem) Elem {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	var c uint64
+	lo, c = bits.Add64(lo, uint64(acc), 0)
+	hi += c
+	return Elem(reduce128(hi, lo))
+}
+
 // Exp returns a^e in F_q by square-and-multiply.
 func Exp(a Elem, e uint64) Elem {
 	result := One

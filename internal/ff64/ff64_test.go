@@ -207,3 +207,31 @@ func BenchmarkInv(b *testing.B) {
 	}
 	_ = x
 }
+
+func TestMulAddMatchesMulThenAdd(t *testing.T) {
+	f := func(acc, a, b uint64) bool {
+		x, y, z := New(acc), New(a), New(b)
+		return MulAdd(x, y, z) == Add(x, Mul(y, z))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	// Extremes: the largest reduced operands must stay inside reduce128's
+	// input range after fusing the accumulator into the product.
+	max := Elem(Modulus - 1)
+	if got, want := MulAdd(max, max, max), Add(max, Mul(max, max)); got != want {
+		t.Errorf("MulAdd at field max: got %v want %v", got, want)
+	}
+	if got, want := MulAdd(max, 0, max), max; got != want {
+		t.Errorf("MulAdd(max, 0, max): got %v want %v", got, want)
+	}
+}
+
+func BenchmarkMulAdd(b *testing.B) {
+	x, y := New(0x123456789abcdef), New(0xfedcba987654321)
+	var acc Elem
+	for i := 0; i < b.N; i++ {
+		acc = MulAdd(acc, x, y)
+	}
+	_ = acc
+}

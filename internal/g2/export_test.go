@@ -1,0 +1,16 @@
+package g2
+
+// Test hooks: the differential tests pin the fast ff128 engine to the
+// polyring/ffbig reference path, so they need a handle on a curve with the
+// fast engine detached.
+
+// withoutFast returns a shallow clone of the curve that always takes the
+// reference (polyring/ffbig) path. Shared sub-state is immutable.
+func (c *Curve) withoutFast() *Curve {
+	clone := *c
+	clone.fast = nil
+	return &clone
+}
+
+// hasFast reports whether the fast engine is attached.
+func (c *Curve) hasFast() bool { return c.fast != nil }

@@ -1,0 +1,190 @@
+package g2
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"ppcd/internal/group"
+)
+
+// randDivisor draws a uniformly random Jacobian element via the REFERENCE
+// path (double-and-add over polyring), so fast-path bugs cannot mask
+// themselves in the test fixtures.
+func randDivisor(t *testing.T, slow *Curve) *Divisor {
+	t.Helper()
+	k, err := rand.Int(rand.Reader, slow.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slow.Exp(slow.Generator(), k).(*Divisor)
+}
+
+// TestFastGroupLawDifferential pins the ff128 Cantor engine to the
+// polyring/ffbig reference on random divisors: group law, inverse, validity.
+func TestFastGroupLawDifferential(t *testing.T) {
+	c := MustPaperCurve()
+	if !c.hasFast() {
+		t.Fatal("paper curve should carry the fast engine")
+	}
+	slow := c.withoutFast()
+	for i := 0; i < 30; i++ {
+		a, b := randDivisor(t, slow), randDivisor(t, slow)
+		fast := c.Op(a, b)
+		ref := slow.Op(a, b)
+		if !c.Equal(fast, ref) {
+			t.Fatalf("Op mismatch:\n a=%v\n b=%v\n fast=%v\n ref=%v", a, b, fast, ref)
+		}
+		if !c.IsValid(fast) || !slow.IsValid(fast) {
+			t.Fatalf("fast Op result invalid on one of the paths: %v", fast)
+		}
+		inv := c.Inverse(a)
+		if !c.IsIdentity(c.Op(a, inv)) {
+			t.Fatalf("a·a⁻¹ != identity on fast path for %v", a)
+		}
+		// Doubling (the u1 = u2 branch of Cantor).
+		if !c.Equal(c.Op(a, a), slow.Op(a, a)) {
+			t.Fatalf("doubling mismatch for %v", a)
+		}
+	}
+	// Identity edge cases.
+	id := c.Identity()
+	a := randDivisor(t, slow)
+	if !c.Equal(c.Op(id, a), a) || !c.Equal(c.Op(a, id), a) {
+		t.Fatal("identity is not neutral on the fast path")
+	}
+	if !c.IsIdentity(c.Op(id, id)) {
+		t.Fatal("id+id != id on the fast path")
+	}
+}
+
+// TestFastExpDifferential pins windowed-NAF scalar multiplication to the
+// reference double-and-add on random scalars, including the edge exponents.
+func TestFastExpDifferential(t *testing.T) {
+	c := MustPaperCurve()
+	slow := c.withoutFast()
+	a := randDivisor(t, slow)
+	edge := []*big.Int{
+		big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(-1),
+		new(big.Int).Sub(c.Order(), big.NewInt(1)),
+		c.Order(),
+	}
+	for _, k := range edge {
+		if !c.Equal(c.Exp(a, k), slow.Exp(a, k)) {
+			t.Fatalf("Exp mismatch at edge k=%s", k)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		k, err := rand.Int(rand.Reader, c.Order())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 1 {
+			k.Neg(k)
+		}
+		if !c.Equal(c.Exp(a, k), slow.Exp(a, k)) {
+			t.Fatalf("Exp mismatch at k=%s", k)
+		}
+	}
+}
+
+// TestFixedBaseDifferential pins the precomputed fixed-base tables to the
+// reference exponentiation.
+func TestFixedBaseDifferential(t *testing.T) {
+	c := MustPaperCurve()
+	slow := c.withoutFast()
+	base := randDivisor(t, slow)
+	var fb group.FixedBaseGroup = c
+	tab := fb.NewFixedBase(base)
+	for _, k := range []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(15), big.NewInt(16), big.NewInt(-3)} {
+		if !c.Equal(tab.Exp(k), slow.Exp(base, k)) {
+			t.Fatalf("fixed-base Exp mismatch at k=%s", k)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		k, err := rand.Int(rand.Reader, c.Order())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.Equal(tab.Exp(k), slow.Exp(base, k)) {
+			t.Fatalf("fixed-base Exp mismatch at k=%s", k)
+		}
+	}
+}
+
+// TestFastMarshalUnchanged asserts the wire encoding is byte-identical
+// across the two paths: elements produced by fast operations marshal to the
+// same bytes the reference path produces, and both unmarshal each other.
+func TestFastMarshalUnchanged(t *testing.T) {
+	c := MustPaperCurve()
+	slow := c.withoutFast()
+	for i := 0; i < 10; i++ {
+		a, b := randDivisor(t, slow), randDivisor(t, slow)
+		fastBytes := c.Marshal(c.Op(a, b))
+		refBytes := slow.Marshal(slow.Op(a, b))
+		if string(fastBytes) != string(refBytes) {
+			t.Fatal("marshaled bytes differ between fast and reference paths")
+		}
+		d1, err := c.Unmarshal(refBytes)
+		if err != nil {
+			t.Fatalf("fast path rejects reference encoding: %v", err)
+		}
+		d2, err := slow.Unmarshal(fastBytes)
+		if err != nil {
+			t.Fatalf("reference path rejects fast encoding: %v", err)
+		}
+		if !c.Equal(d1, d2) {
+			t.Fatal("cross-path unmarshal disagreement")
+		}
+	}
+}
+
+func BenchmarkOpFast(b *testing.B) {
+	c := MustPaperCurve()
+	x := c.Exp(c.Generator(), big.NewInt(12345))
+	y := c.Exp(c.Generator(), big.NewInt(67890))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = c.Op(x, y)
+	}
+}
+
+func BenchmarkOpReference(b *testing.B) {
+	c := MustPaperCurve().withoutFast()
+	x := c.Exp(c.Generator(), big.NewInt(12345))
+	y := c.Exp(c.Generator(), big.NewInt(67890))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x = c.Op(x, y)
+	}
+}
+
+func BenchmarkExpFast(b *testing.B) {
+	c := MustPaperCurve()
+	k, _ := rand.Int(rand.Reader, c.Order())
+	x := c.Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Exp(x, k)
+	}
+}
+
+func BenchmarkExpReference(b *testing.B) {
+	c := MustPaperCurve().withoutFast()
+	k, _ := rand.Int(rand.Reader, c.Order())
+	x := c.Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Exp(x, k)
+	}
+}
+
+func BenchmarkExpFixedBase(b *testing.B) {
+	c := MustPaperCurve()
+	tab := c.NewFixedBase(c.Generator())
+	k, _ := rand.Int(rand.Reader, c.Order())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Exp(k)
+	}
+}

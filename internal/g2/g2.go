@@ -29,6 +29,11 @@ type Curve struct {
 	order *big.Int      // Jacobian group order (prime)
 	gen   *Divisor
 	name  string
+	// fast is the two-limb ff128 engine (fast.go), present whenever the base
+	// field fits 127 bits — in particular for the paper's 83-bit curve. All
+	// group operations dispatch to it; the polyring/ffbig code below remains
+	// the reference path, pinned to the fast path by differential tests.
+	fast *fastCurve
 }
 
 // Divisor is a reduced divisor in Mumford representation: a pair (u, v) with
@@ -82,6 +87,7 @@ func NewCurve(q *big.Int, coeffs [5]*big.Int, order *big.Int, name string) (*Cur
 	}
 	f := polyring.New(field, coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4], big.NewInt(1))
 	c := &Curve{field: field, f: f, order: new(big.Int).Set(order), name: name}
+	c.fast = newFastCurve(q, coeffs, c.order)
 	gen, err := c.HashToElement([]byte("ppcd/g2/generator/v1"))
 	if err != nil {
 		return nil, fmt.Errorf("g2: deriving generator: %w", err)
@@ -145,6 +151,9 @@ func (c *Curve) IsValid(e group.Element) bool {
 	if !ok {
 		return false
 	}
+	if c.fast != nil {
+		return c.fast.isValid(c.toFast(d))
+	}
 	if d.u.IsZero() || d.u.Deg() > 2 || d.u.Lead().Cmp(big.NewInt(1)) != 0 {
 		return false
 	}
@@ -159,6 +168,9 @@ func (c *Curve) IsValid(e group.Element) bool {
 // Op implements group.Group: Cantor composition followed by reduction.
 func (c *Curve) Op(a, b group.Element) group.Element {
 	d1, d2 := c.div(a), c.div(b)
+	if c.fast != nil {
+		return c.fromFast(c.fast.add(c.toFast(d1), c.toFast(d2)))
+	}
 	out, err := c.cantorAdd(d1, d2)
 	if err != nil {
 		// Cantor's algorithm is total on valid divisors; an error indicates
@@ -178,10 +190,14 @@ func (c *Curve) Inverse(a group.Element) group.Element {
 	return &Divisor{u: d.u, v: negV}
 }
 
-// Exp implements group.Group by double-and-add; negative exponents use the
-// inverse.
+// Exp implements group.Group: windowed-NAF on the fast path, plain
+// double-and-add on the reference path; negative exponents reduce modulo the
+// group order.
 func (c *Curve) Exp(a group.Element, k *big.Int) group.Element {
 	d := c.div(a)
+	if c.fast != nil {
+		return c.fromFast(c.fast.exp(c.toFast(d), k))
+	}
 	kk := new(big.Int).Mod(k, c.order)
 	result := c.Identity().(*Divisor)
 	base := &Divisor{u: d.u, v: d.v}

@@ -57,3 +57,21 @@ type Group interface {
 	// Unmarshal decodes an element previously produced by Marshal.
 	Unmarshal(data []byte) (Element, error)
 }
+
+// FixedBase is a precomputed exponentiation table for one long-lived base
+// element. Implementations are immutable after construction and safe for
+// concurrent use — Pedersen setup builds one per commitment base and the
+// batch-registration worker pool shares them read-only.
+type FixedBase interface {
+	// Exp returns base^k for any integer k.
+	Exp(k *big.Int) Element
+}
+
+// FixedBaseGroup is optionally implemented by groups that support
+// precomputed fixed-base exponentiation (the genus-2 Jacobian's windowed
+// tables). Callers discover it by type assertion and fall back to the
+// generic Group.Exp when absent.
+type FixedBaseGroup interface {
+	// NewFixedBase precomputes an exponentiation table for base.
+	NewFixedBase(base Element) FixedBase
+}

@@ -125,15 +125,19 @@ func Verify(params *pedersen.Params, pk sig.PublicKey, t *Token) error {
 	if t == nil {
 		return errors.New("idtoken: nil token")
 	}
-	if _, err := params.G.Unmarshal(t.Commitment); err != nil {
-		return fmt.Errorf("idtoken: invalid commitment: %w", err)
-	}
+	// Signature first: Ed25519 verification is an order of magnitude cheaper
+	// than the group-membership check of the commitment (a divisor validity
+	// test on the Jacobian), so forged registrations are rejected before any
+	// curve arithmetic runs.
 	ok, err := pk.Verify(t.SigningBytes(), t.Sig)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return errors.New("idtoken: signature verification failed")
+	}
+	if _, err := params.G.Unmarshal(t.Commitment); err != nil {
+		return fmt.Errorf("idtoken: invalid commitment: %w", err)
 	}
 	return nil
 }

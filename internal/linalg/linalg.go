@@ -27,7 +27,7 @@ func (v Vector) Dot(w Vector) (ff64.Elem, error) {
 	}
 	var acc ff64.Elem
 	for i := range v {
-		acc = ff64.Add(acc, ff64.Mul(v[i], w[i]))
+		acc = ff64.MulAdd(acc, v[i], w[i])
 	}
 	return acc, nil
 }
@@ -185,7 +185,7 @@ func (m *Matrix) addScaledRowFrom(dst, src, from int, c ff64.Elem) {
 	rd := m.data[dst*m.Cols : (dst+1)*m.Cols]
 	rs := m.data[src*m.Cols : (src+1)*m.Cols]
 	for k := from; k < len(rd); k++ {
-		rd[k] = ff64.Add(rd[k], ff64.Mul(c, rs[k]))
+		rd[k] = ff64.MulAdd(rd[k], c, rs[k])
 	}
 }
 
@@ -259,9 +259,12 @@ func (m *Matrix) RandomKernelVectorInPlace() (Vector, error) {
 	if len(free) == 0 {
 		return nil, ErrTrivialKernel
 	}
+	// Every entry of out is overwritten on each attempt (pivot and free
+	// columns partition the column set), so both buffers are allocated once
+	// outside the retry loop.
+	out := NewVector(m.Cols)
+	coeffs := make([]ff64.Elem, len(free))
 	for attempt := 0; attempt < 64; attempt++ {
-		out := NewVector(m.Cols)
-		coeffs := make([]ff64.Elem, len(free))
 		for i := range coeffs {
 			c, err := ff64.Rand()
 			if err != nil {
@@ -273,7 +276,7 @@ func (m *Matrix) RandomKernelVectorInPlace() (Vector, error) {
 		for r, pc := range pivots {
 			var acc ff64.Elem
 			for i, fc := range free {
-				acc = ff64.Add(acc, ff64.Mul(coeffs[i], m.At(r, fc)))
+				acc = ff64.MulAdd(acc, coeffs[i], m.At(r, fc))
 			}
 			out[pc] = ff64.Neg(acc)
 		}

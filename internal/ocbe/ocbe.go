@@ -427,8 +427,7 @@ func composeEQ(params *pedersen.Params, c group.Element, x0 *big.Int, msg []byte
 	}
 	shifted := params.Shift(c, x0)
 	sigma := g.Exp(shifted, y)
-	_, h := params.Bases()
-	eta := g.Exp(h, y)
+	eta := params.ExpH(y)
 	key := sym.DeriveKey([]byte("ocbe/eq"), g.Marshal(sigma))
 	ct, err := sym.Encrypt(key, msg)
 	if err != nil {
@@ -456,8 +455,7 @@ func composeBitwise(params *pedersen.Params, c group.Element, s subOp, ell int, 
 	if s.kind == 1 {
 		target = params.Shift(c, s.x0)
 	} else {
-		gBase, _ := params.Bases()
-		target = g.Op(g.Exp(gBase, s.x0), g.Inverse(c))
+		target = g.Op(params.ExpG(s.x0), g.Inverse(c))
 	}
 	powers := make([]group.Element, ell)
 	parallelFor(ell, func(i int) error {
@@ -492,8 +490,7 @@ func composeBitwise(params *pedersen.Params, c group.Element, s subOp, ell int, 
 	if err != nil {
 		return nil, err
 	}
-	_, h := params.Bases()
-	eta := g.Exp(h, y)
+	eta := params.ExpH(y)
 	gBase, _ := params.Bases()
 	gInv := g.Inverse(gBase)
 

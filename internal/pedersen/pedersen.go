@@ -15,11 +15,19 @@ import (
 )
 
 // Params holds the public commitment parameters (G, g, h) published by the
-// trusted third party (the IdMgr in the paper's deployment).
+// trusted third party (the IdMgr in the paper's deployment). When the group
+// supports precomputed fixed-base exponentiation (group.FixedBaseGroup),
+// Setup builds one table per base; the tables are read-only after
+// construction, so a single Params value is safely shared across the batch
+// registration worker pool.
 type Params struct {
 	G group.Group
 	g group.Element
 	h group.Element
+	// gTab and hTab are precomputed exponentiation tables for the two bases
+	// (nil when the group has no fixed-base support).
+	gTab group.FixedBase
+	hTab group.FixedBase
 }
 
 // Setup derives commitment parameters over G. The second base h is obtained
@@ -36,7 +44,28 @@ func Setup(g group.Group, seed []byte) (*Params, error) {
 	if g.Equal(h, g.Identity()) || g.Equal(h, g.Generator()) {
 		return nil, errors.New("pedersen: degenerate second base")
 	}
-	return &Params{G: g, g: g.Generator(), h: h}, nil
+	p := &Params{G: g, g: g.Generator(), h: h}
+	if fg, ok := g.(group.FixedBaseGroup); ok {
+		p.gTab = fg.NewFixedBase(p.g)
+		p.hTab = fg.NewFixedBase(p.h)
+	}
+	return p, nil
+}
+
+// ExpG returns g^k through the precomputed table when available.
+func (p *Params) ExpG(k *big.Int) group.Element {
+	if p.gTab != nil {
+		return p.gTab.Exp(k)
+	}
+	return p.G.Exp(p.g, k)
+}
+
+// ExpH returns h^k through the precomputed table when available.
+func (p *Params) ExpH(k *big.Int) group.Element {
+	if p.hTab != nil {
+		return p.hTab.Exp(k)
+	}
+	return p.G.Exp(p.h, k)
 }
 
 // Bases returns the two commitment bases (g, h).
@@ -48,9 +77,7 @@ func (p *Params) Order() *big.Int { return p.G.Order() }
 
 // Commit returns c = g^x · h^r. Values are reduced modulo the group order.
 func (p *Params) Commit(x, r *big.Int) group.Element {
-	gx := p.G.Exp(p.g, x)
-	hr := p.G.Exp(p.h, r)
-	return p.G.Op(gx, hr)
+	return p.G.Op(p.ExpG(x), p.ExpH(r))
 }
 
 // CommitRandom commits to x under a fresh uniformly random blinding factor
@@ -72,5 +99,5 @@ func (p *Params) Verify(c group.Element, x, r *big.Int) bool {
 // x − x0 under the same blinding. The OCBE protocols use this to turn an
 // equality predicate "x = x0" into "committed value is 0".
 func (p *Params) Shift(c group.Element, x0 *big.Int) group.Element {
-	return p.G.Op(c, p.G.Exp(p.g, new(big.Int).Neg(x0)))
+	return p.G.Op(c, p.ExpG(new(big.Int).Neg(x0)))
 }

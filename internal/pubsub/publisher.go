@@ -66,6 +66,10 @@ type Publisher struct {
 	acps     []*policy.ACP
 	conds    []policy.Condition
 	condByID map[string]policy.Condition
+	// predByID holds each condition's OCBE predicate with the threshold
+	// already encoded into the commitment field, computed once at
+	// construction instead of per registration request.
+	predByID map[string]ocbe.Predicate
 	opts     Options
 
 	// reg is the paper's table T behind snapshot semantics; keys caches
@@ -104,8 +108,10 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 	}
 	conds := policy.Conditions(acps)
 	byID := make(map[string]policy.Condition, len(conds))
+	predByID := make(map[string]ocbe.Predicate, len(conds))
 	for _, c := range conds {
 		byID[c.ID()] = c
+		predByID[c.ID()] = ocbe.Predicate{Op: c.Op, X0: idtoken.EncodeValue(params.Order(), c.Value)}
 	}
 	return &Publisher{
 		params:   params,
@@ -113,6 +119,7 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 		acps:     acps,
 		conds:    conds,
 		condByID: byID,
+		predByID: predByID,
 		opts:     opts,
 		reg:      newRegistry(acps, opts.GroupSize),
 		keys:     newKeyManager(opts.Workers, opts.MinN),
@@ -202,8 +209,7 @@ func (p *Publisher) compose(req *RegistrationRequest, verifyToken bool) (*ocbe.E
 	if err != nil {
 		return nil, 0, err
 	}
-	pred := ocbe.Predicate{Op: cond.Op, X0: idtoken.EncodeValue(p.params.Order(), cond.Value)}
-	env, err := ocbe.Compose(p.params, pred, p.opts.Ell, req.OCBE, css.Bytes())
+	env, err := ocbe.Compose(p.params, p.predByID[req.CondID], p.opts.Ell, req.OCBE, css.Bytes())
 	if err != nil {
 		return nil, 0, fmt.Errorf("pubsub: composing envelope: %w", err)
 	}
@@ -228,8 +234,9 @@ const MaxRegistrationBatch = 4096
 // RegisterBatch handles many registration requests in one call — one round
 // trip on the wire instead of one per condition. Each distinct token is
 // verified once, envelope composition fans out across a bounded worker
-// pool, and all resulting CSS cells are committed to table T under a single
-// write-lock acquisition per pseudonym. Item-level failures are reported in
+// pool (the workers share the Params' read-only fixed-base exponentiation
+// tables), and all resulting CSS cells are committed to table T under a
+// single write-lock acquisition per pseudonym. Item-level failures are reported in
 // the corresponding BatchResult; the call errs only on an empty or
 // oversized batch.
 func (p *Publisher) RegisterBatch(reqs []*RegistrationRequest) ([]BatchResult, error) {
