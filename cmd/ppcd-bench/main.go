@@ -14,6 +14,7 @@
 //	ppcd-bench -quick               # reduced sweeps for smoke testing
 //	ppcd-bench -publish -subs 400   # steady-state vs churn publish timings (JSON)
 //	ppcd-bench -publish -groups 4   # same, sharded into 4 groups/policy (§VIII-C)
+//	ppcd-bench -publish -stream     # plus a TCP streaming smoke: delta vs snapshot bytes on the wire
 //	ppcd-bench -register -subs 50 -conds 4   # oblivious registration timings (JSON)
 package main
 
@@ -24,6 +25,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"ppcd"
@@ -36,6 +38,7 @@ import (
 	"ppcd/internal/pedersen"
 	"ppcd/internal/pubsub"
 	"ppcd/internal/schnorr"
+	"ppcd/internal/wire"
 )
 
 func main() {
@@ -51,6 +54,7 @@ func main() {
 		groupName = flag.String("group", "jacobian", "commitment group for OCBE figures: jacobian (paper) or schnorr")
 		quick     = flag.Bool("quick", false, "reduced parameter sweeps")
 		publish   = flag.Bool("publish", false, "measure steady-state vs churn vs full-rebuild publish, emit JSON")
+		stream    = flag.Bool("stream", false, "-publish: also run a TCP streaming smoke (publisher + 8 streaming subscribers under churn) and report per-subscriber bytes on wire")
 		subs      = flag.Int("subs", 200, "-publish/-register: registered pseudonyms")
 		policies  = flag.Int("policies", 5, "-publish: single-condition policies / configurations")
 		pubRounds = flag.Int("publish-rounds", 10, "-publish: publishes measured per regime")
@@ -62,7 +66,7 @@ func main() {
 	flag.Parse()
 
 	if *publish {
-		if err := runPublishBench(*subs, *policies, *pubRounds, *groups); err != nil {
+		if err := runPublishBench(*subs, *policies, *pubRounds, *groups, *stream); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -407,6 +411,16 @@ type publishReport struct {
 	// FullNs: publish after a wholesale state import (every configuration
 	// re-solved; grouping cuts this by ~g²).
 	FullNs int64 `json:"full_ns_per_publish"`
+	// DeltaBytes vs SnapshotBytes: wire-frame size of a single-leave churn
+	// delta against the full snapshot at the same epoch — the dissemination
+	// cost of push streaming vs re-fetching the whole broadcast.
+	DeltaBytes    int     `json:"delta_bytes"`
+	SnapshotBytes int     `json:"snapshot_bytes"`
+	DeltaRatio    float64 `json:"delta_ratio"`
+	// Stream is the TCP streaming smoke (-stream): real bytes on the wire
+	// per streaming subscriber across the run, vs what per-publish full
+	// fetches would have shipped.
+	Stream *streamReport `json:"stream,omitempty"`
 	Stats  struct {
 		Rekeys         uint64 `json:"rekeys"`
 		Rebuilds       uint64 `json:"rebuilds"`
@@ -423,7 +437,7 @@ type publishReport struct {
 // policy into exactly `groups` groups, which makes the N³/g² claim a
 // measured series: run with -groups 1 for the baseline and higher g to
 // compare.
-func runPublishBench(subs, policies, rounds, groups int) error {
+func runPublishBench(subs, policies, rounds, groups int, stream bool) error {
 	if subs < 4 || policies < 1 || rounds < 1 || groups < 1 {
 		return fmt.Errorf("ppcd-bench: -publish needs subs>=4, policies>=1, rounds>=1, groups>=1")
 	}
@@ -509,10 +523,202 @@ func runPublishBench(subs, policies, rounds, groups int) error {
 		return err
 	}
 
+	// Dissemination bytes: one controlled single-leave on the settled table,
+	// then the wire-frame sizes of the resulting delta vs the full snapshot.
+	base, err := pub.Publish(doc)
+	if err != nil {
+		return err
+	}
+	if err := pub.RevokeSubscription("pn-0"); err != nil {
+		return err
+	}
+	churned, err := pub.Publish(doc)
+	if err != nil {
+		return err
+	}
+	d, err := ppcd.Diff(base, churned)
+	if err != nil {
+		return err
+	}
+	rep.SnapshotBytes = len(wire.MarshalSnapshotFrame(churned))
+	rep.DeltaBytes = len(wire.MarshalDeltaFrame(d))
+	rep.DeltaRatio = float64(rep.DeltaBytes) / float64(rep.SnapshotBytes)
+
+	if stream {
+		if rep.Stream, err = runStreamSmoke(pub, doc, subs); err != nil {
+			return err
+		}
+	}
+
 	s := pub.Stats()
 	rep.Stats.Rekeys, rep.Stats.Rebuilds, rep.Stats.CacheHits, rep.Stats.Solves, rep.Stats.DominanceSkips =
 		s.Rekeys, s.Rebuilds, s.CacheHits, s.Solves, s.DominanceSkips
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// streamReport is the -publish -stream section: a real TCP server fanning
+// churn publishes out to streaming subscribers, with the measured bytes each
+// consumed (snapshot catch-up + one delta per publish) against the pull
+// alternative (one full snapshot per publish).
+type streamReport struct {
+	Subscribers     int   `json:"subscribers"`
+	Publishes       int   `json:"publishes"`
+	SnapshotFrames  int   `json:"snapshot_frames"`
+	DeltaFrames     int   `json:"delta_frames"`
+	BytesPerSub     int64 `json:"bytes_per_subscriber"`
+	FetchBytesEquiv int64 `json:"fetch_bytes_equivalent"`
+}
+
+// runStreamSmoke drives the streaming dissemination path end to end over
+// localhost TCP: 8 subscribers hold open streams while the publisher churns
+// one revocation per publish; every subscriber must converge on the final
+// epoch having received exactly one snapshot and then deltas.
+func runStreamSmoke(pub *ppcd.Publisher, doc *ppcd.Document, subs int) (*streamReport, error) {
+	const nStreams = 8
+	churns := 3
+	if max := subs/2 - 1; churns > max {
+		churns = max
+	}
+	if churns < 1 {
+		return nil, fmt.Errorf("ppcd-bench: -stream needs subs >= 6")
+	}
+
+	srv, err := ppcd.NewServer(pub)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	seed, err := pub.Publish(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.PublishBroadcast(seed); err != nil {
+		return nil, err
+	}
+
+	rep := &streamReport{Subscribers: nStreams}
+	type result struct {
+		snaps, deltas int
+		bytes         int64
+		err           error
+	}
+	results := make(chan result, nStreams)
+	var finalEpoch uint64
+	var epochMu sync.Mutex
+	finalKnown := make(chan struct{})
+
+	for i := 0; i < nStreams; i++ {
+		go func() {
+			var res result
+			defer func() { results <- res }()
+			client, err := ppcd.Dial(addr, pub.Params())
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer client.Close()
+			st, err := client.Subscribe(doc.Name, 0, 0)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer st.Close()
+			// Consume frames as they arrive — buffering them in the kernel
+			// until the publishes finish would trip the server's
+			// slow-consumer eviction on large workloads. A dedicated reader
+			// goroutine feeds a select so the consumer can also learn the
+			// final target epoch the moment publishing ends; closing the
+			// stream on return unblocks the reader.
+			frames := make(chan *ppcd.StreamFrame, 64)
+			readErr := make(chan error, 1)
+			go func() {
+				for {
+					if err := st.SetReadDeadline(time.Now().Add(60 * time.Second)); err != nil {
+						readErr <- err
+						return
+					}
+					f, err := st.Next()
+					if err != nil {
+						readErr <- err
+						return
+					}
+					frames <- f
+				}
+			}()
+			var maxEpoch, target uint64
+			haveTarget := false
+			fk := finalKnown
+			for {
+				if haveTarget && maxEpoch >= target {
+					return
+				}
+				select {
+				case f := <-frames:
+					switch f.Type {
+					case ppcd.FrameSnapshot:
+						res.snaps++
+					case ppcd.FrameDelta:
+						res.deltas++
+					case ppcd.FrameHeartbeat:
+						continue
+					}
+					res.bytes = st.BytesRead()
+					if f.Epoch > maxEpoch {
+						maxEpoch = f.Epoch
+					}
+				case err := <-readErr:
+					res.err = err
+					return
+				case <-fk:
+					epochMu.Lock()
+					target = finalEpoch
+					epochMu.Unlock()
+					haveTarget = true
+					fk = nil // closed channel: disarm so the select never busy-spins
+				}
+			}
+		}()
+	}
+	// Give the subscribe requests a moment to land before churning; a late
+	// joiner still converges (its first frame is a newer snapshot).
+	time.Sleep(200 * time.Millisecond)
+
+	var snapshotTotal int64
+	for k := 0; k < churns; k++ {
+		if err := pub.RevokeSubscription(fmt.Sprintf("pn-%d", k+1)); err != nil {
+			return nil, err
+		}
+		b, err := pub.Publish(doc)
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.PublishBroadcast(b); err != nil {
+			return nil, err
+		}
+		snapshotTotal += int64(len(wire.MarshalSnapshotFrame(b)))
+		epochMu.Lock()
+		finalEpoch = b.Epoch
+		epochMu.Unlock()
+	}
+	close(finalKnown)
+	rep.Publishes = churns
+	rep.FetchBytesEquiv = snapshotTotal
+
+	for i := 0; i < nStreams; i++ {
+		res := <-results
+		if res.err != nil {
+			return nil, fmt.Errorf("ppcd-bench: streaming subscriber: %w", res.err)
+		}
+		rep.SnapshotFrames += res.snaps
+		rep.DeltaFrames += res.deltas
+		rep.BytesPerSub += res.bytes
+	}
+	rep.BytesPerSub /= nStreams
+	return rep, nil
 }

@@ -1,6 +1,9 @@
 // Command ppcd-pub runs a publisher daemon: it loads a policy file, serves
 // registrations over TCP, publishes documents dropped on stdin commands, and
-// persists its CSS table across restarts.
+// persists its CSS table across restarts. With -stream (the default) every
+// publish is also pushed over long-lived subscriber streams as an epoch
+// delta — reconnecting clients catch up from their last epoch (ppcd-sub
+// stream is the consumer side).
 //
 // Policy file format (one policy per line):
 //
@@ -28,6 +31,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"ppcd"
 )
@@ -45,6 +49,9 @@ func main() {
 		ell        = flag.Int("ell", 16, "bit bound for inequality conditions")
 		groupName  = flag.String("group", "schnorr", "commitment group: schnorr or jacobian")
 		groupSize  = flag.Int("group-size", 0, "shard each policy's subscribers into groups of at most this many rows (§VIII-C; 0 = one ACV per configuration)")
+		stream     = flag.Bool("stream", true, "serve push streams: every publish fans epoch deltas out to subscribed clients")
+		heartbeat  = flag.Duration("stream-heartbeat", 30*time.Second, "stream heartbeat interval (0 disables)")
+		retain     = flag.Int("retain", 8, "recent epochs kept for fetches and stream delta catch-ups")
 	)
 	flag.Parse()
 
@@ -89,12 +96,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv.SetStreaming(*stream)
+	srv.SetHeartbeatInterval(*heartbeat)
+	srv.SetRetention(*retain)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	log.Printf("serving registrations and broadcasts on %s", bound)
+	mode := "fetch only"
+	if *stream {
+		mode = fmt.Sprintf("fetch + push streams (heartbeat %v, %d epochs retained)", *heartbeat, *retain)
+	}
+	log.Printf("serving registrations and broadcasts on %s (%s)", bound, mode)
 
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")

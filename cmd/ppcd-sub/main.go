@@ -9,6 +9,11 @@
 //	ppcd-sub register -addr 127.0.0.1:7468 -token token.json
 //	ppcd-sub fetch    -addr 127.0.0.1:7468 -token token.json -outdir ./plain
 //
+//	# or stay subscribed: consume the publisher's push stream, applying
+//	# epoch deltas and decrypting as new editions arrive (reconnects with
+//	# the last applied epoch after connection loss)
+//	ppcd-sub stream   -addr 127.0.0.1:7468 -token token.json -outdir ./plain
+//
 // Token files contain the PRIVATE opening (value + blinding); they never
 // leave the subscriber's machine — registration only transmits commitments.
 package main
@@ -23,6 +28,7 @@ import (
 	"math/big"
 	"os"
 	"path/filepath"
+	"time"
 
 	"ppcd"
 	"ppcd/internal/idtoken"
@@ -59,6 +65,7 @@ func main() {
 		outdir    = fs.String("outdir", ".", "directory for decrypted subdocuments")
 		seed      = fs.String("seed", "ppcd-system", "Pedersen parameter seed (must match publisher)")
 		groupName = fs.String("group", "schnorr", "commitment group: schnorr or jacobian")
+		docFilter = fs.String("doc", "", "stream: only this document (default: all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		log.Fatal(err)
@@ -168,16 +175,132 @@ func main() {
 			log.Fatal(err)
 		}
 		for name, content := range got {
-			path := filepath.Join(*outdir, name+".dec")
+			path, err := outPath(*outdir, name)
+			if err != nil {
+				log.Printf("skipping %v", err)
+				continue
+			}
 			if err := os.WriteFile(path, content, 0o644); err != nil {
 				log.Fatal(err)
 			}
 			log.Printf("decrypted %s → %s (%d bytes)", name, path, len(content))
 		}
 		log.Printf("authorized for %d of %d subdocuments of %q", len(got), len(b.Items), b.DocName)
+	case "stream":
+		sub := loadSubscriber(*tokens)
+		state, err := os.ReadFile(cssPath(*tokens))
+		if err != nil {
+			log.Fatalf("no CSS state (%v) — run register first", err)
+		}
+		if err := sub.ImportCSS(state); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		runStream(params, *addr, *docFilter, *outdir, sub)
 	default:
 		usage()
 	}
+}
+
+// streamIdleTimeout bounds how long the stream consumer waits for any frame
+// (data or heartbeat) before treating the connection as dead and redialing;
+// generous against the server's default 30s heartbeat cadence, so a
+// silently dropped path (power loss, NAT idle reset) cannot hang the
+// consumer forever.
+const streamIdleTimeout = 2 * time.Minute
+
+// runStream consumes the publisher's push stream forever: snapshots seed the
+// subscriber's broadcast state, deltas patch it, and every data frame's
+// decryptable subdocuments land in outdir. On connection loss it redials
+// with the last applied epoch (and its publisher generation), so the
+// catch-up is one delta whenever the server still retains that state.
+func runStream(params *ppcd.CommitmentParams, addr, doc, outdir string, sub *ppcd.Subscriber) {
+	var lastEpoch, lastGen uint64
+	for {
+		client, err := ppcd.Dial(addr, params)
+		if err != nil {
+			log.Printf("dial: %v; retrying in 2s", err)
+			time.Sleep(2 * time.Second)
+			continue
+		}
+		st, err := client.Subscribe(doc, lastEpoch, lastGen)
+		if err != nil {
+			client.Close()
+			log.Printf("subscribe: %v; retrying in 2s", err)
+			time.Sleep(2 * time.Second)
+			continue
+		}
+		log.Printf("subscribed at %s from epoch %d", addr, lastEpoch)
+		for {
+			if err := st.SetReadDeadline(time.Now().Add(streamIdleTimeout)); err != nil {
+				log.Printf("stream: %v; reconnecting", err)
+				break
+			}
+			f, err := st.Next()
+			if err != nil {
+				log.Printf("stream: %v; reconnecting", err)
+				break
+			}
+			var docName string
+			var gen uint64
+			switch f.Type {
+			case ppcd.FrameSnapshot:
+				if err := sub.ApplySnapshot(f.Snapshot); err != nil {
+					log.Printf("snapshot: %v", err)
+					continue
+				}
+				docName, gen = f.Snapshot.DocName, f.Snapshot.Gen
+			case ppcd.FrameDelta:
+				if err := sub.ApplyDelta(f.Delta); err != nil {
+					// Typically a base mismatch after the server lost our
+					// epoch (or restarted into a new generation): restart
+					// from a snapshot.
+					log.Printf("delta: %v; resubscribing from scratch", err)
+					lastEpoch, lastGen = 0, 0
+					break
+				}
+				docName, gen = f.Delta.DocName, f.Delta.Gen
+			case ppcd.FrameHeartbeat:
+				continue
+			}
+			if docName == "" {
+				break // delta apply failed; reconnect
+			}
+			lastEpoch, lastGen = f.Epoch, gen
+			got, err := sub.DecryptCurrent(docName)
+			if err != nil {
+				log.Printf("decrypt: %v", err)
+				continue
+			}
+			for name, content := range got {
+				path, err := outPath(outdir, name)
+				if err != nil {
+					log.Printf("skipping %v", err)
+					continue
+				}
+				if err := os.WriteFile(path, content, 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+			log.Printf("epoch %d of %q: decrypted %d subdocuments (%d stream bytes total)",
+				f.Epoch, docName, len(got), st.BytesRead())
+		}
+		st.Close()
+		client.Close()
+		time.Sleep(time.Second)
+	}
+}
+
+// outPath maps a broadcast subdocument name to its output file, rejecting
+// names that would escape outdir — the names arrive from the network, and a
+// hostile publisher must not be able to write outside the chosen directory.
+func outPath(outdir, name string) (string, error) {
+	if name == "" || name == "." || name == ".." || name != filepath.Base(name) {
+		return "", fmt.Errorf("unsafe subdocument name %q", name)
+	}
+	return filepath.Join(outdir, name+".dec"), nil
 }
 
 // cssPath derives the CSS state file path from the token file path.
@@ -237,6 +360,6 @@ func loadSubscriber(tokenPath string) *ppcd.Subscriber {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ppcd-sub <idmgr-init|idmgr-pubkey|issue|register|fetch> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ppcd-sub <idmgr-init|idmgr-pubkey|issue|register|fetch|stream> [flags]")
 	os.Exit(2)
 }

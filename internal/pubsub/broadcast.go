@@ -1,6 +1,7 @@
 package pubsub
 
 import (
+	"crypto/sha256"
 	"errors"
 
 	"ppcd/internal/core"
@@ -24,6 +25,18 @@ type ConfigInfo struct {
 	Key     policy.ConfigKey
 	Header  *core.Header
 	Grouped *core.GroupedHeader
+
+	// Rev is the epoch at which this configuration's header (and therefore
+	// its key) last changed; a configuration untouched since epoch e keeps
+	// Rev = e across later publishes, which is what lets the delta layer
+	// skip it entirely.
+	Rev uint64
+	// ShardRevs, parallel to Grouped.Shards, is the epoch at which each
+	// shard's sub-header last re-solved. After a single-leave rekey only the
+	// dirty shard's entry advances: clean shards keep their sub-headers
+	// (and the subscribers their cached KEVs), so a delta ships one small
+	// sub-header plus the per-shard wraps instead of the whole header.
+	ShardRevs []uint64
 }
 
 // Item is one encrypted subdocument.
@@ -31,15 +44,36 @@ type Item struct {
 	Subdoc     string
 	Config     policy.ConfigKey
 	Ciphertext []byte
+	// Rev is the epoch at which this ciphertext last changed (fresh
+	// configuration key or new plaintext). While both stay put, republishes
+	// carry the previous bytes forward and deltas skip the item.
+	Rev uint64
 }
 
 // Broadcast is the complete selectively-encrypted document package sent to
 // all subscribers. Everything in it is public.
 type Broadcast struct {
-	DocName  string
+	DocName string
+	// Epoch is the publisher-wide monotonic publish counter; every Publish
+	// stamps the next epoch. Deltas are expressed between two epochs of the
+	// same document.
+	Epoch uint64
+	// Gen identifies the publisher incarnation that numbered the epoch: a
+	// restarted publisher begins a fresh epoch sequence under a fresh random
+	// generation, so a subscriber holding pre-restart state can never match
+	// a post-restart delta's base epoch by numeric coincidence.
+	Gen      uint64
 	Policies []PolicyInfo
 	Configs  []ConfigInfo
 	Items    []Item
+}
+
+// lastBroadcast is the publisher's per-document diff base: the previous
+// broadcast (revisions filled in) plus the plaintext digests that decide
+// whether an item's ciphertext may be carried forward.
+type lastBroadcast struct {
+	b       *Broadcast
+	digests map[string][32]byte // subdoc → SHA-256 of plaintext
 }
 
 // Publish encrypts a document according to the publisher's policies and
@@ -53,6 +87,16 @@ type Broadcast struct {
 // Publish never blocks registration traffic: it reads a consistent table
 // snapshot under a read lock and performs all crypto outside any lock, so
 // concurrent Register/Revoke* calls proceed while ACVs are being solved.
+//
+// Each broadcast is stamped with the next epoch and with per-configuration
+// (and per-shard) revisions derived from the engine's cache state, so the
+// delta layer (Diff) can ship only what changed since any retained base
+// epoch. Items whose configuration key and plaintext are both unchanged
+// carry the previous ciphertext forward — a steady-state republish is then
+// byte-identical except for the epoch, and its delta is empty.
+//
+// The returned broadcast is retained by the publisher as the next diff base
+// and must be treated as immutable by callers.
 func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
 	if doc == nil || len(doc.Subdocs) == 0 {
 		return nil, errors.New("pubsub: empty document")
@@ -90,15 +134,127 @@ func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
 			cfgOf[sd] = k
 		}
 	}
+
+	// Plaintext digests are independent of the previous broadcast; hash
+	// outside the lock so concurrent publishes of different documents do
+	// not serialize on content size.
+	digests := make(map[string][32]byte, len(doc.Subdocs))
+	for _, sd := range doc.Subdocs {
+		digests[sd.Name] = sha256.Sum256(sd.Content)
+	}
+
+	// Epoch stamping and item assembly run under the publish lock: revisions
+	// are derived against the previous broadcast of the same document, and
+	// unchanged items carry their ciphertext forward instead of being
+	// re-encrypted (so only *changed* items pay AEAD cost here — a
+	// steady-state publish encrypts nothing). The lock is independent of
+	// the registry's, so registration traffic still proceeds; only
+	// concurrent Publish calls serialize here.
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	p.epoch++
+	b.Epoch = p.epoch
+	b.Gen = p.gen
+	prev := p.lastPub[doc.Name]
+	stampConfigRevs(b, prev)
+
+	revOf := make(map[policy.ConfigKey]uint64, len(b.Configs))
+	for _, ci := range b.Configs {
+		revOf[ci.Key] = ci.Rev
+	}
+	var prevItems map[string]*Item
+	if prev != nil {
+		prevItems = make(map[string]*Item, len(prev.b.Items))
+		for i := range prev.b.Items {
+			prevItems[prev.b.Items[i].Subdoc] = &prev.b.Items[i]
+		}
+	}
 	for _, sd := range doc.Subdocs {
 		k := cfgOf[sd.Name]
+		digest := digests[sd.Name]
+		if pi, ok := prevItems[sd.Name]; ok && pi.Config == k && revOf[k] < b.Epoch && prev.digests[sd.Name] == digest {
+			// Same configuration key, same plaintext: the previous ciphertext
+			// still decrypts, so carry it (and its revision) forward.
+			b.Items = append(b.Items, Item{Subdoc: sd.Name, Config: k, Ciphertext: pi.Ciphertext, Rev: pi.Rev})
+			continue
+		}
 		ct, err := sym.Encrypt(keys[k], sd.Content)
 		if err != nil {
 			return nil, err
 		}
-		b.Items = append(b.Items, Item{Subdoc: sd.Name, Config: k, Ciphertext: ct})
+		b.Items = append(b.Items, Item{Subdoc: sd.Name, Config: k, Ciphertext: ct, Rev: b.Epoch})
 	}
+	p.lastPub[doc.Name] = &lastBroadcast{b: b, digests: digests}
 	return b, nil
+}
+
+// stampConfigRevs fills Rev and ShardRevs for every configuration of a fresh
+// broadcast against the previous broadcast of the same document. Change
+// detection is pointer identity on the header objects: the engine returns
+// the same cached *Header / *GroupedHeader for an untouched configuration
+// and the same shard *Header for a clean shard inside a reassembled grouped
+// header, so an unchanged pointer means bit-identical broadcast material.
+// Two nil headers (an inaccessible configuration staying inaccessible) also
+// compare unchanged — nobody can decrypt it at either epoch.
+func stampConfigRevs(b *Broadcast, prev *lastBroadcast) {
+	var prevCfg map[policy.ConfigKey]*ConfigInfo
+	if prev != nil {
+		prevCfg = make(map[policy.ConfigKey]*ConfigInfo, len(prev.b.Configs))
+		for i := range prev.b.Configs {
+			prevCfg[prev.b.Configs[i].Key] = &prev.b.Configs[i]
+		}
+	}
+	for i := range b.Configs {
+		ci := &b.Configs[i]
+		pc := prevCfg[ci.Key]
+		unchanged := pc != nil && pc.Header == ci.Header && pc.Grouped == ci.Grouped
+		if unchanged {
+			ci.Rev = pc.Rev
+			ci.ShardRevs = pc.ShardRevs
+			continue
+		}
+		ci.Rev = b.Epoch
+		if ci.Grouped == nil {
+			continue
+		}
+		// Reassembled grouped header: clean shards keep their sub-header
+		// objects, so they inherit the revision they last solved at.
+		var prevShard map[*core.Header]uint64
+		if pc != nil && pc.Grouped != nil && len(pc.ShardRevs) == len(pc.Grouped.Shards) {
+			prevShard = make(map[*core.Header]uint64, len(pc.Grouped.Shards))
+			for j, sh := range pc.Grouped.Shards {
+				prevShard[sh.Hdr] = pc.ShardRevs[j]
+			}
+		}
+		revs := make([]uint64, len(ci.Grouped.Shards))
+		for j, sh := range ci.Grouped.Shards {
+			if r, ok := prevShard[sh.Hdr]; ok {
+				revs[j] = r
+			} else {
+				revs[j] = b.Epoch
+			}
+		}
+		ci.ShardRevs = revs
+	}
+}
+
+// Epoch returns the epoch of the most recent Publish (0 before the first).
+func (p *Publisher) Epoch() uint64 {
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	return p.epoch
+}
+
+// LastBroadcast returns the most recent broadcast published for the named
+// document (nil if none). Like the return value of Publish, it must be
+// treated as immutable.
+func (p *Publisher) LastBroadcast(docName string) *Broadcast {
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	if lb, ok := p.lastPub[docName]; ok {
+		return lb.b
+	}
+	return nil
 }
 
 // policiesFor returns the policies applying to the named document (policies

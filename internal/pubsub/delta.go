@@ -1,0 +1,321 @@
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+	"ppcd/internal/policy"
+)
+
+// This file is the dissemination layer's diff engine. A publisher that keeps
+// its published broadcasts can express any later epoch as a BroadcastDelta
+// against an earlier one: only the configurations, shards and items whose
+// revision advanced past the base epoch travel, plus explicit removals. A
+// subscriber holding the base broadcast applies the delta and ends up with a
+// state that decrypts identically to a full fetch of the target epoch —
+// which turns the paper's "rekeying is pure broadcast" (§V-C) into
+// "rekeying is a pure *incremental* broadcast": a single leave at N
+// subscribers ships one re-solved shard sub-header, the per-shard wraps and
+// the re-encrypted items of the affected configurations, not the full
+// multi-configuration header set.
+
+// ConfigPatch replaces one configuration's rekey material inside a delta.
+// Exactly one of Header/Grouped is set for an accessible configuration;
+// both nil means the configuration became inaccessible (no qualified rows —
+// subscribers drop their header for it).
+type ConfigPatch struct {
+	Key policy.ConfigKey
+	Rev uint64
+	// ShardRevs carries the target epoch's per-shard revisions when the
+	// patch is grouped (parallel to the reconstructed shard list).
+	ShardRevs []uint64
+	Header    *core.Header
+	Grouped   *GroupedPatch
+}
+
+// GroupedPatch rebuilds a grouped header incrementally: the fresh rekey
+// nonce and ALL per-shard wraps (8 bytes each — they change on every
+// reassembly), but sub-headers only for shards that actually re-solved.
+// From[i] names the shard of the BASE configuration whose sub-header shard i
+// keeps (clean shard), or -1 to consume the next entry of Headers (dirty or
+// new shard).
+type GroupedPatch struct {
+	RekeyNonce []byte
+	Wraps      []ff64.Elem
+	From       []int
+	Headers    []*core.Header
+}
+
+// BroadcastDelta is everything that changed between two epochs of one
+// document. Empty Configs/Items slices are legal (a steady-state republish
+// changes nothing but the epoch).
+type BroadcastDelta struct {
+	DocName   string
+	BaseEpoch uint64
+	Epoch     uint64
+	// Gen is the publisher generation both epochs belong to; Apply rejects
+	// a base from another incarnation even when the epoch numbers collide.
+	Gen uint64
+	// PoliciesChanged flags a replacement of the policy list (rare: policy
+	// set edits); Policies is only read when it is true.
+	PoliciesChanged bool
+	Policies        []PolicyInfo
+	Configs         []ConfigPatch
+	RemovedConfigs  []policy.ConfigKey
+	Items           []Item
+	RemovedItems    []string
+}
+
+// Errors returned by Diff and Apply.
+var (
+	ErrDeltaDocMismatch  = errors.New("pubsub: delta document does not match state")
+	ErrDeltaBaseMismatch = errors.New("pubsub: delta base epoch does not match state (refetch a snapshot)")
+)
+
+// Diff computes the delta that turns the base broadcast into cur. Both must
+// be broadcasts of the same document with base.Epoch < cur.Epoch; the
+// revisions stamped by Publish decide what travels. Clean grouped shards are
+// referenced by their index in the base configuration (located by sub-header
+// identity); a shard whose sub-header cannot be found in the base — e.g.
+// when diffing across wire-decoded broadcasts that share no pointers — is
+// shipped in full, trading delta size for correctness, never the reverse.
+func Diff(base, cur *Broadcast) (*BroadcastDelta, error) {
+	if base == nil || cur == nil {
+		return nil, errors.New("pubsub: nil broadcast")
+	}
+	if base.DocName != cur.DocName {
+		return nil, ErrDeltaDocMismatch
+	}
+	if base.Epoch >= cur.Epoch {
+		return nil, fmt.Errorf("pubsub: delta base epoch %d not before %d", base.Epoch, cur.Epoch)
+	}
+	if base.Gen != cur.Gen {
+		return nil, fmt.Errorf("pubsub: delta across publisher generations %d and %d", base.Gen, cur.Gen)
+	}
+	d := &BroadcastDelta{DocName: cur.DocName, BaseEpoch: base.Epoch, Epoch: cur.Epoch, Gen: cur.Gen}
+	if !reflect.DeepEqual(base.Policies, cur.Policies) {
+		d.PoliciesChanged = true
+		d.Policies = cur.Policies
+	}
+
+	baseCfg := make(map[policy.ConfigKey]*ConfigInfo, len(base.Configs))
+	for i := range base.Configs {
+		baseCfg[base.Configs[i].Key] = &base.Configs[i]
+	}
+	curKeys := make(map[policy.ConfigKey]bool, len(cur.Configs))
+	for i := range cur.Configs {
+		ci := &cur.Configs[i]
+		curKeys[ci.Key] = true
+		bc := baseCfg[ci.Key]
+		if bc != nil && ci.Rev <= base.Epoch {
+			continue // unchanged since the base epoch
+		}
+		patch := ConfigPatch{Key: ci.Key, Rev: ci.Rev, ShardRevs: ci.ShardRevs, Header: ci.Header}
+		if ci.Grouped != nil {
+			if len(ci.ShardRevs) != len(ci.Grouped.Shards) {
+				return nil, fmt.Errorf("pubsub: configuration %q has %d shard revisions for %d shards", ci.Key, len(ci.ShardRevs), len(ci.Grouped.Shards))
+			}
+			patch.Grouped = groupedPatch(ci, bc, base.Epoch)
+		}
+		d.Configs = append(d.Configs, patch)
+	}
+	for i := range base.Configs {
+		if !curKeys[base.Configs[i].Key] {
+			d.RemovedConfigs = append(d.RemovedConfigs, base.Configs[i].Key)
+		}
+	}
+
+	baseItems := make(map[string]bool, len(base.Items))
+	for i := range base.Items {
+		baseItems[base.Items[i].Subdoc] = true
+	}
+	curItems := make(map[string]bool, len(cur.Items))
+	for i := range cur.Items {
+		it := &cur.Items[i]
+		curItems[it.Subdoc] = true
+		if baseItems[it.Subdoc] && it.Rev <= base.Epoch {
+			continue
+		}
+		d.Items = append(d.Items, *it)
+	}
+	for i := range base.Items {
+		if !curItems[base.Items[i].Subdoc] {
+			d.RemovedItems = append(d.RemovedItems, base.Items[i].Subdoc)
+		}
+	}
+	return d, nil
+}
+
+// groupedPatch expresses one grouped configuration against its base
+// revision: clean shards (rev ≤ base epoch, sub-header present in the base)
+// become index references, the rest ship their sub-header.
+func groupedPatch(ci, bc *ConfigInfo, baseEpoch uint64) *GroupedPatch {
+	g := ci.Grouped
+	p := &GroupedPatch{
+		RekeyNonce: g.RekeyNonce,
+		Wraps:      make([]ff64.Elem, len(g.Shards)),
+		From:       make([]int, len(g.Shards)),
+	}
+	var baseIdx map[*core.Header]int
+	if bc != nil && bc.Grouped != nil {
+		baseIdx = make(map[*core.Header]int, len(bc.Grouped.Shards))
+		for j, sh := range bc.Grouped.Shards {
+			baseIdx[sh.Hdr] = j
+		}
+	}
+	for i, sh := range g.Shards {
+		p.Wraps[i] = sh.Wrap
+		if j, ok := baseIdx[sh.Hdr]; ok && i < len(ci.ShardRevs) && ci.ShardRevs[i] <= baseEpoch {
+			p.From[i] = j
+			continue
+		}
+		p.From[i] = -1
+		p.Headers = append(p.Headers, sh.Hdr)
+	}
+	return p
+}
+
+// Apply produces the broadcast state at d.Epoch from the base state. It
+// validates that the base matches the delta's document and base epoch and
+// never mutates its input: unchanged configurations, shards and items are
+// shared between the two broadcasts, so a subscriber's cached KEVs (keyed by
+// sub-header content) stay valid across patches.
+func (d *BroadcastDelta) Apply(base *Broadcast) (*Broadcast, error) {
+	if base == nil {
+		return nil, errors.New("pubsub: nil base broadcast")
+	}
+	if base.DocName != d.DocName {
+		return nil, ErrDeltaDocMismatch
+	}
+	if base.Epoch != d.BaseEpoch {
+		return nil, fmt.Errorf("%w: state at epoch %d, delta base %d", ErrDeltaBaseMismatch, base.Epoch, d.BaseEpoch)
+	}
+	if base.Gen != d.Gen {
+		return nil, fmt.Errorf("%w: state from publisher generation %d, delta from %d", ErrDeltaBaseMismatch, base.Gen, d.Gen)
+	}
+	out := &Broadcast{
+		DocName:  base.DocName,
+		Epoch:    d.Epoch,
+		Gen:      d.Gen,
+		Policies: base.Policies,
+		Configs:  append([]ConfigInfo(nil), base.Configs...),
+		Items:    append([]Item(nil), base.Items...),
+	}
+	if d.PoliciesChanged {
+		out.Policies = d.Policies
+	}
+
+	cfgIdx := make(map[policy.ConfigKey]int, len(out.Configs))
+	for i := range out.Configs {
+		cfgIdx[out.Configs[i].Key] = i
+	}
+	for _, patch := range d.Configs {
+		ci := ConfigInfo{Key: patch.Key, Rev: patch.Rev, ShardRevs: patch.ShardRevs, Header: patch.Header}
+		if patch.Grouped != nil {
+			var baseGrouped *core.GroupedHeader
+			if i, ok := cfgIdx[patch.Key]; ok {
+				// Resolve clean-shard references against the BASE config
+				// (base.Configs and out.Configs share elements until
+				// patched, and each config is patched at most once per
+				// delta, so the lookup still sees the base material).
+				baseGrouped = out.Configs[i].Grouped
+			}
+			g, err := patch.Grouped.rebuild(baseGrouped)
+			if err != nil {
+				return nil, fmt.Errorf("pubsub: patching configuration %q: %w", patch.Key, err)
+			}
+			if len(patch.ShardRevs) != len(g.Shards) {
+				return nil, fmt.Errorf("pubsub: patching configuration %q: %d shard revisions for %d shards", patch.Key, len(patch.ShardRevs), len(g.Shards))
+			}
+			ci.Grouped = g
+		}
+		if i, ok := cfgIdx[patch.Key]; ok {
+			out.Configs[i] = ci
+		} else {
+			cfgIdx[patch.Key] = len(out.Configs)
+			out.Configs = append(out.Configs, ci)
+		}
+	}
+	if len(d.RemovedConfigs) > 0 {
+		removed := make(map[policy.ConfigKey]bool, len(d.RemovedConfigs))
+		for _, k := range d.RemovedConfigs {
+			removed[k] = true
+		}
+		kept := out.Configs[:0:0]
+		for _, ci := range out.Configs {
+			if !removed[ci.Key] {
+				kept = append(kept, ci)
+			}
+		}
+		out.Configs = kept
+	}
+	// Keep the deterministic configuration order Publish emits, so a patched
+	// state and a fresh fetch agree structurally.
+	sort.Slice(out.Configs, func(i, j int) bool { return out.Configs[i].Key < out.Configs[j].Key })
+
+	itemIdx := make(map[string]int, len(out.Items))
+	for i := range out.Items {
+		itemIdx[out.Items[i].Subdoc] = i
+	}
+	for _, it := range d.Items {
+		if i, ok := itemIdx[it.Subdoc]; ok {
+			out.Items[i] = it
+		} else {
+			itemIdx[it.Subdoc] = len(out.Items)
+			out.Items = append(out.Items, it)
+		}
+	}
+	if len(d.RemovedItems) > 0 {
+		removed := make(map[string]bool, len(d.RemovedItems))
+		for _, name := range d.RemovedItems {
+			removed[name] = true
+		}
+		kept := out.Items[:0:0]
+		for _, it := range out.Items {
+			if !removed[it.Subdoc] {
+				kept = append(kept, it)
+			}
+		}
+		out.Items = kept
+	}
+	return out, nil
+}
+
+// rebuild reconstructs the full grouped header from a patch and the base
+// configuration's grouped header (nil when the configuration is new or was
+// ungrouped — then every shard must ship its sub-header).
+func (p *GroupedPatch) rebuild(base *core.GroupedHeader) (*core.GroupedHeader, error) {
+	if len(p.Wraps) != len(p.From) {
+		return nil, fmt.Errorf("%d wraps for %d shards", len(p.Wraps), len(p.From))
+	}
+	g := &core.GroupedHeader{RekeyNonce: p.RekeyNonce, Shards: make([]core.GroupShard, len(p.From))}
+	next := 0
+	for i, from := range p.From {
+		var hdr *core.Header
+		switch {
+		case from < 0:
+			if next >= len(p.Headers) {
+				return nil, errors.New("patch ships fewer sub-headers than it references")
+			}
+			hdr = p.Headers[next]
+			next++
+		default:
+			if base == nil {
+				return nil, errors.New("patch references base shards but the state has no grouped header")
+			}
+			if from >= len(base.Shards) {
+				return nil, fmt.Errorf("patch references base shard %d of %d", from, len(base.Shards))
+			}
+			hdr = base.Shards[from].Hdr
+		}
+		g.Shards[i] = core.GroupShard{Hdr: hdr, Wrap: p.Wraps[i]}
+	}
+	if next != len(p.Headers) {
+		return nil, fmt.Errorf("patch ships %d sub-headers, references %d", len(p.Headers), next)
+	}
+	return g, nil
+}

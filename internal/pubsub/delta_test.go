@@ -1,0 +1,532 @@
+package pubsub
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ppcd/internal/core"
+	"ppcd/internal/document"
+	"ppcd/internal/ff64"
+	"ppcd/internal/policy"
+	"ppcd/internal/sym"
+)
+
+// deltaEnv is a publisher with registry-injected subscribers (no OCBE, so
+// churn property tests stay fast) plus the mirror CSS maps for building
+// subscriber-side state.
+type deltaEnv struct {
+	pub  *Publisher
+	doc  *document.Document
+	css  map[string]map[string]core.CSS // nym → cond → CSS
+	next int
+}
+
+func newDeltaEnv(t *testing.T, policies, groupSize int) *deltaEnv {
+	t.Helper()
+	params, mgr := testEnv(t)
+	var acps []*policy.ACP
+	var subdocs []document.Subdocument
+	for i := 0; i < policies; i++ {
+		a, err := policy.New(fmt.Sprintf("acp%d", i), fmt.Sprintf("attr%d >= 1", i), "doc", fmt.Sprintf("sd%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acps = append(acps, a)
+		subdocs = append(subdocs, document.Subdocument{Name: fmt.Sprintf("sd%d", i), Content: []byte(fmt.Sprintf("content of sd%d", i))})
+	}
+	doc, err := document.New("doc", subdocs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(params, mgr.PublicKey(), acps, Options{Ell: 8, GroupSize: groupSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &deltaEnv{pub: pub, doc: doc, css: make(map[string]map[string]core.CSS)}
+}
+
+// join registers a synthetic subscriber for the first `conds` conditions by
+// writing CSS cells straight into table T (the crypto-free equivalent of a
+// successful OCBE registration).
+func (e *deltaEnv) join(t *testing.T, conds int) string {
+	t.Helper()
+	nym := fmt.Sprintf("pn-%d", e.next)
+	e.next++
+	cells := make(map[string]core.CSS, conds)
+	for i := 0; i < conds; i++ {
+		css, err := core.NewCSS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells[fmt.Sprintf("attr%d >= 1", i)] = css
+	}
+	e.pub.reg.setCells(nym, cells)
+	if e.css[nym] == nil {
+		e.css[nym] = make(map[string]core.CSS)
+	}
+	for k, v := range cells {
+		e.css[nym][k] = v
+	}
+	return nym
+}
+
+// subscriber builds a Subscriber holding nym's mirror CSSs.
+func (e *deltaEnv) subscriber(t *testing.T, nym string) *Subscriber {
+	t.Helper()
+	s, err := NewSubscriber(nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cond, css := range e.css[nym] {
+		s.css[cond] = css
+	}
+	return s
+}
+
+func decryptEq(a, b map[string][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if !bytes.Equal(v, b[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDeltaPropertyRandomChurn drives random churn sequences — joins,
+// subscription revocations and credential revocations interleaved with
+// publishes — in both grouped and ungrouped modes, and checks after every
+// publish that a streaming subscriber (one snapshot + deltas ever since)
+// decrypts byte-identically to a subscriber handed the full broadcast.
+func TestDeltaPropertyRandomChurn(t *testing.T) {
+	for _, groupSize := range []int{0, 3} {
+		groupSize := groupSize
+		t.Run(fmt.Sprintf("groupSize=%d", groupSize), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7 + int64(groupSize)))
+			env := newDeltaEnv(t, 3, groupSize)
+			var members []string
+			for i := 0; i < 8; i++ {
+				members = append(members, env.join(t, 1+rng.Intn(3)))
+			}
+			watcherNym := env.join(t, 3) // holds every condition, never revoked
+			watcher := env.subscriber(t, watcherNym)
+
+			b, err := env.pub.Publish(env.doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := watcher.ApplySnapshot(b); err != nil {
+				t.Fatal(err)
+			}
+			prev := b
+
+			for step := 0; step < 25; step++ {
+				switch op := rng.Intn(4); {
+				case op == 0:
+					members = append(members, env.join(t, 1+rng.Intn(3)))
+				case op == 1 && len(members) > 0:
+					i := rng.Intn(len(members))
+					if err := env.pub.RevokeSubscription(members[i]); err != nil {
+						t.Fatal(err)
+					}
+					members = append(members[:i], members[i+1:]...)
+				case op == 2 && len(members) > 0:
+					i := rng.Intn(len(members))
+					nym := members[i]
+					// Revoke one credential the nym actually holds; revoking
+					// its last cell removes the row, so drop it from the
+					// member pool then.
+					for cond := range env.pub.reg.rowCopy(nym) {
+						if err := env.pub.RevokeCredential(nym, cond); err != nil {
+							t.Fatal(err)
+						}
+						break
+					}
+					if env.pub.reg.rowCopy(nym) == nil {
+						members = append(members[:i], members[i+1:]...)
+					}
+				default:
+					// publish with no table change (steady state)
+				}
+
+				cur, err := env.pub.Publish(env.doc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := Diff(prev, cur)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := watcher.ApplyDelta(d); err != nil {
+					t.Fatal(err)
+				}
+				if got := watcher.Current("doc").Epoch; got != cur.Epoch {
+					t.Fatalf("step %d: patched state at epoch %d, want %d", step, got, cur.Epoch)
+				}
+
+				fresh := env.subscriber(t, watcherNym)
+				want, err := fresh.Decrypt(cur)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := watcher.DecryptCurrent("doc")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !decryptEq(got, want) {
+					t.Fatalf("step %d: delta-patched decrypt differs from full fetch (%d vs %d subdocs)", step, len(got), len(want))
+				}
+				if len(want) != 3 {
+					t.Fatalf("step %d: watcher decrypted %d of 3 subdocs from the full broadcast", step, len(want))
+				}
+				prev = cur
+			}
+		})
+	}
+}
+
+// TestDeltaSkipsBaseEpoch asserts Apply refuses a delta whose base does not
+// match the held state and that Diff validates its inputs.
+func TestDeltaValidation(t *testing.T) {
+	env := newDeltaEnv(t, 2, 0)
+	env.join(t, 2)
+	b1, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.join(t, 1)
+	b2, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Diff(b2, b2); err == nil {
+		t.Error("Diff accepted equal epochs")
+	}
+	if _, err := Diff(b2, b1); err == nil {
+		t.Error("Diff accepted a backwards epoch pair")
+	}
+
+	d23, err := Diff(b2, b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d23.Apply(b1); err == nil {
+		t.Error("Apply accepted a mismatched base epoch")
+	}
+	got, err := d23.Apply(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != b3.Epoch {
+		t.Errorf("applied state at epoch %d, want %d", got.Epoch, b3.Epoch)
+	}
+}
+
+// TestDeltaRejectsOtherGeneration pins the publisher-restart protection: a
+// subscriber holding state from one publisher incarnation must reject a
+// delta from another even when the epoch numbers collide (restarted
+// publishers renumber epochs from 1).
+func TestDeltaRejectsOtherGeneration(t *testing.T) {
+	envA := newDeltaEnv(t, 2, 0)
+	envA.join(t, 2)
+	a1, err := envA.pub.Publish(envA.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restarted" publisher: same policies, fresh incarnation, its own
+	// epoch numbering.
+	envB := newDeltaEnv(t, 2, 0)
+	envB.join(t, 2)
+	b1, err := envB.pub.Publish(envB.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envB.join(t, 1)
+	b2, err := envB.pub.Publish(envB.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewSubscriber("pn-gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State from incarnation A at an epoch that numerically matches the
+	// delta's base from incarnation B.
+	stale := *a1
+	stale.Epoch = d.BaseEpoch
+	if err := s.ApplySnapshot(&stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyDelta(d); !errors.Is(err, ErrDeltaBaseMismatch) {
+		t.Fatalf("cross-generation delta applied: err=%v", err)
+	}
+}
+
+// TestSteadyStateDeltaIsEmpty asserts the headline dissemination property:
+// a publish with no membership or content change produces a delta with no
+// configuration patches and no items — the steady-state stream cost is the
+// frame overhead alone.
+func TestSteadyStateDeltaIsEmpty(t *testing.T) {
+	for _, groupSize := range []int{0, 3} {
+		env := newDeltaEnv(t, 3, groupSize)
+		for i := 0; i < 6; i++ {
+			env.join(t, 1+i%3)
+		}
+		b1, err := env.pub.Publish(env.doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := env.pub.Publish(env.doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Diff(b1, b2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Configs) != 0 || len(d.Items) != 0 || len(d.RemovedConfigs) != 0 || len(d.RemovedItems) != 0 || d.PoliciesChanged {
+			t.Errorf("groupSize=%d: steady-state delta not empty: %d config patches, %d items", groupSize, len(d.Configs), len(d.Items))
+		}
+		// The carried-forward ciphertexts are byte-identical.
+		for i := range b2.Items {
+			if !bytes.Equal(b1.Items[i].Ciphertext, b2.Items[i].Ciphertext) {
+				t.Errorf("steady-state republish re-encrypted item %q", b2.Items[i].Subdoc)
+			}
+		}
+	}
+}
+
+// TestSingleLeaveDeltaShipsOneShard asserts the grouped incremental claim
+// end to end at the delta layer: after one leave, the delta's grouped
+// patches ship exactly the re-solved shard sub-headers (one per affected
+// configuration), referencing every clean shard from the base.
+func TestSingleLeaveDeltaShipsOneShard(t *testing.T) {
+	env := newDeltaEnv(t, 1, 4)
+	var nyms []string
+	for i := 0; i < 16; i++ {
+		nyms = append(nyms, env.join(t, 1))
+	}
+	b1, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.pub.RevokeSubscription(nyms[3]); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 1 {
+		t.Fatalf("single leave patched %d configurations, want 1", len(d.Configs))
+	}
+	gp := d.Configs[0].Grouped
+	if gp == nil {
+		t.Fatal("expected a grouped patch")
+	}
+	if len(gp.Headers) != 1 {
+		t.Errorf("single leave shipped %d sub-headers, want 1", len(gp.Headers))
+	}
+	if len(gp.From) != 4 {
+		t.Errorf("patch reconstructs %d shards, want 4", len(gp.From))
+	}
+	kept := 0
+	for _, from := range gp.From {
+		if from >= 0 {
+			kept++
+		}
+	}
+	if kept != 3 {
+		t.Errorf("patch keeps %d base shards, want 3", kept)
+	}
+	// The leaver cannot decrypt the patched state; a member can.
+	member := env.subscriber(t, nyms[0])
+	if err := member.ApplySnapshot(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := member.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := member.DecryptCurrent("doc"); err != nil || len(got) != 1 {
+		t.Errorf("member decrypted %d subdocs after patch (err=%v)", len(got), err)
+	}
+	leaver := env.subscriber(t, nyms[3])
+	if got, _ := leaver.Decrypt(b2); len(got) != 0 {
+		t.Errorf("leaver decrypted %d subdocs after revocation", len(got))
+	}
+}
+
+// TestKEVCacheSurvivesDeltaPatches asserts the §VIII-D receiver cache keeps
+// paying across patches: a member of a clean shard re-derives its key after
+// a delta without hashing a single fresh KEV.
+func TestKEVCacheSurvivesDeltaPatches(t *testing.T) {
+	env := newDeltaEnv(t, 1, 4)
+	var nyms []string
+	for i := 0; i < 16; i++ {
+		nyms = append(nyms, env.join(t, 1))
+	}
+	b1, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := env.subscriber(t, nyms[0])
+	if err := member.ApplySnapshot(b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := member.DecryptCurrent("doc"); err != nil {
+		t.Fatal(err)
+	}
+	base := member.kevMisses
+
+	// Revoke someone from a different shard than nyms[0] (sticky least-full
+	// assignment puts pn-0 and pn-3 in different groups of 4 among 16 rows
+	// only if their join order differs by ≥4; pick the last joiner).
+	if err := env.pub.RevokeSubscription(nyms[15]); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := member.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := member.DecryptCurrent("doc"); err != nil || len(got) != 1 {
+		t.Fatalf("member decrypted %d subdocs after patch (err=%v)", len(got), err)
+	}
+	if member.kevMisses != base {
+		t.Errorf("clean-shard member hashed %d fresh KEVs across a delta patch, want 0", member.kevMisses-base)
+	}
+}
+
+// TestItemRevTracksPlaintext asserts a content-only change (same membership)
+// re-ships exactly the changed item.
+func TestItemRevTracksPlaintext(t *testing.T) {
+	env := newDeltaEnv(t, 2, 0)
+	env.join(t, 2)
+	b1, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := document.New("doc",
+		document.Subdocument{Name: "sd0", Content: []byte("content of sd0")},
+		document.Subdocument{Name: "sd1", Content: []byte("EDITED")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := env.pub.Publish(doc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 0 {
+		t.Errorf("content-only change patched %d configurations", len(d.Configs))
+	}
+	if len(d.Items) != 1 || d.Items[0].Subdoc != "sd1" {
+		t.Fatalf("content-only change shipped items %+v, want exactly sd1", d.Items)
+	}
+}
+
+// TestThrowawayConfigStaysQuiet: configurations nobody can access (fresh
+// random key, no header) must not churn the delta stream.
+func TestThrowawayConfigStaysQuiet(t *testing.T) {
+	env := newDeltaEnv(t, 2, 0)
+	env.join(t, 1) // qualifies only for acp0; acp1's configuration is inaccessible
+	b1, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 0 || len(d.Items) != 0 {
+		t.Errorf("throwaway configuration churned the delta: %d patches, %d items", len(d.Configs), len(d.Items))
+	}
+}
+
+// TestWrapSecrecyAcrossDelta: a patched grouped header must still deliver
+// the fresh configuration key only through shard membership — the wraps in
+// the patch are masked under group keys the leaver cannot derive.
+func TestWrapSecrecyAcrossDelta(t *testing.T) {
+	env := newDeltaEnv(t, 1, 4)
+	var nyms []string
+	for i := 0; i < 8; i++ {
+		nyms = append(nyms, env.join(t, 1))
+	}
+	b1, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaver := nyms[1]
+	leaverCSS := env.css[leaver]["attr0 >= 1"]
+	if err := env.pub.RevokeSubscription(leaver); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := env.subscriber(t, nyms[0])
+	if err := member.ApplySnapshot(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := member.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	state := member.Current("doc")
+	for _, ci := range state.Configs {
+		if ci.Grouped == nil {
+			continue
+		}
+		if _, _, err := core.DeriveKeyGrouped([]core.CSS{leaverCSS}, ci.Grouped, func(k ff64.Elem) bool {
+			key := core.ExpandKey(k)
+			for _, it := range state.Items {
+				if it.Config == ci.Key {
+					if _, err := sym.Decrypt(key, it.Ciphertext); err == nil {
+						return true
+					}
+				}
+			}
+			return false
+		}); err == nil {
+			t.Error("revoked subscriber derived the configuration key from the patched header")
+		}
+	}
+}

@@ -23,6 +23,8 @@ package pubsub
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
@@ -76,6 +78,14 @@ type Publisher struct {
 	// per-configuration rekey material.
 	reg  *registry
 	keys *keyManager
+
+	// pubMu guards the epoch counter and the per-document diff bases
+	// (broadcast.go): Publish stamps epochs and derives revisions under it,
+	// independently of the registry locks.
+	pubMu   sync.Mutex
+	epoch   uint64
+	gen     uint64
+	lastPub map[string]*lastBroadcast
 }
 
 // NewPublisher builds a publisher enforcing the given access control
@@ -113,6 +123,15 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 		byID[c.ID()] = c
 		predByID[c.ID()] = ocbe.Predicate{Op: c.Op, X0: idtoken.EncodeValue(params.Order(), c.Value)}
 	}
+	// The generation stamp distinguishes this publisher incarnation's epoch
+	// numbering from any predecessor's: a restarted publisher reuses small
+	// epoch numbers, and without the stamp a subscriber holding pre-restart
+	// state could accept a delta against the wrong base (broadcast.go).
+	var genBytes [8]byte
+	if _, err := rand.Read(genBytes[:]); err != nil {
+		return nil, fmt.Errorf("pubsub: generation stamp: %w", err)
+	}
+	gen := binary.BigEndian.Uint64(genBytes[:]) | 1 // nonzero
 	return &Publisher{
 		params:   params,
 		idmgrKey: idmgrKey,
@@ -123,6 +142,8 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 		opts:     opts,
 		reg:      newRegistry(acps, opts.GroupSize),
 		keys:     newKeyManager(opts.Workers, opts.MinN),
+		gen:      gen,
+		lastPub:  make(map[string]*lastBroadcast),
 	}, nil
 }
 

@@ -60,6 +60,12 @@ type Subscriber struct {
 	// rekeys, so the trial-derivation scan over a grouped header almost
 	// always succeeds on the first try.
 	grpHint map[policy.ConfigKey]int
+
+	// stream holds the subscriber's current broadcast state per document,
+	// maintained incrementally: a snapshot seeds it, deltas patch it.
+	// Entries are replaced wholesale (Apply never mutates), so readers that
+	// grabbed a state keep a consistent broadcast.
+	stream map[string]*Broadcast
 }
 
 // maxKEVCache bounds the KEV cache; crossing it drops the whole cache
@@ -82,7 +88,61 @@ func NewSubscriber(nym string) (*Subscriber, error) {
 		css:     make(map[string]core.CSS),
 		kev:     make(map[[32]byte]linalg.Vector),
 		grpHint: make(map[policy.ConfigKey]int),
+		stream:  make(map[string]*Broadcast),
 	}, nil
+}
+
+// ApplySnapshot seeds (or resets) the subscriber's held broadcast state for
+// the snapshot's document. The subscriber never mutates the broadcast, so
+// callers may hand over shared instances.
+func (s *Subscriber) ApplySnapshot(b *Broadcast) error {
+	if b == nil {
+		return errors.New("pubsub: nil broadcast")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stream[b.DocName] = b
+	return nil
+}
+
+// ApplyDelta patches the subscriber's held broadcast state with a delta. The
+// cached KEVs and group sub-header keys of clean shards stay valid across
+// the patch (unchanged sub-headers are shared, and the KEV cache is keyed by
+// their content). A mismatched base epoch returns ErrDeltaBaseMismatch —
+// the caller fell behind the retention window and must refetch a snapshot.
+func (s *Subscriber) ApplyDelta(d *BroadcastDelta) error {
+	if d == nil {
+		return errors.New("pubsub: nil delta")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base, ok := s.stream[d.DocName]
+	if !ok {
+		return fmt.Errorf("%w: no state for %q", ErrDeltaBaseMismatch, d.DocName)
+	}
+	next, err := d.Apply(base)
+	if err != nil {
+		return err
+	}
+	s.stream[d.DocName] = next
+	return nil
+}
+
+// Current returns the subscriber's held broadcast state for a document (nil
+// if none). The returned broadcast is shared and must not be mutated.
+func (s *Subscriber) Current(docName string) *Broadcast {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stream[docName]
+}
+
+// DecryptCurrent decrypts the held broadcast state for a document.
+func (s *Subscriber) DecryptCurrent(docName string) (map[string][]byte, error) {
+	b := s.Current(docName)
+	if b == nil {
+		return nil, fmt.Errorf("pubsub: no broadcast state for %q", docName)
+	}
+	return s.Decrypt(b)
 }
 
 // Nym returns the subscriber's pseudonym.

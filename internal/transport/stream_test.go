@@ -1,0 +1,550 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ppcd/internal/document"
+	"ppcd/internal/policy"
+	"ppcd/internal/pubsub"
+	"ppcd/internal/wire"
+)
+
+// startGroupedServer spins up a grouped publisher (GroupSize 2) with one
+// GE condition and registers n real subscribers over the wire.
+func startGroupedServer(t *testing.T, n int, tune func(*Server)) (*Server, string, *pubsub.Publisher, []*pubsub.Subscriber) {
+	t.Helper()
+	p, m := env(t)
+	acp, err := policy.New("adult", "age >= 18", "news.txt", "body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pubsub.NewPublisher(p, m.PublicKey(), []*policy.ACP{acp}, pubsub.Options{Ell: 8, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tune != nil {
+		tune(srv)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	subs := make([]*pubsub.Subscriber, n)
+	for i := range subs {
+		nym := fmt.Sprintf("pn-stream-%d", i)
+		sub, err := pubsub.NewSubscriber(nym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tok, sec, err := m.IssueString(nym, "age", "30")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sub.AddToken(tok, sec); err != nil {
+			t.Fatal(err)
+		}
+		client, err := Dial(addr, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sub.RegisterAll(client)
+		client.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Fatalf("subscriber %d extracted %d CSSs", i, got)
+		}
+		subs[i] = sub
+	}
+	return srv, addr, pub, subs
+}
+
+func newsDoc(t *testing.T, body string) *document.Document {
+	t.Helper()
+	doc, err := document.New("news.txt", document.Subdocument{Name: "body", Content: []byte(body)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// waitStreams polls until the server has registered `want` stream conns
+// (subscribe is asynchronous with respect to the client's return).
+func waitStreams(t *testing.T, srv *Server, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		got := len(srv.streams)
+		srv.mu.Unlock()
+		if got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server has %d streams, want %d", got, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func nextFrame(t *testing.T, st *Stream) *wire.Frame {
+	t.Helper()
+	if err := st.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestStreamingSnapshotThenDelta covers the push pipeline end to end: a
+// subscriber that connects before the first publish receives a snapshot,
+// then one delta per churn publish, and its incrementally patched state
+// decrypts identically to a full fetch.
+func TestStreamingSnapshotThenDelta(t *testing.T) {
+	srv, addr, pub, subs := startGroupedServer(t, 4, nil)
+	p, _ := env(t)
+	client, err := Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	st, err := client.Subscribe("news.txt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	waitStreams(t, srv, 1)
+
+	b1, err := pub.Publish(newsDoc(t, "first edition"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PublishBroadcast(b1); err != nil {
+		t.Fatal(err)
+	}
+	f := nextFrame(t, st)
+	if f.Type != wire.FrameSnapshot {
+		t.Fatalf("first frame type = %d, want snapshot", f.Type)
+	}
+	reader := subs[0]
+	if err := reader.ApplySnapshot(f.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := reader.DecryptCurrent("news.txt"); err != nil || string(got["body"]) != "first edition" {
+		t.Fatalf("decrypt after snapshot: %q err=%v", got["body"], err)
+	}
+
+	// Churn: revoke one subscriber, publish; the stream must carry a delta.
+	if err := pub.RevokeSubscription(subs[3].Nym()); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := pub.Publish(newsDoc(t, "second edition"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PublishBroadcast(b2); err != nil {
+		t.Fatal(err)
+	}
+	f = nextFrame(t, st)
+	if f.Type != wire.FrameDelta {
+		t.Fatalf("churn frame type = %d, want delta", f.Type)
+	}
+	if f.Delta.BaseEpoch != b1.Epoch || f.Epoch != b2.Epoch {
+		t.Fatalf("delta spans %d→%d, want %d→%d", f.Delta.BaseEpoch, f.Epoch, b1.Epoch, b2.Epoch)
+	}
+	if err := reader.ApplyDelta(f.Delta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.DecryptCurrent("news.txt")
+	if err != nil || string(got["body"]) != "second edition" {
+		t.Fatalf("decrypt after delta: %q err=%v", got["body"], err)
+	}
+	// Cross-check against a full fetch.
+	fetched, err := client.Fetch("news.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := subs[1].Decrypt(fetched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want["body"], got["body"]) {
+		t.Error("streamed state and full fetch decrypt differently")
+	}
+	// The revoked subscriber is locked out of the new epoch.
+	if out, _ := subs[3].Decrypt(fetched); len(out) != 0 {
+		t.Error("revoked subscriber still decrypts")
+	}
+}
+
+// TestStreamingReconnectCatchup: a subscriber reconnecting with its last
+// applied epoch receives one delta catch-up when the epoch is retained, and
+// a snapshot when it rotated out of the ring.
+func TestStreamingReconnectCatchup(t *testing.T) {
+	srv, addr, pub, subs := startGroupedServer(t, 3, func(s *Server) { s.SetRetention(3) })
+	p, _ := env(t)
+
+	publish := func(body string) *pubsub.Broadcast {
+		t.Helper()
+		b, err := pub.Publish(newsDoc(t, body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.PublishBroadcast(b); err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1 := publish("v1")
+	if err := pub.RevokeSubscription(subs[2].Nym()); err != nil {
+		t.Fatal(err)
+	}
+	b2 := publish("v2")
+
+	client, err := Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Retained base epoch → delta catch-up.
+	st, err := client.Subscribe("news.txt", b1.Epoch, b1.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := nextFrame(t, st)
+	st.Close()
+	if f.Type != wire.FrameDelta || f.Delta.BaseEpoch != b1.Epoch || f.Epoch != b2.Epoch {
+		t.Fatalf("catch-up frame = type %d epoch %d, want delta %d→%d", f.Type, f.Epoch, b1.Epoch, b2.Epoch)
+	}
+	reader := subs[0]
+	if err := reader.ApplySnapshot(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.ApplyDelta(f.Delta); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := reader.DecryptCurrent("news.txt"); err != nil || string(got["body"]) != "v2" {
+		t.Fatalf("decrypt after catch-up delta: %q err=%v", got["body"], err)
+	}
+
+	// Up-to-date base epoch → no catch-up frame, next publish streams a delta.
+	st2, err := client.Subscribe("news.txt", b2.Epoch, b2.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStreams(t, srv, 1)
+	b3 := publish("v3")
+	f = nextFrame(t, st2)
+	st2.Close()
+	if f.Type != wire.FrameDelta || f.Delta.BaseEpoch != b2.Epoch || f.Epoch != b3.Epoch {
+		t.Fatalf("up-to-date subscriber got frame type %d (%d→%d), want delta %d→%d",
+			f.Type, f.Delta.BaseEpoch, f.Epoch, b2.Epoch, b3.Epoch)
+	}
+	waitStreams(t, srv, 0)
+
+	// Rotate b1..b3 out of the 3-entry ring, then reconnect from b1: the
+	// base is gone, so the server must fall back to a full snapshot.
+	publish("v4")
+	b5 := publish("v5")
+	st3, err := client.Subscribe("news.txt", b1.Epoch, b1.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = nextFrame(t, st3)
+	st3.Close()
+	if f.Type != wire.FrameSnapshot || f.Epoch != b5.Epoch {
+		t.Fatalf("stale subscriber got frame type %d epoch %d, want snapshot at %d", f.Type, f.Epoch, b5.Epoch)
+	}
+	fresh := subs[1]
+	if err := fresh.ApplySnapshot(f.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := fresh.DecryptCurrent("news.txt"); err != nil || string(got["body"]) != "v5" {
+		t.Fatalf("decrypt after snapshot fallback: %q err=%v", got["body"], err)
+	}
+}
+
+// TestRingBounded: the retention ring must stay at K entries however many
+// documents are published, and a fetch for a rotated-out document is served
+// with the nearest retained snapshot instead of growing memory forever.
+func TestRingBounded(t *testing.T) {
+	srv, addr, pub, _ := startGroupedServer(t, 2, func(s *Server) { s.SetRetention(4) })
+	p, _ := env(t)
+	for i := 0; i < 12; i++ {
+		doc, err := document.New(fmt.Sprintf("ed-%d.txt", i), document.Subdocument{Name: "body", Content: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pub.Publish(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.PublishBroadcast(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.mu.Lock()
+	got := len(srv.ring)
+	srv.mu.Unlock()
+	if got != 4 {
+		t.Fatalf("ring holds %d entries, want 4", got)
+	}
+
+	client, err := Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	b, err := client.Fetch("ed-0.txt") // rotated out
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DocName != "ed-11.txt" {
+		t.Errorf("rotated-out fetch served %q, want the nearest snapshot ed-11.txt", b.DocName)
+	}
+	if b, err := client.Fetch("ed-11.txt"); err != nil || b.DocName != "ed-11.txt" {
+		t.Errorf("retained fetch: doc %q err %v", b.DocName, err)
+	}
+}
+
+// TestFetchGobFallback: a client that does not advertise the wire path (an
+// old client) still gets the broadcast via per-connection gob.
+func TestFetchGobFallback(t *testing.T) {
+	srv, addr, pub, subs := startGroupedServer(t, 2, nil)
+	b, err := pub.Publish(newsDoc(t, "compat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PublishBroadcast(b); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := env(t)
+	client, err := Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Old client: a plain fetch request without the Wire flag.
+	resp, err := client.roundTrip(&request{Kind: "fetch", Doc: "news.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Broadcast == nil || len(resp.Raw) != 0 {
+		t.Fatalf("gob fallback answered raw=%d broadcast=%v", len(resp.Raw), resp.Broadcast != nil)
+	}
+	if got, err := subs[0].Decrypt(resp.Broadcast); err != nil || string(got["body"]) != "compat" {
+		t.Fatalf("gob-fetched broadcast decrypt: %q err=%v", got["body"], err)
+	}
+	// New client: the wire path serves the same content.
+	viaWire, err := client.Fetch("news.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaWire.Epoch != b.Epoch {
+		t.Errorf("wire fetch at epoch %d, want %d", viaWire.Epoch, b.Epoch)
+	}
+	if got, err := subs[0].Decrypt(viaWire); err != nil || string(got["body"]) != "compat" {
+		t.Fatalf("wire-fetched broadcast decrypt: %q err=%v", got["body"], err)
+	}
+}
+
+// TestStreamingHeartbeat: idle streams receive heartbeat frames carrying
+// the server's newest epoch.
+func TestStreamingHeartbeat(t *testing.T) {
+	srv, addr, pub, _ := startGroupedServer(t, 2, func(s *Server) { s.SetHeartbeatInterval(30 * time.Millisecond) })
+	b, err := pub.Publish(newsDoc(t, "hb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PublishBroadcast(b); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := env(t)
+	client, err := Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	st, err := client.Subscribe("news.txt", b.Epoch, b.Gen) // up to date: no data frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	f := nextFrame(t, st)
+	if f.Type != wire.FrameHeartbeat || f.Epoch != b.Epoch {
+		t.Fatalf("idle frame = type %d epoch %d, want heartbeat at %d", f.Type, f.Epoch, b.Epoch)
+	}
+}
+
+// TestSlowConsumerEviction: a subscriber that stops reading must be evicted
+// (bounded queue + write deadline), not allowed to pin server memory.
+func TestSlowConsumerEviction(t *testing.T) {
+	srv, addr, pub, _ := startGroupedServer(t, 2, func(s *Server) { s.SetWriteTimeout(100 * time.Millisecond) })
+	p, _ := env(t)
+	client, err := Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	st, err := client.Subscribe("", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	waitStreams(t, srv, 1)
+
+	// Never read from st; push megabyte-scale frames until the socket
+	// buffer, then the queue, then the write deadline give out. The content
+	// changes every round — an unchanged plaintext would be carried forward
+	// and produce near-empty deltas that never fill a buffer.
+	big := bytes.Repeat([]byte("payload "), 1<<18) // 2 MiB
+	deadline := time.Now().Add(15 * time.Second)
+	for i := 0; ; i++ {
+		doc, err := document.New("news.txt", document.Subdocument{Name: "body", Content: append(big, byte(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pub.Publish(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.PublishBroadcast(b); err != nil {
+			t.Fatal(err)
+		}
+		srv.mu.Lock()
+		left := len(srv.streams)
+		srv.mu.Unlock()
+		if left == 0 {
+			return // evicted
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow consumer never evicted")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamingChurnRace is the -race smoke the CI step runs: one publisher
+// churning memberships while 8 streaming subscribers concurrently apply
+// frames and decrypt. Every surviving subscriber must converge on the final
+// epoch's plaintext.
+func TestStreamingChurnRace(t *testing.T) {
+	const nStream = 8
+	srv, addr, pub, subs := startGroupedServer(t, nStream+2, nil)
+	p, _ := env(t)
+
+	final := []byte("final edition")
+	var wg sync.WaitGroup
+	errs := make(chan error, nStream)
+	for i := 0; i < nStream; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := Dial(addr, p)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			st, err := client.Subscribe("news.txt", 0, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer st.Close()
+			reader := subs[i]
+			for {
+				if err := st.SetReadDeadline(time.Now().Add(20 * time.Second)); err != nil {
+					errs <- err
+					return
+				}
+				f, err := st.Next()
+				if err != nil {
+					errs <- fmt.Errorf("subscriber %d: %w", i, err)
+					return
+				}
+				switch f.Type {
+				case wire.FrameSnapshot:
+					if err := reader.ApplySnapshot(f.Snapshot); err != nil {
+						errs <- err
+						return
+					}
+				case wire.FrameDelta:
+					if err := reader.ApplyDelta(f.Delta); err != nil {
+						errs <- fmt.Errorf("subscriber %d apply: %w", i, err)
+						return
+					}
+				case wire.FrameHeartbeat:
+					continue
+				}
+				got, err := reader.DecryptCurrent("news.txt")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if bytes.Equal(got["body"], final) {
+					return // converged
+				}
+			}
+		}(i)
+	}
+	waitStreams(t, srv, nStream)
+
+	// Churn: revoke the two extra subscribers with publishes in between,
+	// then the final edition.
+	for k := 0; k < 2; k++ {
+		b, err := pub.Publish(newsDoc(t, fmt.Sprintf("edition %d", k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.PublishBroadcast(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.RevokeSubscription(subs[nStream+k].Nym()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := pub.Publish(newsDoc(t, string(final)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PublishBroadcast(b); err != nil {
+		t.Fatal(err)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSubscribeUnsupported: disabling streaming makes Subscribe fail with
+// ErrStreamUnsupported via the info advertisement, not a hang.
+func TestSubscribeUnsupported(t *testing.T) {
+	_, addr, _, _ := startGroupedServer(t, 2, func(s *Server) { s.SetStreaming(false) })
+	p, _ := env(t)
+	client, err := Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Subscribe("", 0, 0); err != ErrStreamUnsupported {
+		t.Fatalf("Subscribe against non-streaming server: %v", err)
+	}
+}

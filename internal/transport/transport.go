@@ -1,10 +1,19 @@
 // Package transport puts the registration and dissemination phases on the
-// wire: a publisher-side TCP server and a subscriber-side client exchanging
-// gob-encoded messages. The client implements pubsub.BatchRegistrar, so a
-// subscriber registering over the network sends all matching conditions in
-// a single register-batch round trip (falling back to per-condition
-// Register calls only against servers that predate the batch RPC);
-// broadcasts are fetched from the same endpoint.
+// wire: a publisher-side TCP server and a subscriber-side client. Requests
+// travel as gob envelopes; broadcast payloads travel as the deterministic
+// v3 wire encoding, marshaled ONCE per epoch on the server and fanned out
+// as the same bytes to every connection (gob remains as a per-connection
+// fallback for clients predating the wire path, negotiated through the
+// "info" capability advertisement).
+//
+// The client implements pubsub.BatchRegistrar, so a subscriber registering
+// over the network sends all matching conditions in a single register-batch
+// round trip. Dissemination is either pull (Fetch, served from a bounded
+// ring of recent epochs) or push: Subscribe opens a long-lived stream over
+// which the server sends epoch-stamped snapshot/delta/heartbeat frames; a
+// reconnecting subscriber presents its last applied epoch and receives a
+// delta catch-up when the server still retains that epoch, else a fresh
+// snapshot (see stream.go).
 //
 // The Pedersen parameters themselves are system-wide public setup (group
 // choice + derivation seed) and are established out of band, as in the
@@ -18,19 +27,30 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"ppcd/internal/ocbe"
 	"ppcd/internal/pedersen"
 	"ppcd/internal/policy"
 	"ppcd/internal/pubsub"
+	"ppcd/internal/wire"
 )
 
 // request is the single wire request envelope.
 type request struct {
-	Kind  string // "info", "register", "register-batch", "fetch"
+	Kind  string // "info", "register", "register-batch", "fetch", "subscribe"
 	Reg   *pubsub.RegistrationRequest
 	Batch []*pubsub.RegistrationRequest
-	Doc   string // for fetch: document name ("" = latest)
+	Doc   string // fetch: document name ("" = latest); subscribe: doc filter ("" = all)
+	// Wire asks for the broadcast as v3 wire-format bytes (marshaled once
+	// per epoch server-side) instead of a per-connection gob encode. Old
+	// servers ignore the field and answer with gob.
+	Wire bool
+	// LastEpoch / LastGen are the subscriber's last applied epoch and its
+	// publisher generation ("subscribe"): the server answers with a delta
+	// catch-up when it retains that exact state, else a snapshot.
+	LastEpoch uint64
+	LastGen   uint64
 }
 
 // response is the single wire response envelope.
@@ -41,22 +61,63 @@ type response struct {
 	// HasBatch advertises the register-batch RPC in "info" responses;
 	// servers that predate it leave the field unset, steering clients to
 	// the per-condition path without error-text sniffing.
-	HasBatch  bool
+	HasBatch bool
+	// HasWire / HasStream advertise the v3 wire fetch encoding and the
+	// subscribe stream RPC, with the same unset-means-absent convention.
+	HasWire   bool
+	HasStream bool
 	Envelope  *ocbe.Envelope
 	Batch     []pubsub.BatchResult
 	Broadcast *pubsub.Broadcast
+	// Raw is the v3 snapshot frame of the fetched broadcast (when the
+	// request set Wire and the server supports it).
+	Raw []byte
+}
+
+// DefaultRetention is the number of recent epochs the server keeps for
+// fetch serving and delta catch-ups.
+const DefaultRetention = 8
+
+// epochEntry is one retained epoch: the broadcast plus its wire frames,
+// marshaled once at PublishBroadcast time and served byte-identically to
+// every fetch and stream consumer.
+type epochEntry struct {
+	epoch uint64
+	doc   string
+	b     *pubsub.Broadcast
+	// snapshot is the v3 snapshot frame; delta the v3 delta frame against
+	// the previous retained epoch of the same document (nil for the first),
+	// with prevEpoch naming that base.
+	snapshot  []byte
+	delta     []byte
+	prevEpoch uint64
+	// catchup caches marshaled delta frames for older retained bases
+	// (keyed by base epoch), so a reconnect storm after a publisher blip
+	// computes each diff once instead of once per subscriber.
+	catchup map[uint64][]byte
 }
 
 // Server exposes a publisher over TCP.
 type Server struct {
 	pub *pubsub.Publisher
 
-	mu        sync.Mutex
-	ln        net.Listener
-	broadcast map[string]*pubsub.Broadcast
-	latest    string
-	wg        sync.WaitGroup
-	closed    bool
+	retain       int
+	heartbeat    time.Duration
+	writeTimeout time.Duration
+	streaming    bool
+
+	mu   sync.Mutex
+	ln   net.Listener
+	ring []*epochEntry
+	// docs records every document name ever published (names only, so the
+	// footprint is negligible): a fetch for a name that rotated out of the
+	// bounded ring is served with the nearest retained snapshot, while a
+	// fetch for a name never published stays an explicit error.
+	docs    map[string]bool
+	streams map[*streamConn]struct{}
+	hbStop  chan struct{}
+	wg      sync.WaitGroup
+	closed  bool
 }
 
 // NewServer wraps a publisher. Call Serve to start accepting connections.
@@ -64,8 +125,42 @@ func NewServer(pub *pubsub.Publisher) (*Server, error) {
 	if pub == nil {
 		return nil, errors.New("transport: nil publisher")
 	}
-	return &Server{pub: pub, broadcast: make(map[string]*pubsub.Broadcast)}, nil
+	return &Server{
+		pub:          pub,
+		retain:       DefaultRetention,
+		heartbeat:    defaultHeartbeat,
+		writeTimeout: defaultWriteTimeout,
+		streaming:    true,
+		docs:         make(map[string]bool),
+		streams:      make(map[*streamConn]struct{}),
+		hbStop:       make(chan struct{}),
+	}, nil
 }
+
+// SetRetention bounds how many recent epochs the server keeps (default
+// DefaultRetention, minimum 1). Call before Listen.
+func (s *Server) SetRetention(k int) {
+	if k < 1 {
+		k = 1
+	}
+	s.retain = k
+}
+
+// SetHeartbeatInterval tunes the stream heartbeat cadence (default 30s;
+// 0 disables heartbeats). Call before Listen.
+func (s *Server) SetHeartbeatInterval(d time.Duration) { s.heartbeat = d }
+
+// SetWriteTimeout tunes the per-frame write deadline after which a stream
+// consumer is considered dead (default 10s). Call before Listen.
+func (s *Server) SetWriteTimeout(d time.Duration) {
+	if d > 0 {
+		s.writeTimeout = d
+	}
+}
+
+// SetStreaming enables or disables the subscribe stream RPC (default
+// enabled). Call before Listen.
+func (s *Server) SetStreaming(on bool) { s.streaming = on }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving in
 // the background. It returns the bound address.
@@ -79,6 +174,10 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
+	if s.streaming && s.heartbeat > 0 {
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	}
 	return ln.Addr().String(), nil
 }
 
@@ -101,7 +200,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // maxRequestBytes bounds how much a single gob-encoded request may read
 // from the connection before it is decoded — without it, a hostile client
 // could stream an arbitrarily large batch that is fully materialized before
-// the publisher's batch-size cap can reject it.
+// the publisher's batch-size cap can reject it. The same constant bounds a
+// stream frame on the client side.
 const maxRequestBytes = 64 << 20
 
 func (s *Server) handle(conn net.Conn) {
@@ -114,6 +214,12 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // client closed, over-limit, or garbage; drop the connection
 		}
+		if req.Kind == "subscribe" && s.streaming {
+			// The connection leaves the request/response protocol and
+			// becomes a one-way frame stream until either side closes it.
+			s.serveStream(conn, &req)
+			return
+		}
 		resp := s.dispatch(&req)
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -124,7 +230,13 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(req *request) *response {
 	switch req.Kind {
 	case "info":
-		return &response{Conditions: s.pub.Conditions(), Ell: s.pub.Ell(), HasBatch: true}
+		return &response{
+			Conditions: s.pub.Conditions(),
+			Ell:        s.pub.Ell(),
+			HasBatch:   true,
+			HasWire:    true,
+			HasStream:  s.streaming,
+		}
 	case "register":
 		env, err := s.pub.Register(req.Reg)
 		if err != nil {
@@ -139,30 +251,95 @@ func (s *Server) dispatch(req *request) *response {
 		return &response{Batch: results}
 	case "fetch":
 		s.mu.Lock()
-		defer s.mu.Unlock()
-		name := req.Doc
-		if name == "" {
-			name = s.latest
+		known := req.Doc == "" || s.docs[req.Doc]
+		ent := s.nearestEntry(req.Doc)
+		s.mu.Unlock()
+		if !known {
+			return &response{Err: fmt.Sprintf("transport: no broadcast for %q", req.Doc)}
 		}
-		b, ok := s.broadcast[name]
-		if !ok {
-			return &response{Err: fmt.Sprintf("transport: no broadcast for %q", name)}
+		if ent == nil {
+			return &response{Err: "transport: no broadcast published yet"}
 		}
-		return &response{Broadcast: b}
+		if req.Wire {
+			return &response{Raw: ent.snapshot}
+		}
+		return &response{Broadcast: ent.b}
+	case "subscribe":
+		return &response{Err: "transport: streaming disabled on this server"}
 	default:
 		return &response{Err: fmt.Sprintf("transport: unknown request kind %q", req.Kind)}
 	}
 }
 
-// PublishBroadcast stores a broadcast package for retrieval by clients.
+// nearestEntry returns the newest retained epoch for the named document, or
+// — when the document rotated out of the bounded ring (or name is "") — the
+// newest retained epoch overall. Callers detect the substitution through
+// Broadcast.DocName. Callers hold s.mu.
+func (s *Server) nearestEntry(name string) *epochEntry {
+	for i := len(s.ring) - 1; i >= 0; i-- {
+		if name == "" || s.ring[i].doc == name {
+			return s.ring[i]
+		}
+	}
+	if len(s.ring) > 0 && name != "" {
+		return s.ring[len(s.ring)-1]
+	}
+	return nil
+}
+
+// findEntry returns the retained epoch entry for (doc, epoch), nil if it
+// rotated out. Callers hold s.mu.
+func (s *Server) findEntry(doc string, epoch uint64) *epochEntry {
+	for i := len(s.ring) - 1; i >= 0; i-- {
+		if s.ring[i].doc == doc && s.ring[i].epoch == epoch {
+			return s.ring[i]
+		}
+	}
+	return nil
+}
+
+// PublishBroadcast makes a broadcast available to clients: it is marshaled
+// once (snapshot frame, plus a delta frame against the previous epoch of
+// the same document), appended to the bounded retention ring, and fanned
+// out to every connected stream — subscribers current at the previous epoch
+// receive only the delta bytes.
 func (s *Server) PublishBroadcast(b *pubsub.Broadcast) error {
 	if b == nil {
 		return errors.New("transport: nil broadcast")
 	}
+	ent := &epochEntry{epoch: b.Epoch, doc: b.DocName, b: b, snapshot: wire.MarshalSnapshotFrame(b)}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.broadcast[b.DocName] = b
-	s.latest = b.DocName
+	s.docs[b.DocName] = true
+	if prev := s.nearestEntry(b.DocName); prev != nil && prev.doc == b.DocName && prev.epoch < b.Epoch {
+		if d, err := pubsub.Diff(prev.b, b); err == nil {
+			ent.delta = wire.MarshalDeltaFrame(d)
+			ent.prevEpoch = prev.epoch
+		}
+	}
+	s.ring = append(s.ring, ent)
+	if len(s.ring) > s.retain {
+		// Drop the oldest; the slice is small (retain entries), so the copy
+		// is cheap and the backing array does not pin evicted broadcasts.
+		s.ring = append(s.ring[:0:0], s.ring[len(s.ring)-s.retain:]...)
+	}
+	for sc := range s.streams {
+		if sc.doc != "" && sc.doc != b.DocName {
+			continue
+		}
+		payload := ent.snapshot
+		if last, ok := sc.epochs[b.DocName]; ok {
+			if last == b.Epoch {
+				continue
+			}
+			if ent.delta != nil && last == ent.prevEpoch {
+				payload = ent.delta
+			}
+		}
+		sc.epochs[b.DocName] = b.Epoch
+		s.offer(sc, payload)
+	}
 	return nil
 }
 
@@ -175,6 +352,11 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	close(s.hbStop)
+	for sc := range s.streams {
+		delete(s.streams, sc)
+		sc.shutdown()
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
@@ -187,15 +369,19 @@ func (s *Server) Close() error {
 // Client is the subscriber-side connection to a publisher server. It
 // implements pubsub.Registrar.
 type Client struct {
-	mu       sync.Mutex
-	conn     net.Conn
-	enc      *gob.Encoder
-	dec      *gob.Decoder
-	params   *pedersen.Params
-	ell      int
-	conds    []policy.Condition
-	hasBatch bool
-	haveIn   bool
+	addr string
+
+	mu        sync.Mutex
+	conn      net.Conn
+	enc       *gob.Encoder
+	dec       *gob.Decoder
+	params    *pedersen.Params
+	ell       int
+	conds     []policy.Condition
+	hasBatch  bool
+	hasWire   bool
+	hasStream bool
+	haveIn    bool
 }
 
 // Dial connects to a publisher server. params must match the system-wide
@@ -208,7 +394,7 @@ func Dial(addr string, params *pedersen.Params) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: %w", err)
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), params: params}, nil
+	return &Client{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn), params: params}, nil
 }
 
 // Close closes the connection.
@@ -245,6 +431,8 @@ func (c *Client) ensureInfo() error {
 	c.conds = resp.Conditions
 	c.ell = resp.Ell
 	c.hasBatch = resp.HasBatch
+	c.hasWire = resp.HasWire
+	c.hasStream = resp.HasStream
 	c.haveIn = true
 	c.mu.Unlock()
 	return nil
@@ -322,10 +510,30 @@ func (c *Client) RegisterBatch(reqs []*pubsub.RegistrationRequest) ([]pubsub.Bat
 }
 
 // Fetch retrieves the broadcast for a document name ("" = latest published).
+// Against a v3 server the payload arrives as the server's per-epoch wire
+// bytes; older servers answer with per-connection gob. A fetch naming a
+// document that rotated out of the server's retention ring is answered with
+// the nearest retained snapshot — check Broadcast.DocName when that matters.
 func (c *Client) Fetch(docName string) (*pubsub.Broadcast, error) {
-	resp, err := c.roundTrip(&request{Kind: "fetch", Doc: docName})
+	// Capability discovery is best-effort: if info fails the fetch round
+	// trip below will surface the real error.
+	_ = c.ensureInfo()
+	c.mu.Lock()
+	hasWire := c.hasWire
+	c.mu.Unlock()
+	resp, err := c.roundTrip(&request{Kind: "fetch", Doc: docName, Wire: hasWire})
 	if err != nil {
 		return nil, err
+	}
+	if len(resp.Raw) > 0 {
+		f, err := wire.UnmarshalFrame(resp.Raw)
+		if err != nil {
+			return nil, fmt.Errorf("transport: decoding fetched snapshot: %w", err)
+		}
+		if f.Type != wire.FrameSnapshot || f.Snapshot == nil {
+			return nil, fmt.Errorf("transport: fetch answered with frame type %d", f.Type)
+		}
+		return f.Snapshot, nil
 	}
 	if resp.Broadcast == nil {
 		return nil, errors.New("transport: empty broadcast in response")

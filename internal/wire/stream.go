@@ -1,0 +1,565 @@
+// Stream frames: the v3 half of the wire format. Where v1/v2 encode one
+// self-contained broadcast, v3 encodes the units of the epoch-versioned
+// dissemination pipeline — full snapshots stamped with epoch and revisions,
+// deltas that ship only what changed since a base epoch, and heartbeats.
+// The transport marshals each epoch's snapshot and delta frame once and fans
+// the same bytes out to every connected subscriber.
+//
+// Decoding applies the same hardening budget discipline as v2: every length
+// field is clamped, grouped sub-header material is charged against the
+// per-message 64 MiB budget, and field elements must arrive reduced.
+package wire
+
+import (
+	"fmt"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+	"ppcd/internal/policy"
+	"ppcd/internal/pubsub"
+)
+
+// VersionStream marks v3 messages: epoch-versioned stream frames
+// (snapshot | delta | heartbeat). v1/v2 broadcast messages remain valid and
+// byte-identical; v3 is additive.
+const VersionStream = 3
+
+// FrameType discriminates the stream frame kinds.
+type FrameType byte
+
+const (
+	// FrameSnapshot carries a complete epoch-stamped broadcast.
+	FrameSnapshot FrameType = 1
+	// FrameDelta carries a BroadcastDelta between two epochs.
+	FrameDelta FrameType = 2
+	// FrameHeartbeat carries only the server's current epoch (liveness).
+	FrameHeartbeat FrameType = 3
+)
+
+// Frame is one decoded stream frame. Exactly one of Snapshot/Delta is
+// non-nil for data frames; Epoch is always set (the snapshot's or delta's
+// target epoch, or the heartbeat epoch).
+type Frame struct {
+	Type     FrameType
+	Epoch    uint64
+	Snapshot *pubsub.Broadcast
+	Delta    *pubsub.BroadcastDelta
+}
+
+// maxDeltaShards clamps the shard count of one grouped patch, mirroring
+// maxGroupShards on the v2 path.
+const maxDeltaShards = maxGroupShards
+
+// fromFresh is the on-wire sentinel for GroupedPatch.From entries that ship
+// a fresh sub-header instead of referencing a base shard.
+const fromFresh = ^uint32(0)
+
+// MarshalSnapshotFrame encodes a broadcast as a v3 snapshot frame, revisions
+// included.
+func MarshalSnapshotFrame(b *pubsub.Broadcast) []byte {
+	var w writer
+	w.u8(VersionStream)
+	w.u8(byte(FrameSnapshot))
+	writeBroadcastV3(&w, b)
+	return w.buf.Bytes()
+}
+
+// MarshalDeltaFrame encodes a broadcast delta as a v3 frame.
+func MarshalDeltaFrame(d *pubsub.BroadcastDelta) []byte {
+	var w writer
+	w.u8(VersionStream)
+	w.u8(byte(FrameDelta))
+	writeDelta(&w, d)
+	return w.buf.Bytes()
+}
+
+// MarshalHeartbeatFrame encodes a heartbeat frame for the given epoch.
+func MarshalHeartbeatFrame(epoch uint64) []byte {
+	var w writer
+	w.u8(VersionStream)
+	w.u8(byte(FrameHeartbeat))
+	w.u64(epoch)
+	return w.buf.Bytes()
+}
+
+// UnmarshalFrame decodes one v3 stream frame.
+func UnmarshalFrame(data []byte) (*Frame, error) {
+	r := newReader(data)
+	v, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if v != VersionStream {
+		return nil, ErrBadVersion
+	}
+	t, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{Type: FrameType(t)}
+	switch f.Type {
+	case FrameSnapshot:
+		if f.Snapshot, err = readBroadcastV3(r); err != nil {
+			return nil, err
+		}
+		f.Epoch = f.Snapshot.Epoch
+	case FrameDelta:
+		if f.Delta, err = readDelta(r); err != nil {
+			return nil, err
+		}
+		f.Epoch = f.Delta.Epoch
+	case FrameHeartbeat:
+		if f.Epoch, err = r.u64(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", t)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func writePolicies(w *writer, ps []pubsub.PolicyInfo) {
+	w.u32(uint32(len(ps)))
+	for _, pi := range ps {
+		w.str(pi.ID)
+		w.u32(uint32(len(pi.CondIDs)))
+		for _, c := range pi.CondIDs {
+			w.str(c)
+		}
+	}
+}
+
+func readPolicies(r *reader) ([]pubsub.PolicyInfo, error) {
+	np, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if np > 1<<20 {
+		return nil, ErrOversize
+	}
+	var out []pubsub.PolicyInfo
+	for i := uint32(0); i < np; i++ {
+		var pi pubsub.PolicyInfo
+		if pi.ID, err = r.str(); err != nil {
+			return nil, err
+		}
+		nc, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		if nc > 1<<20 {
+			return nil, ErrOversize
+		}
+		for j := uint32(0); j < nc; j++ {
+			c, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			pi.CondIDs = append(pi.CondIDs, c)
+		}
+		out = append(out, pi)
+	}
+	return out, nil
+}
+
+// writeGroupedV3 encodes a grouped header plus its parallel shard revisions.
+func writeGroupedV3(w *writer, g *core.GroupedHeader, revs []uint64) {
+	writeGroupedBody(w, g)
+	w.u32(uint32(len(revs)))
+	for _, rv := range revs {
+		w.u64(rv)
+	}
+}
+
+func readGroupedV3(r *reader) (*core.GroupedHeader, []uint64, error) {
+	g, err := readGroupedBody(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	nr, err := r.u32()
+	if err != nil {
+		return nil, nil, err
+	}
+	if int(nr) != len(g.Shards) {
+		return nil, nil, fmt.Errorf("wire: %d shard revisions for %d shards", nr, len(g.Shards))
+	}
+	revs := make([]uint64, nr)
+	for i := range revs {
+		if revs[i], err = r.u64(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, revs, nil
+}
+
+func writeItemV3(w *writer, it *pubsub.Item) {
+	w.str(it.Subdoc)
+	w.str(string(it.Config))
+	w.bytes(it.Ciphertext)
+	w.u64(it.Rev)
+}
+
+func readItemV3(r *reader) (pubsub.Item, error) {
+	var it pubsub.Item
+	var err error
+	if it.Subdoc, err = r.str(); err != nil {
+		return it, err
+	}
+	cfg, err := r.str()
+	if err != nil {
+		return it, err
+	}
+	it.Config = policy.ConfigKey(cfg)
+	if it.Ciphertext, err = r.bytes(); err != nil {
+		return it, err
+	}
+	if it.Rev, err = r.u64(); err != nil {
+		return it, err
+	}
+	return it, nil
+}
+
+func writeBroadcastV3(w *writer, b *pubsub.Broadcast) {
+	w.str(b.DocName)
+	w.u64(b.Epoch)
+	w.u64(b.Gen)
+	writePolicies(w, b.Policies)
+	w.u32(uint32(len(b.Configs)))
+	for _, ci := range b.Configs {
+		w.str(string(ci.Key))
+		w.u64(ci.Rev)
+		switch {
+		case ci.Grouped != nil:
+			w.u8(2)
+			writeGroupedV3(w, ci.Grouped, ci.ShardRevs)
+		case ci.Header != nil:
+			w.u8(1)
+			writeHeaderBody(w, ci.Header)
+		default:
+			w.u8(0)
+		}
+	}
+	w.u32(uint32(len(b.Items)))
+	for i := range b.Items {
+		writeItemV3(w, &b.Items[i])
+	}
+}
+
+func readBroadcastV3(r *reader) (*pubsub.Broadcast, error) {
+	b := &pubsub.Broadcast{}
+	var err error
+	if b.DocName, err = r.str(); err != nil {
+		return nil, err
+	}
+	if b.Epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if b.Gen, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if b.Policies, err = readPolicies(r); err != nil {
+		return nil, err
+	}
+	ncfg, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ncfg > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < ncfg; i++ {
+		var ci pubsub.ConfigInfo
+		key, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		ci.Key = policy.ConfigKey(key)
+		if ci.Rev, err = r.u64(); err != nil {
+			return nil, err
+		}
+		has, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch has {
+		case 0:
+		case 1:
+			if ci.Header, err = readHeaderBody(r); err != nil {
+				return nil, err
+			}
+		case 2:
+			if ci.Grouped, ci.ShardRevs, err = readGroupedV3(r); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wire: bad header presence byte %d", has)
+		}
+		b.Configs = append(b.Configs, ci)
+	}
+	ni, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ni > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < ni; i++ {
+		it, err := readItemV3(r)
+		if err != nil {
+			return nil, err
+		}
+		b.Items = append(b.Items, it)
+	}
+	return b, nil
+}
+
+func writeDelta(w *writer, d *pubsub.BroadcastDelta) {
+	w.str(d.DocName)
+	w.u64(d.BaseEpoch)
+	w.u64(d.Epoch)
+	w.u64(d.Gen)
+	if d.PoliciesChanged {
+		w.u8(1)
+		writePolicies(w, d.Policies)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(d.Configs)))
+	for _, cp := range d.Configs {
+		w.str(string(cp.Key))
+		w.u64(cp.Rev)
+		switch {
+		case cp.Grouped != nil:
+			w.u8(2)
+			writeGroupedPatch(w, &cp, cp.Grouped)
+		case cp.Header != nil:
+			w.u8(1)
+			writeHeaderBody(w, cp.Header)
+		default:
+			w.u8(0)
+		}
+	}
+	w.u32(uint32(len(d.RemovedConfigs)))
+	for _, k := range d.RemovedConfigs {
+		w.str(string(k))
+	}
+	w.u32(uint32(len(d.Items)))
+	for i := range d.Items {
+		writeItemV3(w, &d.Items[i])
+	}
+	w.u32(uint32(len(d.RemovedItems)))
+	for _, name := range d.RemovedItems {
+		w.str(name)
+	}
+}
+
+func writeGroupedPatch(w *writer, cp *pubsub.ConfigPatch, p *pubsub.GroupedPatch) {
+	w.bytes(p.RekeyNonce)
+	w.u32(uint32(len(p.From)))
+	for i, from := range p.From {
+		w.u64(uint64(p.Wraps[i]))
+		w.u64(cp.ShardRevs[i])
+		if from < 0 {
+			w.u32(fromFresh)
+		} else {
+			w.u32(uint32(from))
+		}
+	}
+	w.u32(uint32(len(p.Headers)))
+	for _, h := range p.Headers {
+		writeHeaderBody(w, h)
+	}
+}
+
+func readDelta(r *reader) (*pubsub.BroadcastDelta, error) {
+	d := &pubsub.BroadcastDelta{}
+	var err error
+	if d.DocName, err = r.str(); err != nil {
+		return nil, err
+	}
+	if d.BaseEpoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if d.Epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if d.Gen, err = r.u64(); err != nil {
+		return nil, err
+	}
+	pc, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	switch pc {
+	case 0:
+	case 1:
+		d.PoliciesChanged = true
+		if d.Policies, err = readPolicies(r); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("wire: bad policies-changed byte %d", pc)
+	}
+	ncfg, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ncfg > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < ncfg; i++ {
+		var cp pubsub.ConfigPatch
+		key, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		cp.Key = policy.ConfigKey(key)
+		if cp.Rev, err = r.u64(); err != nil {
+			return nil, err
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case 0:
+		case 1:
+			if cp.Header, err = readHeaderBody(r); err != nil {
+				return nil, err
+			}
+		case 2:
+			if err := readGroupedPatch(r, &cp); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("wire: bad config patch kind %d", kind)
+		}
+		d.Configs = append(d.Configs, cp)
+	}
+	nrm, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nrm > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < nrm; i++ {
+		k, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		d.RemovedConfigs = append(d.RemovedConfigs, policy.ConfigKey(k))
+	}
+	ni, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ni > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < ni; i++ {
+		it, err := readItemV3(r)
+		if err != nil {
+			return nil, err
+		}
+		d.Items = append(d.Items, it)
+	}
+	nri, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if nri > 1<<20 {
+		return nil, ErrOversize
+	}
+	for i := uint32(0); i < nri; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		d.RemovedItems = append(d.RemovedItems, name)
+	}
+	return d, nil
+}
+
+// readGroupedPatch decodes one grouped config patch with the hardened
+// clamps: shard count bounded, wraps reduced, From references either the
+// fresh sentinel or a sane base index, shipped sub-header count matching the
+// fresh references exactly, every sub-header well-shaped with NonceSize
+// nonces and charged against the message's header budget.
+func readGroupedPatch(r *reader, cp *pubsub.ConfigPatch) error {
+	p := &pubsub.GroupedPatch{}
+	var err error
+	if p.RekeyNonce, err = r.bytes(); err != nil {
+		return err
+	}
+	if len(p.RekeyNonce) != core.NonceSize {
+		return fmt.Errorf("wire: grouped patch rekey nonce of %d bytes, want %d", len(p.RekeyNonce), core.NonceSize)
+	}
+	ns, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if ns == 0 || ns > maxDeltaShards {
+		return ErrOversize
+	}
+	fresh := 0
+	p.Wraps = make([]ff64.Elem, 0, capHint(ns))
+	p.From = make([]int, 0, capHint(ns))
+	cp.ShardRevs = make([]uint64, 0, capHint(ns))
+	for i := uint32(0); i < ns; i++ {
+		raw, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if raw >= ff64.Modulus {
+			return fmt.Errorf("wire: patch shard %d wrap not a reduced field element", i)
+		}
+		rev, err := r.u64()
+		if err != nil {
+			return err
+		}
+		from, err := r.u32()
+		if err != nil {
+			return err
+		}
+		idx := -1
+		if from != fromFresh {
+			if from > maxGroupShards {
+				return ErrOversize
+			}
+			idx = int(from)
+		} else {
+			fresh++
+		}
+		p.Wraps = append(p.Wraps, ff64.Elem(raw))
+		cp.ShardRevs = append(cp.ShardRevs, rev)
+		p.From = append(p.From, idx)
+	}
+	nh, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(nh) != fresh {
+		return fmt.Errorf("wire: patch ships %d sub-headers for %d fresh shards", nh, fresh)
+	}
+	for i := uint32(0); i < nh; i++ {
+		h, err := readHeaderBody(r)
+		if err != nil {
+			return err
+		}
+		for _, z := range h.Zs {
+			if len(z) != core.NonceSize {
+				return fmt.Errorf("wire: patch sub-header %d has a %d-byte nonce, want %d", i, len(z), core.NonceSize)
+			}
+		}
+		if err := r.takeHeaderBudget(h.Size()); err != nil {
+			return err
+		}
+		p.Headers = append(p.Headers, h)
+	}
+	cp.Grouped = p
+	return nil
+}

@@ -1,0 +1,279 @@
+package wire
+
+import (
+	"testing"
+
+	"ppcd/internal/benchutil"
+	"ppcd/internal/idtoken"
+	"ppcd/internal/pedersen"
+	"ppcd/internal/pubsub"
+	"ppcd/internal/schnorr"
+)
+
+// streamEnv builds a grouped publisher over a synthetic imported table —
+// the crypto-free workload the publish benchmarks use. Subdocuments are
+// small (128 B): the streaming acceptance criteria are about HEADER
+// dissemination cost (the quantity of the paper's Fig. 5), and a leave
+// necessarily re-ships the affected configurations' ciphertexts whatever
+// their size.
+func streamEnv(t *testing.T, subs, policies, groupSize int) (*pubsub.Publisher, func() *pubsub.Broadcast, string) {
+	t.Helper()
+	params, err := pedersen.Setup(schnorr.Must2048(), []byte("wire-stream-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := idtoken.NewManager(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acps, doc, state, err := benchutil.Workload(subs, policies, subs/2, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pubsub.NewPublisher(params, mgr.PublicKey(), acps, pubsub.Options{Ell: 8, GroupSize: groupSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	publish := func() *pubsub.Broadcast {
+		b, err := pub.Publish(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	return pub, publish, "pn-0"
+}
+
+func broadcastEq(t *testing.T, a, b *pubsub.Broadcast) {
+	t.Helper()
+	if a.DocName != b.DocName || a.Epoch != b.Epoch {
+		t.Fatalf("broadcast identity differs: (%q,%d) vs (%q,%d)", a.DocName, a.Epoch, b.DocName, b.Epoch)
+	}
+	if len(a.Configs) != len(b.Configs) || len(a.Items) != len(b.Items) || len(a.Policies) != len(b.Policies) {
+		t.Fatalf("broadcast shape differs")
+	}
+	for i := range a.Configs {
+		ca, cb := a.Configs[i], b.Configs[i]
+		if ca.Key != cb.Key || ca.Rev != cb.Rev {
+			t.Fatalf("config %d identity differs", i)
+		}
+		if (ca.Grouped == nil) != (cb.Grouped == nil) || (ca.Header == nil) != (cb.Header == nil) {
+			t.Fatalf("config %d header kind differs", i)
+		}
+		if len(ca.ShardRevs) != len(cb.ShardRevs) {
+			t.Fatalf("config %d shard revs differ", i)
+		}
+		for j := range ca.ShardRevs {
+			if ca.ShardRevs[j] != cb.ShardRevs[j] {
+				t.Fatalf("config %d shard rev %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestSnapshotFrameRoundTrip: a grouped, epoch-stamped broadcast survives
+// the v3 snapshot frame byte-for-byte in all revision metadata, and the
+// round-tripped frame re-marshals to identical bytes.
+func TestSnapshotFrameRoundTrip(t *testing.T) {
+	_, publish, _ := streamEnv(t, 12, 3, 4)
+	b := publish()
+	raw := MarshalSnapshotFrame(b)
+	f, err := UnmarshalFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameSnapshot || f.Snapshot == nil || f.Epoch != b.Epoch {
+		t.Fatalf("frame = %+v", f)
+	}
+	broadcastEq(t, b, f.Snapshot)
+	raw2 := MarshalSnapshotFrame(f.Snapshot)
+	if string(raw) != string(raw2) {
+		t.Error("snapshot frame does not re-marshal byte-identically")
+	}
+}
+
+// TestDeltaFrameRoundTripAndApply: a churn delta survives the v3 frame and
+// still applies cleanly to a wire-decoded base snapshot.
+func TestDeltaFrameRoundTripAndApply(t *testing.T) {
+	pub, publish, victim := streamEnv(t, 12, 3, 4)
+	b1 := publish()
+	if err := pub.RevokeSubscription(victim); err != nil {
+		t.Fatal(err)
+	}
+	b2 := publish()
+	d, err := pubsub.Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := MarshalDeltaFrame(d)
+	f, err := UnmarshalFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameDelta || f.Delta == nil || f.Epoch != b2.Epoch {
+		t.Fatalf("frame = %+v", f)
+	}
+	if string(MarshalDeltaFrame(f.Delta)) != string(raw) {
+		t.Error("delta frame does not re-marshal byte-identically")
+	}
+
+	// Apply the decoded delta to a wire-decoded base state (the streaming
+	// client's situation: no pointers shared with the publisher).
+	baseFrame, err := UnmarshalFrame(MarshalSnapshotFrame(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched, err := f.Delta.Apply(baseFrame.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broadcastEq(t, b2, patched)
+}
+
+func TestHeartbeatFrameRoundTrip(t *testing.T) {
+	f, err := UnmarshalFrame(MarshalHeartbeatFrame(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != FrameHeartbeat || f.Epoch != 42 {
+		t.Fatalf("frame = %+v", f)
+	}
+}
+
+// TestFrameDecodeHardening drives the v3 decoder through the malformed
+// inputs the budget discipline must reject without over-allocating.
+func TestFrameDecodeHardening(t *testing.T) {
+	pub, publish, victim := streamEnv(t, 8, 2, 4)
+	b1 := publish()
+	if err := pub.RevokeSubscription(victim); err != nil {
+		t.Fatal(err)
+	}
+	b2 := publish()
+	d, err := pubsub.Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := MarshalSnapshotFrame(b2)
+	delta := MarshalDeltaFrame(d)
+
+	// Truncations at every boundary must error, never panic.
+	for _, raw := range [][]byte{snap, delta} {
+		for cut := 0; cut < len(raw); cut += 7 {
+			if _, err := UnmarshalFrame(raw[:cut]); err == nil {
+				t.Fatalf("truncated frame of %d/%d bytes decoded", cut, len(raw))
+			}
+		}
+	}
+
+	// Unknown version / frame type.
+	if _, err := UnmarshalFrame([]byte{9, 1}); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := UnmarshalFrame([]byte{VersionStream, 9}); err == nil {
+		t.Error("bad frame type accepted")
+	}
+
+	// Trailing garbage.
+	if _, err := UnmarshalFrame(append(append([]byte(nil), snap...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+
+	// A delta whose grouped patch claims more shipped headers than fresh
+	// references must be rejected (mismatch between From and Headers).
+	var found bool
+	for _, cp := range d.Configs {
+		if cp.Grouped != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("test workload produced no grouped patch")
+	}
+	// Flip a From entry from "fresh" to a base reference without removing
+	// the shipped header: re-encode manually by corrupting the count is
+	// fiddly at the byte level, so instead corrupt via the typed path.
+	bad := *d
+	bad.Configs = append([]pubsub.ConfigPatch(nil), d.Configs...)
+	for i, cp := range bad.Configs {
+		if cp.Grouped == nil {
+			continue
+		}
+		gp := *cp.Grouped
+		gp.From = append([]int(nil), gp.From...)
+		for j, from := range gp.From {
+			if from < 0 {
+				gp.From[j] = 0 // now references base shard 0, header count no longer matches
+				break
+			}
+		}
+		cp.Grouped = &gp
+		bad.Configs[i] = cp
+		break
+	}
+	if _, err := UnmarshalFrame(MarshalDeltaFrame(&bad)); err == nil {
+		t.Error("grouped patch with mismatched header count accepted")
+	}
+}
+
+// TestDeltaByteRatioSingleLeave256 is the acceptance criterion of the
+// streaming dissemination work: at 256 subscribers with grouping degree 4,
+// the delta for a single-leave churn publish must ship at most 10% of the
+// full snapshot's bytes.
+func TestDeltaByteRatioSingleLeave256(t *testing.T) {
+	const subs, groups = 256, 4
+	pub, publish, victim := streamEnv(t, subs, 5, (subs+groups-1)/groups)
+	b1 := publish()
+	if err := pub.RevokeSubscription(victim); err != nil {
+		t.Fatal(err)
+	}
+	b2 := publish()
+	d, err := pubsub.Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshotBytes := len(MarshalSnapshotFrame(b2))
+	deltaBytes := len(MarshalDeltaFrame(d))
+	t.Logf("single leave at %d subs, g=%d: delta %d B vs snapshot %d B (%.1f%%)",
+		subs, groups, deltaBytes, snapshotBytes, 100*float64(deltaBytes)/float64(snapshotBytes))
+	if deltaBytes*10 > snapshotBytes {
+		t.Errorf("single-leave delta is %d B, more than 10%% of the %d B snapshot", deltaBytes, snapshotBytes)
+	}
+	// And a steady-state delta is near-free: frame header + doc name only.
+	b3 := publish()
+	d2, err := pubsub.Diff(b2, b3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steady := len(MarshalDeltaFrame(d2)); steady > 128 {
+		t.Errorf("steady-state delta frame is %d B, want ≤ 128", steady)
+	}
+}
+
+// TestLegacyBroadcastBytesUnchanged pins the v1/v2 encodings: stamping
+// epochs and revisions must not leak into the pre-v3 formats.
+func TestLegacyBroadcastBytesUnchanged(t *testing.T) {
+	_, publish, _ := streamEnv(t, 8, 2, 0)
+	b := publish()
+	if b.Epoch == 0 {
+		t.Fatal("publish did not stamp an epoch")
+	}
+	raw := MarshalBroadcast(b)
+	if raw[0] != Version {
+		t.Fatalf("ungrouped broadcast marshals as version %d", raw[0])
+	}
+	got, err := UnmarshalBroadcast(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 0 {
+		t.Error("v1 decode invented an epoch")
+	}
+	for _, ci := range got.Configs {
+		if ci.Rev != 0 || ci.ShardRevs != nil {
+			t.Error("v1 decode invented revisions")
+		}
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"ppcd/internal/pubsub"
 	"ppcd/internal/schnorr"
 	"ppcd/internal/transport"
+	"ppcd/internal/wire"
 )
 
 // Group is a prime-order cyclic group suitable for Pedersen commitments.
@@ -149,11 +150,35 @@ type RekeyStats = pubsub.Stats
 // NewSubscriber creates a subscriber under a pseudonym.
 func NewSubscriber(nym string) (*Subscriber, error) { return pubsub.NewSubscriber(nym) }
 
+// BroadcastDelta is the incremental dissemination unit: everything that
+// changed between two epochs of one document's broadcasts (re-solved shard
+// sub-headers, per-shard wraps, re-encrypted items, removals).
+type BroadcastDelta = pubsub.BroadcastDelta
+
+// Diff computes the delta turning the base broadcast into cur (two epochs
+// of the same document). Subscriber.ApplySnapshot / ApplyDelta consume it.
+func Diff(base, cur *Broadcast) (*BroadcastDelta, error) { return pubsub.Diff(base, cur) }
+
 // Server exposes a publisher over TCP.
 type Server = transport.Server
 
 // Client is a network connection to a publisher; it implements Registrar.
 type Client = transport.Client
+
+// Stream is a subscriber-side push stream: the server sends epoch-stamped
+// snapshot, delta and heartbeat frames as broadcasts are published (see
+// Client.Subscribe).
+type Stream = transport.Stream
+
+// StreamFrame is one decoded frame of a broadcast stream.
+type StreamFrame = wire.Frame
+
+// Stream frame kinds.
+const (
+	FrameSnapshot  = wire.FrameSnapshot
+	FrameDelta     = wire.FrameDelta
+	FrameHeartbeat = wire.FrameHeartbeat
+)
 
 // NewServer wraps a publisher for network serving.
 func NewServer(pub *Publisher) (*Server, error) { return transport.NewServer(pub) }
