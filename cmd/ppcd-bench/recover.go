@@ -1,0 +1,205 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ppcd"
+	"ppcd/internal/benchutil"
+	"ppcd/internal/wire"
+)
+
+// recoverReport is the -recover JSON: durable-state recovery measured over
+// two restart scenarios of the same store directory. "Warm" is a clean
+// shutdown (final snapshot taken): recovery must restore the engine caches,
+// so the first post-restart publish performs zero null-space solves and a
+// subscriber current at the pre-restart epoch catches up with a delta.
+// "Crash" abandons the store with unsnapshotted WAL tail events (a
+// revocation and a publish): recovery replays them, the epoch counter stays
+// monotonic, and the first publish re-solves exactly the membership the
+// replayed events dirtied.
+type recoverReport struct {
+	Subs      int `json:"subs"`
+	Policies  int `json:"policies"`
+	Groups    int `json:"groups"`
+	GroupSize int `json:"group_size"`
+
+	// On-disk footprint of the sealed state.
+	SnapshotDiskBytes int64 `json:"snapshot_disk_bytes"`
+	WALDiskBytes      int64 `json:"wal_disk_bytes"`
+
+	// Clean-shutdown restart.
+	WarmRecoveryMs    float64 `json:"warm_recovery_ms"`
+	WarmReplayed      int     `json:"warm_wal_replayed"`
+	WarmSolves        uint64  `json:"warm_post_restart_solves"`
+	CatchupDeltaBytes int     `json:"catchup_delta_bytes"`
+	CatchupSnapBytes  int     `json:"catchup_snapshot_bytes"`
+	GenPreserved      bool    `json:"gen_preserved"`
+	EpochResumed      bool    `json:"epoch_resumed"`
+
+	// Crash restart (WAL tail replay).
+	CrashRecoveryMs     float64 `json:"crash_recovery_ms"`
+	CrashReplayed       int     `json:"crash_wal_replayed"`
+	CrashSolves         uint64  `json:"crash_post_restart_solves"`
+	CrashEpochMonotonic bool    `json:"crash_epoch_monotonic"`
+}
+
+// runRecoverBench measures durable-state recovery (internal/store): it runs
+// one publisher incarnation to a clean shutdown, restarts it warm, then
+// crashes an incarnation with a WAL tail and restarts again, reporting
+// recovery time, post-restart solve counts and the reconnect catch-up bytes.
+func runRecoverBench(subs, policies, groups int) error {
+	if subs < 4 || policies < 1 || groups < 1 {
+		return fmt.Errorf("ppcd-bench: -recover needs subs>=4, policies>=1, groups>=1")
+	}
+	params, err := ppcd.Setup(ppcd.SchnorrGroup(), []byte("ppcd-bench"))
+	if err != nil {
+		return err
+	}
+	idmgr, err := ppcd.NewIdentityManager(params)
+	if err != nil {
+		return err
+	}
+	acps, doc, state, err := benchutil.Workload(subs, policies, subs/2, 1024)
+	if err != nil {
+		return err
+	}
+	groupSize := 0
+	if groups > 1 {
+		groupSize = (subs + groups - 1) / groups
+	}
+	newPub := func() (*ppcd.Publisher, error) {
+		return ppcd.NewPublisher(params, idmgr.PublicKey(), acps, ppcd.Options{Ell: 8, GroupSize: groupSize})
+	}
+
+	dir, err := os.MkdirTemp("", "ppcd-recover")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	var key [32]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		return err
+	}
+
+	rep := recoverReport{Subs: subs, Policies: policies, Groups: groups, GroupSize: groupSize}
+
+	// Incarnation 1: seed the table, settle the caches, shut down cleanly.
+	pubA, err := newPub()
+	if err != nil {
+		return err
+	}
+	stA, err := ppcd.OpenStore(dir, key)
+	if err != nil {
+		return err
+	}
+	if _, err := stA.Recover(pubA); err != nil {
+		return err
+	}
+	pubA.SetJournal(stA)
+	if err := pubA.ImportState(state); err != nil {
+		return err
+	}
+	if _, err := pubA.Publish(doc); err != nil { // full solve, warms caches
+		return err
+	}
+	preRestart, err := pubA.Publish(doc) // steady base a subscriber would hold
+	if err != nil {
+		return err
+	}
+	if err := stA.Snapshot(pubA); err != nil { // clean shutdown
+		return err
+	}
+	if err := stA.Close(); err != nil {
+		return err
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "snapshot.ppcd")); err == nil {
+		rep.SnapshotDiskBytes = fi.Size()
+	}
+
+	// Warm restart: open + recover timed together (the operator-visible
+	// restart cost), then the zero-solve first publish and the delta a
+	// reconnecting subscriber current at preRestart.Epoch receives.
+	pubB, err := newPub()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	stB, err := ppcd.OpenStore(dir, key)
+	if err != nil {
+		return err
+	}
+	recB, err := stB.Recover(pubB)
+	if err != nil {
+		return err
+	}
+	rep.WarmRecoveryMs = float64(time.Since(start).Microseconds()) / 1e3
+	rep.WarmReplayed = recB.Replayed
+	pubB.SetJournal(stB)
+
+	before := pubB.Stats()
+	postRestart, err := pubB.Publish(doc)
+	if err != nil {
+		return err
+	}
+	rep.WarmSolves = pubB.Stats().Solves - before.Solves
+	rep.GenPreserved = postRestart.Gen == preRestart.Gen
+	rep.EpochResumed = postRestart.Epoch == preRestart.Epoch+1
+	d, err := ppcd.Diff(preRestart, postRestart)
+	if err != nil {
+		return fmt.Errorf("ppcd-bench: diff across restart: %w", err)
+	}
+	rep.CatchupDeltaBytes = len(wire.MarshalDeltaFrame(d))
+	rep.CatchupSnapBytes = len(wire.MarshalSnapshotFrame(postRestart))
+
+	// Crash: journal a revocation and a publish, then abandon the store
+	// without a snapshot — the WAL tail is all that survives.
+	if err := pubB.RevokeSubscription("pn-0"); err != nil {
+		return err
+	}
+	crashed, err := pubB.Publish(doc)
+	if err != nil {
+		return err
+	}
+	if err := stB.Close(); err != nil {
+		return err
+	}
+	if fi, err := os.Stat(filepath.Join(dir, "wal.ppcd")); err == nil {
+		rep.WALDiskBytes = fi.Size()
+	}
+
+	pubC, err := newPub()
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	stC, err := ppcd.OpenStore(dir, key)
+	if err != nil {
+		return err
+	}
+	recC, err := stC.Recover(pubC)
+	if err != nil {
+		return err
+	}
+	rep.CrashRecoveryMs = float64(time.Since(start).Microseconds()) / 1e3
+	rep.CrashReplayed = recC.Replayed
+	pubC.SetJournal(stC)
+	before = pubC.Stats()
+	after, err := pubC.Publish(doc)
+	if err != nil {
+		return err
+	}
+	rep.CrashSolves = pubC.Stats().Solves - before.Solves
+	rep.CrashEpochMonotonic = after.Epoch > crashed.Epoch
+	if err := stC.Close(); err != nil {
+		return err
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

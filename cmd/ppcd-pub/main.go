@@ -5,6 +5,16 @@
 // delta — reconnecting clients catch up from their last epoch (ppcd-sub
 // stream is the consumer side).
 //
+// With -state-dir the publisher is durable: on start it recovers table T,
+// sticky group assignments, the epoch counter and its incarnation generation
+// from an encrypted snapshot plus write-ahead log, every
+// registration/revocation/publish is WAL-appended (fsync) before it takes
+// effect, and fresh snapshots are written on -snapshot-every, on SIGTERM/
+// SIGINT and on quit. A warm restart therefore performs zero ACV re-solves
+// on its first publish, and reconnecting ppcd-sub stream clients catch up
+// with a delta instead of a snapshot. The state is sealed under the operator
+// key in -state-key (hex, auto-generated on first run; guard that file).
+//
 // Policy file format (one policy per line):
 //
 //	<id> | <conjunction> | <document> | <subdoc>[,<subdoc>...]
@@ -30,7 +40,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"ppcd"
@@ -52,6 +65,9 @@ func main() {
 		stream     = flag.Bool("stream", true, "serve push streams: every publish fans epoch deltas out to subscribed clients")
 		heartbeat  = flag.Duration("stream-heartbeat", 30*time.Second, "stream heartbeat interval (0 disables)")
 		retain     = flag.Int("retain", 8, "recent epochs kept for fetches and stream delta catch-ups")
+		stateDir   = flag.String("state-dir", "", "durable-state directory: encrypted snapshot + WAL, auto-recovered on start")
+		stateKey   = flag.String("state-key", "", "operator key file, hex (default <state-dir>/key.hex; created if absent)")
+		snapEvery  = flag.Duration("snapshot-every", 5*time.Minute, "interval between compacted state snapshots (0 disables the ticker)")
 	)
 	flag.Parse()
 
@@ -92,6 +108,43 @@ func main() {
 		}
 	}
 
+	var st *ppcd.StateStore
+	if *stateDir != "" {
+		keyPath := *stateKey
+		if keyPath == "" {
+			keyPath = filepath.Join(*stateDir, "key.hex")
+			if err := os.MkdirAll(*stateDir, 0o700); err != nil {
+				log.Fatal(err)
+			}
+		}
+		key, err := ppcd.LoadOrCreateKeyFile(keyPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st, err = ppcd.OpenStore(*stateDir, key); err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		rec, err := st.Recover(pub)
+		if err != nil {
+			log.Fatalf("recovering state: %v", err)
+		}
+		if rec.Restored {
+			log.Printf("recovered %d subscribers at epoch %d in %v (snapshot %d bytes, %d WAL events replayed, torn tail: %v)",
+				pub.SubscriberCount(), pub.Epoch(), time.Since(start).Round(time.Millisecond),
+				rec.SnapshotBytes, rec.Replayed, rec.TruncatedTail)
+		} else {
+			log.Printf("fresh state directory %s", *stateDir)
+		}
+		pub.SetJournal(st)
+		// Snapshot immediately: the incarnation generation becomes durable
+		// before any subscriber sees it, so even a crash before the first
+		// interval snapshot restarts warm.
+		if err := st.Snapshot(pub); err != nil {
+			log.Fatalf("initial snapshot: %v", err)
+		}
+	}
+
 	srv, err := ppcd.NewServer(pub)
 	if err != nil {
 		log.Fatal(err)
@@ -99,11 +152,48 @@ func main() {
 	srv.SetStreaming(*stream)
 	srv.SetHeartbeatInterval(*heartbeat)
 	srv.SetRetention(*retain)
+	// Re-seed the retention ring with the recovered diff bases so
+	// reconnecting subscribers holding pre-restart epochs catch up with a
+	// delta instead of a snapshot.
+	for _, b := range pub.LastBroadcasts() {
+		if err := srv.PublishBroadcast(b); err != nil {
+			log.Fatal(err)
+		}
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+
+	shutdown := func(code int) {
+		if st != nil {
+			if err := st.Snapshot(pub); err != nil {
+				log.Printf("final snapshot: %v", err)
+			}
+			st.Close()
+		}
+		srv.Close()
+		os.Exit(code)
+	}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigs
+		log.Printf("%v: snapshotting and shutting down", sig)
+		shutdown(0)
+	}()
+	if st != nil && *snapEvery > 0 {
+		go func() {
+			t := time.NewTicker(*snapEvery)
+			defer t.Stop()
+			for range t.C {
+				if err := st.Snapshot(pub); err != nil {
+					log.Printf("snapshot: %v", err)
+				}
+			}
+		}()
+	}
 	mode := "fetch only"
 	if *stream {
 		mode = fmt.Sprintf("fetch + push streams (heartbeat %v, %d epochs retained)", *heartbeat, *retain)
@@ -120,12 +210,15 @@ func main() {
 		}
 		if err := dispatch(pub, srv, fields); err != nil {
 			if err == errQuit {
-				return
+				shutdown(0)
 			}
 			log.Printf("error: %v", err)
 		}
 		fmt.Print("> ")
 	}
+	// Stdin EOF (piped commands, Ctrl-D): same graceful exit as quit —
+	// daemon deployments keep stdin open (a fifo or a terminal).
+	shutdown(0)
 }
 
 var errQuit = fmt.Errorf("quit")

@@ -243,7 +243,7 @@ func runStream(params *ppcd.CommitmentParams, addr, doc, outdir string, sub *ppc
 				log.Printf("stream: %v; reconnecting", err)
 				break
 			}
-			var docName string
+			var docName, kind string
 			var gen uint64
 			switch f.Type {
 			case ppcd.FrameSnapshot:
@@ -251,7 +251,7 @@ func runStream(params *ppcd.CommitmentParams, addr, doc, outdir string, sub *ppc
 					log.Printf("snapshot: %v", err)
 					continue
 				}
-				docName, gen = f.Snapshot.DocName, f.Snapshot.Gen
+				docName, gen, kind = f.Snapshot.DocName, f.Snapshot.Gen, "snapshot"
 			case ppcd.FrameDelta:
 				if err := sub.ApplyDelta(f.Delta); err != nil {
 					// Typically a base mismatch after the server lost our
@@ -261,7 +261,7 @@ func runStream(params *ppcd.CommitmentParams, addr, doc, outdir string, sub *ppc
 					lastEpoch, lastGen = 0, 0
 					break
 				}
-				docName, gen = f.Delta.DocName, f.Delta.Gen
+				docName, gen, kind = f.Delta.DocName, f.Delta.Gen, "delta"
 			case ppcd.FrameHeartbeat:
 				continue
 			}
@@ -284,8 +284,8 @@ func runStream(params *ppcd.CommitmentParams, addr, doc, outdir string, sub *ppc
 					log.Fatal(err)
 				}
 			}
-			log.Printf("epoch %d of %q: decrypted %d subdocuments (%d stream bytes total)",
-				f.Epoch, docName, len(got), st.BytesRead())
+			log.Printf("epoch %d of %q: applied %s, decrypted %d subdocuments (%d stream bytes total)",
+				f.Epoch, docName, kind, len(got), st.BytesRead())
 		}
 		st.Close()
 		client.Close()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -156,6 +157,145 @@ func (e *Engine) Reset() {
 	e.cache = make(map[string]engineEntry)
 	e.shardCache = make(map[string]shardEntry)
 	e.groupedCache = make(map[string]groupedEntry)
+}
+
+// CachedConfig is one exported ungrouped cache entry: the configuration's
+// membership signature, solved header and key. The key is SECRET material.
+type CachedConfig struct {
+	ID  string
+	Sig string
+	Hdr *Header
+	Key ff64.Elem
+}
+
+// CachedShard is one exported per-shard cache entry of the grouped engine:
+// the shard's content signature, sub-header and long-lived group key S_i.
+type CachedShard struct {
+	ID  string
+	Sig string
+	Hdr *Header
+	Key ff64.Elem
+}
+
+// CachedGroupedShard is one shard slot of an exported grouped configuration.
+// ShardID references the CachedShard owning the sub-header (the normal case —
+// assembled grouped headers share the shard cache's header objects); Hdr is
+// the inline fallback for a sub-header no longer present in the shard cache.
+type CachedGroupedShard struct {
+	ShardID string
+	Hdr     *Header
+	Wrap    ff64.Elem
+}
+
+// CachedGrouped is one exported grouped-configuration cache entry: the shard
+// signature vector, rekey nonce, shard slots and configuration key K. Hdr is
+// the live assembled header object — callers serializing the cache use the
+// slots, while callers restoring may pre-resolve the slots into a header and
+// hand it back so the engine shares the object with them (pointer identity
+// across the engine cache and the publisher's diff bases is what keeps
+// post-restore publishes delta-small).
+type CachedGrouped struct {
+	ID         string
+	Sig        string
+	RekeyNonce []byte
+	Shards     []CachedGroupedShard
+	Key        ff64.Elem
+	Hdr        *GroupedHeader
+}
+
+// ExportCache snapshots the engine's three cache levels for durable-state
+// serialization. Grouped shard sub-headers are exported as references into
+// the shard cache wherever the pointer still lives there, so the restored
+// caches share header objects exactly like the live ones do (which is what
+// keeps post-restore publishes pointer-identical for the delta layer).
+func (e *Engine) ExportCache() ([]CachedConfig, []CachedShard, []CachedGrouped) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cfgs := make([]CachedConfig, 0, len(e.cache))
+	for id, ent := range e.cache {
+		cfgs = append(cfgs, CachedConfig{ID: id, Sig: ent.sig, Hdr: ent.hdr, Key: ent.key})
+	}
+	shards := make([]CachedShard, 0, len(e.shardCache))
+	byHdr := make(map[*Header]string, len(e.shardCache))
+	for id, ent := range e.shardCache {
+		shards = append(shards, CachedShard{ID: id, Sig: ent.sig, Hdr: ent.hdr, Key: ent.key})
+		byHdr[ent.hdr] = id
+	}
+	grouped := make([]CachedGrouped, 0, len(e.groupedCache))
+	for id, ent := range e.groupedCache {
+		g := CachedGrouped{
+			ID:         id,
+			Sig:        ent.sig,
+			RekeyNonce: ent.hdr.RekeyNonce,
+			Shards:     make([]CachedGroupedShard, len(ent.hdr.Shards)),
+			Key:        ent.key,
+			Hdr:        ent.hdr,
+		}
+		for i, sh := range ent.hdr.Shards {
+			slot := CachedGroupedShard{Wrap: sh.Wrap}
+			if sid, ok := byHdr[sh.Hdr]; ok {
+				slot.ShardID = sid
+			} else {
+				slot.Hdr = sh.Hdr
+			}
+			g.Shards[i] = slot
+		}
+		grouped = append(grouped, g)
+	}
+	return cfgs, shards, grouped
+}
+
+// RestoreCache replaces the engine's caches wholesale with previously
+// exported entries (durable-state recovery). Grouped shard references are
+// resolved against the restored shard cache, re-establishing the shared
+// header objects; an unresolvable reference is an error — the state is
+// internally inconsistent and the caller should fall back to a cold engine.
+func (e *Engine) RestoreCache(cfgs []CachedConfig, shards []CachedShard, grouped []CachedGrouped) error {
+	cache := make(map[string]engineEntry, len(cfgs))
+	for _, c := range cfgs {
+		if c.ID == "" || c.Hdr == nil {
+			return fmt.Errorf("core: restoring config cache: empty entry %q", c.ID)
+		}
+		cache[c.ID] = engineEntry{sig: c.Sig, hdr: c.Hdr, key: c.Key}
+	}
+	shardCache := make(map[string]shardEntry, len(shards))
+	for _, s := range shards {
+		if s.ID == "" || s.Hdr == nil {
+			return fmt.Errorf("core: restoring shard cache: empty entry %q", s.ID)
+		}
+		shardCache[s.ID] = shardEntry{sig: s.Sig, hdr: s.Hdr, key: s.Key}
+	}
+	groupedCache := make(map[string]groupedEntry, len(grouped))
+	for _, g := range grouped {
+		if g.ID == "" {
+			return errors.New("core: restoring grouped cache: empty configuration ID")
+		}
+		hdr := g.Hdr // pre-resolved by the caller (shared with its own state)
+		if hdr == nil {
+			hdr = &GroupedHeader{RekeyNonce: g.RekeyNonce, Shards: make([]GroupShard, len(g.Shards))}
+			for i, sh := range g.Shards {
+				h := sh.Hdr
+				if sh.ShardID != "" {
+					ent, ok := shardCache[sh.ShardID]
+					if !ok {
+						return fmt.Errorf("core: grouped configuration %q references unknown shard %q", g.ID, sh.ShardID)
+					}
+					h = ent.hdr
+				}
+				if h == nil {
+					return fmt.Errorf("core: grouped configuration %q shard %d has no sub-header", g.ID, i)
+				}
+				hdr.Shards[i] = GroupShard{Hdr: h, Wrap: sh.Wrap}
+			}
+		}
+		groupedCache[g.ID] = groupedEntry{sig: g.Sig, hdr: hdr, key: g.Key}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = cache
+	e.shardCache = shardCache
+	e.groupedCache = groupedCache
+	return nil
 }
 
 // RekeyAll produces a header and key for every configuration, reusing cached

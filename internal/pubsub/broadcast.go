@@ -3,6 +3,7 @@ package pubsub
 import (
 	"crypto/sha256"
 	"errors"
+	"fmt"
 
 	"ppcd/internal/core"
 	"ppcd/internal/document"
@@ -101,6 +102,16 @@ func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
 	if doc == nil || len(doc.Subdocs) == 0 {
 		return nil, errors.New("pubsub: empty document")
 	}
+	// Names land in the durable state (diff bases, journal events); enforce
+	// the state format's caps here so every accepted publish round-trips.
+	if len(doc.Name) == 0 || len(doc.Name) > maxStateCondLen {
+		return nil, fmt.Errorf("pubsub: document name of %d bytes (want 1..%d)", len(doc.Name), maxStateCondLen)
+	}
+	for _, sd := range doc.Subdocs {
+		if len(sd.Name) > maxStateCondLen {
+			return nil, fmt.Errorf("pubsub: subdocument name of %d bytes exceeds the %d limit", len(sd.Name), maxStateCondLen)
+		}
+	}
 
 	relevant := p.policiesFor(doc.Name)
 	cfgs := policy.Configurations(doc.Names(), relevant)
@@ -153,6 +164,14 @@ func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
 	p.pubMu.Lock()
 	defer p.pubMu.Unlock()
 	p.epoch++
+	// Journal the epoch bump before the broadcast escapes: after a crash the
+	// restored counter must stay ahead of every epoch subscribers have seen
+	// under this generation, or a restarted publisher could re-number. Nobody
+	// observed the bump yet, so a journal failure rolls it back cleanly.
+	if err := p.journalAppend(StateEvent{Kind: StateEventPublish, Doc: doc.Name, Epoch: p.epoch}); err != nil {
+		p.epoch--
+		return nil, err
+	}
 	b.Epoch = p.epoch
 	b.Gen = p.gen
 	prev := p.lastPub[doc.Name]

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"ppcd/internal/core"
@@ -86,6 +87,18 @@ type Publisher struct {
 	epoch   uint64
 	gen     uint64
 	lastPub map[string]*lastBroadcast
+
+	// journal, when set, receives every durable mutation (state.go) before
+	// the triggering operation returns — the write-ahead discipline the
+	// internal/store WAL implements. mutMu makes each journal append atomic
+	// with its in-memory apply: without it, two racing mutations of the
+	// same pseudonym could journal in one order and apply in the other, and
+	// a later crash replay (which runs in journal order) would resurrect
+	// state the live publisher never held. Envelope crypto stays outside
+	// mutMu; only the commit serializes.
+	mutMu   sync.Mutex
+	jmu     sync.RWMutex
+	journal Journal
 }
 
 // NewPublisher builds a publisher enforcing the given access control
@@ -110,9 +123,17 @@ func NewPublisher(params *pedersen.Params, idmgrKey sig.PublicKey, acps []*polic
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	for _, a := range acps {
+		// The durable-state format caps identifier lengths; reject policies
+		// that could never round-trip through a state file up front.
+		if len(a.ID) == 0 || len(a.ID) > maxStateCondLen {
+			return nil, fmt.Errorf("pubsub: policy ID of %d bytes (want 1..%d)", len(a.ID), maxStateCondLen)
+		}
 		for _, c := range a.Conds {
 			if err := c.Validate(); err != nil {
 				return nil, err
+			}
+			if len(c.ID()) > maxStateCondLen {
+				return nil, fmt.Errorf("pubsub: condition ID of %d bytes exceeds the %d limit", len(c.ID()), maxStateCondLen)
 			}
 		}
 	}
@@ -196,7 +217,16 @@ func (p *Publisher) Register(req *RegistrationRequest) (*ocbe.Envelope, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.reg.setCells(req.Token.Nym, map[string]core.CSS{req.CondID: css})
+	cells := map[string]core.CSS{req.CondID: css}
+	// Write-ahead: the cells must be durable before they become visible in T
+	// (a crash after the subscriber received its envelope but before the
+	// journal entry would silently lose the registration).
+	p.mutMu.Lock()
+	defer p.mutMu.Unlock()
+	if err := p.journalAppend(StateEvent{Kind: StateEventRegister, Nym: req.Token.Nym, Cells: cells}); err != nil {
+		return nil, err
+	}
+	p.reg.setCells(req.Token.Nym, cells)
 	return env, nil
 }
 
@@ -210,6 +240,12 @@ func (p *Publisher) compose(req *RegistrationRequest, verifyToken bool) (*ocbe.E
 	cond, ok := p.condByID[req.CondID]
 	if !ok {
 		return nil, 0, ErrUnknownCondition
+	}
+	// Enforce the durable-state pseudonym cap at admission: a longer nym
+	// would register fine but poison every later state import/WAL replay
+	// (a one-request persistent denial of recovery).
+	if err := validateStateNym(req.Token.Nym); err != nil {
+		return nil, 0, err
 	}
 	if req.Token.Tag != cond.Attr {
 		return nil, 0, ErrTagMismatch
@@ -353,8 +389,58 @@ func (p *Publisher) RegisterBatch(reqs []*RegistrationRequest) ([]BatchResult, e
 		}
 		cells[reqs[i].CondID] = o.css
 	}
-	for nym, cells := range cellsByNym {
-		p.reg.setCells(nym, cells)
+	if len(cellsByNym) > 0 {
+		// Write-ahead for the whole batch under one journal barrier: a
+		// BatchJournal group-commits every pseudonym's cells with a single
+		// flush, otherwise one append (and fsync) per pseudonym. A journal
+		// failure voids the affected items — their envelopes carry CSSs that
+		// never entered T, so they can never decrypt anything and the
+		// subscriber must re-register.
+		nyms := make([]string, 0, len(cellsByNym))
+		for nym := range cellsByNym {
+			nyms = append(nyms, nym)
+		}
+		sort.Strings(nyms) // deterministic journal order
+		failed := make(map[string]error)
+
+		p.mutMu.Lock()
+		p.jmu.RLock()
+		j := p.journal
+		p.jmu.RUnlock()
+		if bj, ok := j.(BatchJournal); ok {
+			evs := make([]StateEvent, len(nyms))
+			for i, nym := range nyms {
+				evs[i] = StateEvent{Kind: StateEventRegister, Nym: nym, Cells: cellsByNym[nym]}
+			}
+			if err := bj.AppendBatch(evs); err != nil {
+				err = fmt.Errorf("pubsub: journaling state event: %w", err)
+				for _, nym := range nyms {
+					failed[nym] = err
+				}
+			}
+		} else {
+			for _, nym := range nyms {
+				if err := p.journalAppend(StateEvent{Kind: StateEventRegister, Nym: nym, Cells: cellsByNym[nym]}); err != nil {
+					failed[nym] = err
+				}
+			}
+		}
+		for _, nym := range nyms {
+			if failed[nym] == nil {
+				p.reg.setCells(nym, cellsByNym[nym])
+			}
+		}
+		p.mutMu.Unlock()
+
+		for i, req := range reqs {
+			if results[i].Envelope == nil {
+				continue
+			}
+			if err := failed[req.Token.Nym]; err != nil {
+				results[i].Envelope = nil
+				results[i].Err = err.Error()
+			}
+		}
 	}
 	return results, nil
 }
@@ -363,6 +449,19 @@ func (p *Publisher) RegisterBatch(reqs []*RegistrationRequest) ([]BatchResult, e
 // Revocation"): its row disappears from T and the next Publish rekeys every
 // affected configuration.
 func (p *Publisher) RevokeSubscription(nym string) error {
+	// mutMu makes existence check + journal + apply one atomic step: journal
+	// order equals apply order, so crash replay can never resurrect a row a
+	// racing registration committed on the other side of this revocation.
+	p.mutMu.Lock()
+	defer p.mutMu.Unlock()
+	// Journal only revocations that can take effect (an unknown pseudonym is
+	// the caller's error, not a state change).
+	if !p.reg.has(nym, "") {
+		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
+	}
+	if err := p.journalAppend(StateEvent{Kind: StateEventRevokeSubscription, Nym: nym}); err != nil {
+		return err
+	}
 	return p.reg.revokeSubscription(nym)
 }
 
@@ -370,6 +469,17 @@ func (p *Publisher) RevokeSubscription(nym string) error {
 // Revocation"), enabling fine-tuned user management. Removing a pseudonym's
 // last cell removes the row itself.
 func (p *Publisher) RevokeCredential(nym, condID string) error {
+	p.mutMu.Lock()
+	defer p.mutMu.Unlock()
+	if !p.reg.has(nym, condID) {
+		if !p.reg.has(nym, "") {
+			return fmt.Errorf("pubsub: unknown subscriber %q", nym)
+		}
+		return fmt.Errorf("pubsub: subscriber %q has no CSS for %q", nym, condID)
+	}
+	if err := p.journalAppend(StateEvent{Kind: StateEventRevokeCredential, Nym: nym, Cond: condID}); err != nil {
+		return err
+	}
 	return p.reg.revokeCredential(nym, condID)
 }
 

@@ -80,6 +80,17 @@ func (r *registry) bump(condID string) {
 	}
 }
 
+// bumpAll marks every policy membership-dirty (used when a state import had
+// to drop stale columns: restored caches may cover memberships that no
+// longer hold).
+func (r *registry) bumpAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id := range r.memVer {
+		r.memVer[id]++
+	}
+}
+
 // setCells records a batch of freshly drawn CSSs for one pseudonym under a
 // single lock acquisition (overwrite = credential update, §V-C).
 func (r *registry) setCells(nym string, cells map[string]core.CSS) {
@@ -262,13 +273,149 @@ func (r *registry) export() map[string]map[string]uint64 {
 	return out
 }
 
-// replace swaps in a wholesale new table (state import) and marks every
-// policy membership-dirty.
-func (r *registry) replace(table map[string]map[string]core.CSS) {
+// registryState is a full snapshot of the registry's durable state: table T,
+// the per-policy membership versions, and the sticky group assignment (§VIII-C)
+// with its per-group occupancy counts.
+type registryState struct {
+	table     map[string]map[string]core.CSS
+	memVer    map[string]uint64
+	grpAssign map[string]map[string]int
+	grpCounts map[string][]int
+}
+
+// exportFull deep-copies the durable registry state (state v2 export).
+func (r *registry) exportFull() registryState {
+	st := registryState{
+		memVer:    make(map[string]uint64),
+		grpAssign: make(map[string]map[string]int),
+		grpCounts: make(map[string][]int),
+	}
+	r.mu.RLock()
+	st.table = make(map[string]map[string]core.CSS, len(r.table))
+	for nym, row := range r.table {
+		cells := make(map[string]core.CSS, len(row))
+		for cond, css := range row {
+			cells[cond] = css
+		}
+		st.table[nym] = cells
+	}
+	for id, v := range r.memVer {
+		st.memVer[id] = v
+	}
+	r.mu.RUnlock()
+	r.grpMu.Lock()
+	for id, assign := range r.grpAssign {
+		cp := make(map[string]int, len(assign))
+		for nym, gid := range assign {
+			cp[nym] = gid
+		}
+		st.grpAssign[id] = cp
+	}
+	for id, counts := range r.grpCounts {
+		st.grpCounts[id] = append([]int(nil), counts...)
+	}
+	r.grpMu.Unlock()
+	return st
+}
+
+// restore replaces the registry's durable state wholesale (state v2 import).
+// Membership versions are restored exactly as exported so that engine cache
+// signatures computed against them keep matching; assignments for policies
+// the publisher no longer has are dropped. Caches are cleared — the next
+// snapshot reassembles rows (a table scan, no solves).
+func (r *registry) restore(st registryState) {
+	r.mu.Lock()
+	r.table = st.table
+	for id := range r.memVer {
+		r.memVer[id] = st.memVer[id]
+	}
+	r.rowsCache = make(map[string]policyRows)
+	known := make(map[string]bool, len(r.memVer))
+	for id := range r.memVer {
+		known[id] = true
+	}
+	r.mu.Unlock()
+
+	r.grpMu.Lock()
+	r.grpAssign = make(map[string]map[string]int)
+	r.grpCounts = make(map[string][]int)
+	r.grpCache = make(map[string]groupedPolicyRows)
+	for id, assign := range st.grpAssign {
+		if !known[id] {
+			continue
+		}
+		r.grpAssign[id] = assign
+		r.grpCounts[id] = st.grpCounts[id]
+	}
+	r.grpMu.Unlock()
+}
+
+// replaceDiff swaps in a wholesale new table (state import), bumping only the
+// policies whose condition membership actually changed: for every condition,
+// the set of (nym, CSS) cells before and after is compared, and an unchanged
+// condition dirties nothing. An import of a table identical to the current
+// one is therefore a no-op for the rekey engine — no rebuild storm — while a
+// partial difference re-solves exactly the affected configurations, the same
+// granularity live mutations produce.
+func (r *registry) replaceDiff(table map[string]map[string]core.CSS) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.table = table
-	for id := range r.memVer {
-		r.memVer[id]++
+	changed := make(map[string]bool)
+	for nym, newRow := range table {
+		oldRow := r.table[nym]
+		for cond, v := range newRow {
+			if oldRow[cond] != v { // absent cells read as 0, never a valid CSS
+				changed[cond] = true
+			}
+		}
 	}
+	for nym, oldRow := range r.table {
+		newRow := table[nym]
+		for cond, v := range oldRow {
+			if newRow[cond] != v {
+				changed[cond] = true
+			}
+		}
+	}
+	r.table = table
+	for cond := range changed {
+		r.bump(cond)
+	}
+}
+
+// setCellsDiff is the WAL-replay variant of setCells: a cell overwrite with
+// the identical CSS value bumps nothing, so replaying an event that is
+// already reflected in the restored snapshot (the crash-between-snapshot-and-
+// WAL-rotation window) stays idempotent for the rekey engine.
+func (r *registry) setCellsDiff(nym string, cells map[string]core.CSS) {
+	if len(cells) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	row, ok := r.table[nym]
+	if !ok {
+		row = make(map[string]core.CSS, len(cells))
+		r.table[nym] = row
+	}
+	for condID, css := range cells {
+		if row[condID] == css {
+			continue
+		}
+		row[condID] = css
+		r.bump(condID)
+	}
+}
+
+// has reports whether a pseudonym has a row (and, with condID != "", a cell
+// for that condition).
+func (r *registry) has(nym, condID string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	row, ok := r.table[nym]
+	if !ok || condID == "" {
+		return ok
+	}
+	_, ok = row[condID]
+	return ok
 }

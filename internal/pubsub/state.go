@@ -1,36 +1,106 @@
 package pubsub
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"sort"
 
 	"ppcd/internal/core"
 	"ppcd/internal/ff64"
 )
 
-// stateFile is the JSON shape of an exported publisher state. Only the CSS
-// table is state: policies and parameters are configuration, re-supplied at
-// construction.
+// This file is the publisher's durable-state surface: state export/import
+// (the v2 binary format carrying everything a warm restart needs, plus the
+// legacy v1 JSON table dump), and the journal event stream the internal/store
+// WAL records so mutations between snapshots survive a crash.
+//
+// State is SECRET material (paper §V-B: "Table T … should be protected").
+// The exported bytes are plaintext serialization; persisting them is the
+// store package's job, which seals them with AEAD under an operator key.
+
+// Shape limits applied to imported state and replayed events — the same
+// hardening discipline the transport applies to network input, because a
+// state file is an integrity boundary too (a restored publisher must not be
+// corruptible into unbounded allocations by a damaged or crafted file).
+const (
+	// maxStateBytes caps the total imported state size.
+	maxStateBytes = 1 << 30
+	// maxStateNymLen caps one pseudonym.
+	maxStateNymLen = 1024
+	// maxStateCondLen caps one condition ID.
+	maxStateCondLen = 4096
+	// maxStateCount clamps generic element counts (nyms, cache entries,
+	// policies, items) before they drive allocations.
+	maxStateCount = 1 << 22
+	// maxStateRowCells clamps the cells of one pseudonym row.
+	maxStateRowCells = 1 << 16
+)
+
+// stateFile is the JSON shape of a legacy v1 exported state: the CSS table
+// only.
 type stateFile struct {
 	Version int                          `json:"version"`
 	Table   map[string]map[string]uint64 `json:"table"`
 }
 
-// ExportState serializes the publisher's CSS table T so it can be persisted
-// across restarts. The table is SECRET material (paper §V-B: "Table T …
-// should be protected") — callers must store it accordingly (e.g. mode
-// 0600, encrypted at rest).
+// ExportState serializes the publisher's full durable state (v2): table T,
+// per-policy membership versions, sticky group assignments, the epoch
+// counter and incarnation generation, the rekey engine's cached builds, and
+// the per-document diff bases. A publisher restored from it resumes exactly
+// where it left off: clean configurations keep their cached headers (the
+// first post-restart publish performs zero null-space solves on an unchanged
+// table) and epoch numbering continues, so streaming subscribers catch up
+// with deltas instead of re-downloading snapshots.
+//
+// The returned bytes are SECRET (CSS cells, configuration keys) and
+// unencrypted — store them through internal/store, which seals them with
+// AEAD under an operator key, or protect them equivalently.
 func (p *Publisher) ExportState() ([]byte, error) {
-	return json.Marshal(stateFile{Version: 1, Table: p.reg.export()})
+	return p.exportStateV2()
 }
 
-// ImportState restores a previously exported CSS table, replacing the
-// current one. Conditions that no longer exist in the publisher's policy set
-// are dropped (with no error: policies may legitimately have changed —
-// §V-C: "access control policies can be flexibly updated … without changing
-// any information stored at Subs"). Every configuration is treated as
-// membership-dirty afterwards, so the next Publish rekeys everything.
+// ImportState restores a previously exported publisher state, accepting both
+// the v2 binary format (full restore: table, assignments, epoch, generation,
+// engine caches, diff bases) and the legacy v1 JSON table dump.
+//
+// Conditions that no longer exist in the publisher's policy set are dropped
+// (no error: policies may legitimately have changed — §V-C). The v1 path
+// replaces the table through a per-condition diff: only policies whose
+// condition membership actually changed are marked dirty, so importing a
+// table identical to the current one triggers no rebuild at all.
+//
+// An import is a wholesale mutation the event journal cannot express, so
+// when a journal supporting snapshots is attached (internal/store is), the
+// imported state is made durable through an immediate snapshot — otherwise
+// a crash before the next scheduled snapshot would recover the pre-import
+// table while replaying post-import epochs.
 func (p *Publisher) ImportState(data []byte) error {
+	if len(data) > maxStateBytes {
+		return fmt.Errorf("pubsub: state of %d bytes exceeds the %d limit", len(data), maxStateBytes)
+	}
+	var err error
+	if bytes.HasPrefix(data, stateMagicV2) {
+		err = p.importStateV2(data)
+	} else {
+		err = p.importStateV1(data)
+	}
+	if err != nil {
+		return err
+	}
+	p.jmu.RLock()
+	j := p.journal
+	p.jmu.RUnlock()
+	if snap, ok := j.(SnapshotJournal); ok {
+		if err := snap.Snapshot(p); err != nil {
+			return fmt.Errorf("pubsub: persisting imported state: %w", err)
+		}
+	}
+	return nil
+}
+
+func (p *Publisher) importStateV1(data []byte) error {
 	var sf stateFile
 	if err := json.Unmarshal(data, &sf); err != nil {
 		return fmt.Errorf("pubsub: parsing state: %w", err)
@@ -38,13 +108,22 @@ func (p *Publisher) ImportState(data []byte) error {
 	if sf.Version != 1 {
 		return fmt.Errorf("pubsub: unsupported state version %d", sf.Version)
 	}
+	if len(sf.Table) > maxStateCount {
+		return fmt.Errorf("pubsub: state table of %d rows exceeds limits", len(sf.Table))
+	}
 	table := make(map[string]map[string]core.CSS, len(sf.Table))
 	for nym, row := range sf.Table {
-		if nym == "" {
-			return fmt.Errorf("pubsub: state contains empty pseudonym")
+		if err := validateStateNym(nym); err != nil {
+			return err
+		}
+		if len(row) > maxStateRowCells {
+			return fmt.Errorf("pubsub: state row for %q has %d cells", nym, len(row))
 		}
 		out := make(map[string]core.CSS, len(row))
 		for cond, css := range row {
+			if len(cond) > maxStateCondLen {
+				return fmt.Errorf("pubsub: state condition ID of %d bytes exceeds limits", len(cond))
+			}
 			if _, known := p.condByID[cond]; !known {
 				continue // policy set changed; stale column
 			}
@@ -57,7 +136,201 @@ func (p *Publisher) ImportState(data []byte) error {
 			table[nym] = out
 		}
 	}
-	p.reg.replace(table)
-	p.keys.reset()
+	p.reg.replaceDiff(table)
 	return nil
 }
+
+func validateStateNym(nym string) error {
+	if nym == "" {
+		return errors.New("pubsub: state contains empty pseudonym")
+	}
+	if len(nym) > maxStateNymLen {
+		return fmt.Errorf("pubsub: state pseudonym of %d bytes exceeds limits", len(nym))
+	}
+	return nil
+}
+
+// StateEventKind discriminates journal events.
+type StateEventKind uint8
+
+// Journal event kinds: the table mutations plus the epoch bump of a publish
+// (journaling epochs keeps the counter monotonic across a crash even when
+// publishes happened after the last snapshot, so a restarted publisher can
+// never reuse an epoch number its subscribers have already seen under the
+// same generation).
+const (
+	StateEventRegister StateEventKind = iota + 1
+	StateEventRevokeSubscription
+	StateEventRevokeCredential
+	StateEventPublish
+)
+
+// StateEvent is one durable-journal entry: a registration (freshly drawn CSS
+// cells for one pseudonym), a revocation, or a publish epoch bump. Register
+// cells are SECRET material.
+type StateEvent struct {
+	Kind  StateEventKind
+	Nym   string
+	Cond  string              // StateEventRevokeCredential
+	Cells map[string]core.CSS // StateEventRegister
+	Doc   string              // StateEventPublish
+	Epoch uint64              // StateEventPublish
+}
+
+// Journal receives every successful durable mutation for write-ahead
+// logging. Append must make the event durable before returning; an error
+// fails the triggering operation. internal/store implements it.
+type Journal interface {
+	Append(StateEvent) error
+}
+
+// BatchJournal is an optional Journal extension: AppendBatch makes several
+// events durable atomically with one flush. RegisterBatch uses it to group-
+// commit a whole batch's registrations instead of fsyncing per pseudonym.
+type BatchJournal interface {
+	Journal
+	AppendBatch([]StateEvent) error
+}
+
+// SnapshotJournal is an optional Journal extension: a journal that can
+// persist the publisher's full state. ImportState calls it after a
+// successful import — a wholesale mutation the event stream cannot express —
+// so the imported table is durable before the import returns.
+type SnapshotJournal interface {
+	Journal
+	Snapshot(*Publisher) error
+}
+
+// SetJournal installs (or, with nil, removes) the publisher's durable
+// journal. Install it before serving traffic; mutations occurring before the
+// journal is attached are only captured by the next full snapshot.
+func (p *Publisher) SetJournal(j Journal) {
+	p.jmu.Lock()
+	p.journal = j
+	p.jmu.Unlock()
+}
+
+// Journal returns the installed journal (nil if none).
+func (p *Publisher) Journal() Journal {
+	p.jmu.RLock()
+	defer p.jmu.RUnlock()
+	return p.journal
+}
+
+// JournalBarrier runs fn at a moment when no table mutation sits between
+// its journal append and its in-memory apply (both happen under the same
+// internal lock). Snapshotters use it to capture the journal sequence their
+// export will cover: every event at or below a sequence read inside the
+// barrier is guaranteed to be reflected by a subsequent export, so skipping
+// those records on recovery can never drop a mutation. (Publish epoch bumps
+// don't need the barrier: the counter is advanced before the event is
+// journaled and read under the same lock the export takes.)
+func (p *Publisher) JournalBarrier(fn func()) {
+	p.mutMu.Lock()
+	defer p.mutMu.Unlock()
+	fn()
+}
+
+func (p *Publisher) journalAppend(ev StateEvent) error {
+	p.jmu.RLock()
+	j := p.journal
+	p.jmu.RUnlock()
+	if j == nil {
+		return nil
+	}
+	if err := j.Append(ev); err != nil {
+		return fmt.Errorf("pubsub: journaling state event: %w", err)
+	}
+	return nil
+}
+
+// ApplyStateEvent replays one journal event onto the publisher (WAL
+// recovery). Replay is idempotent and never journals: re-applying an event
+// already reflected in the restored snapshot changes nothing — a register
+// with identical cells bumps no membership version, a revocation of an
+// absent row is a no-op, an epoch bump is a max().
+func (p *Publisher) ApplyStateEvent(ev StateEvent) error {
+	switch ev.Kind {
+	case StateEventRegister:
+		if err := validateStateNym(ev.Nym); err != nil {
+			return err
+		}
+		if len(ev.Cells) > maxStateRowCells {
+			return fmt.Errorf("pubsub: event row for %q has %d cells", ev.Nym, len(ev.Cells))
+		}
+		cells := make(map[string]core.CSS, len(ev.Cells))
+		for cond, css := range ev.Cells {
+			if len(cond) > maxStateCondLen {
+				return fmt.Errorf("pubsub: event condition ID of %d bytes exceeds limits", len(cond))
+			}
+			if _, known := p.condByID[cond]; !known {
+				continue // policy set changed since the event was journaled
+			}
+			if css == 0 || uint64(css) >= ff64.Modulus {
+				return fmt.Errorf("pubsub: event contains invalid CSS for (%q, %q)", ev.Nym, cond)
+			}
+			cells[cond] = css
+		}
+		p.reg.setCellsDiff(ev.Nym, cells)
+		return nil
+	case StateEventRevokeSubscription:
+		if err := validateStateNym(ev.Nym); err != nil {
+			return err
+		}
+		// Ignore an unknown pseudonym: the revocation may already be
+		// reflected in the snapshot the WAL is replayed over.
+		_ = p.reg.revokeSubscription(ev.Nym)
+		return nil
+	case StateEventRevokeCredential:
+		if err := validateStateNym(ev.Nym); err != nil {
+			return err
+		}
+		if len(ev.Cond) > maxStateCondLen {
+			return fmt.Errorf("pubsub: event condition ID of %d bytes exceeds limits", len(ev.Cond))
+		}
+		_ = p.reg.revokeCredential(ev.Nym, ev.Cond)
+		return nil
+	case StateEventPublish:
+		p.pubMu.Lock()
+		if ev.Epoch > p.epoch {
+			p.epoch = ev.Epoch
+		}
+		p.pubMu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("pubsub: unknown state event kind %d", ev.Kind)
+	}
+}
+
+// Generation returns the publisher's incarnation stamp: freshly random for a
+// new publisher, restored by a v2 state import so deltas survive restarts.
+func (p *Publisher) Generation() uint64 {
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	return p.gen
+}
+
+// LastBroadcasts returns the most recent broadcast of every document this
+// publisher (incarnation) has published or restored, in deterministic
+// document-name order. After a warm restart, feeding them to the transport
+// server re-seeds its retention ring, so reconnecting subscribers holding
+// pre-restart epochs catch up with deltas instead of snapshots.
+func (p *Publisher) LastBroadcasts() []*Broadcast {
+	p.pubMu.Lock()
+	defer p.pubMu.Unlock()
+	names := make([]string, 0, len(p.lastPub))
+	for name := range p.lastPub {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*Broadcast, 0, len(names))
+	for _, name := range names {
+		out = append(out, p.lastPub[name].b)
+	}
+	return out
+}
+
+// ResetRekeyCache drops every cached ACV build, forcing the next Publish to
+// re-solve all configurations (benchmarking the full-rebuild regime; state
+// imports no longer do this implicitly).
+func (p *Publisher) ResetRekeyCache() { p.keys.reset() }

@@ -1,0 +1,909 @@
+package pubsub
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+	"ppcd/internal/linalg"
+	"ppcd/internal/policy"
+)
+
+// State v2 binary format: the full durable publisher state. All integers are
+// big-endian; strings and byte fields are uint32-length-prefixed. Decoding
+// applies the wire-style hardening budget: every count is clamped, every
+// field element must arrive reduced, duplicate pseudonyms are rejected, and
+// cumulative header material is charged against a fixed budget.
+//
+// Layout after the magic:
+//
+//	u64 epoch | u64 gen
+//	table:     u32 n { str nym, u32 cells { str cond, u64 css } }
+//	memVer:    u32 n { str policyID, u64 ver }
+//	grouping:  u32 n { str policyID, u32 groups, u32 members { str nym, u32 gid } }
+//	cfgCache:  u32 n { str id, str sig, header, u64 key }
+//	shardCache:u32 n { str id, str sig, header, u64 key }
+//	grpCache:  u32 n { str id, str sig, bytes nonce,
+//	                   u32 shards { u8 kind(0 ref|1 inline), str shardID | header, u64 wrap },
+//	                   u64 key }
+//	lastPub:   u32 n { str doc, broadcast, u32 digests { str subdoc, 32 bytes } }
+//
+// where header = u32 |X| { u64 elem } u32 |Zs| { bytes z }, and broadcast is
+// the epoch-stamped package with per-config revisions; configuration headers
+// inside it are encoded as references into the cache sections whenever the
+// live objects are shared (the normal case), re-establishing the pointer
+// sharing the delta layer's change detection relies on.
+
+// stateMagicV2 prefixes v2 state blobs ("PPCDST" + version 2).
+var stateMagicV2 = []byte{'P', 'P', 'C', 'D', 'S', 'T', 2}
+
+// maxStateHeaderBudget bounds the cumulative decoded size of all cached and
+// broadcast headers (plus the per-policy group-count lists) in one state
+// blob.
+const maxStateHeaderBudget = 256 << 20
+
+// maxStateSigLen caps cache IDs and signatures (configuration keys join
+// policy IDs, grouped signatures concatenate per-shard digests — both grow
+// with the policy/shard count, far beyond a single condition ID).
+const maxStateSigLen = 1 << 24
+
+// Errors returned by the v2 state codec.
+var (
+	errStateTruncated = errors.New("pubsub: truncated state")
+	errStateOversize  = errors.New("pubsub: state length field exceeds limits")
+)
+
+type stateWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *stateWriter) u8(v byte) { w.buf.WriteByte(v) }
+func (w *stateWriter) u32(v int) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(v))
+	w.buf.Write(b[:])
+}
+func (w *stateWriter) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	w.buf.Write(b[:])
+}
+func (w *stateWriter) bytes(p []byte) { w.u32(len(p)); w.buf.Write(p) }
+func (w *stateWriter) str(s string)   { w.u32(len(s)); w.buf.WriteString(s) }
+
+type stateReader struct {
+	data []byte
+	off  int
+	// hdrBudget is the remaining cumulative header allowance.
+	hdrBudget int
+}
+
+func (r *stateReader) u8() (byte, error) {
+	if r.off+1 > len(r.data) {
+		return 0, errStateTruncated
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *stateReader) u32() (int, error) {
+	if r.off+4 > len(r.data) {
+		return 0, errStateTruncated
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	if v > maxStateBytes {
+		return 0, errStateOversize
+	}
+	return int(v), nil
+}
+
+// count reads a u32 clamped to the generic element-count limit.
+func (r *stateReader) count() (int, error) {
+	n, err := r.u32()
+	if err != nil {
+		return 0, err
+	}
+	if n > maxStateCount {
+		return 0, errStateOversize
+	}
+	return n, nil
+}
+
+func (r *stateReader) u64() (uint64, error) {
+	if r.off+8 > len(r.data) {
+		return 0, errStateTruncated
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *stateReader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if r.off+n > len(r.data) {
+		return nil, errStateTruncated
+	}
+	out := append([]byte(nil), r.data[r.off:r.off+n]...)
+	r.off += n
+	return out, nil
+}
+
+func (r *stateReader) str(maxLen int) (string, error) {
+	n, err := r.u32()
+	if err != nil {
+		return "", err
+	}
+	if n > maxLen {
+		return "", errStateOversize
+	}
+	if r.off+n > len(r.data) {
+		return "", errStateTruncated
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s, nil
+}
+
+func (r *stateReader) done() error {
+	if r.off != len(r.data) {
+		return fmt.Errorf("pubsub: state has %d trailing bytes", len(r.data)-r.off)
+	}
+	return nil
+}
+
+func (r *stateReader) elem() (ff64.Elem, error) {
+	raw, err := r.u64()
+	if err != nil {
+		return 0, err
+	}
+	if raw >= ff64.Modulus {
+		return 0, errors.New("pubsub: state field element not reduced")
+	}
+	return ff64.Elem(raw), nil
+}
+
+func writeStateHeader(w *stateWriter, h *core.Header) {
+	w.u32(len(h.X))
+	for _, e := range h.X {
+		w.u64(uint64(e))
+	}
+	w.u32(len(h.Zs))
+	for _, z := range h.Zs {
+		w.bytes(z)
+	}
+}
+
+func readStateHeader(r *stateReader) (*core.Header, error) {
+	nx, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	x := make(linalg.Vector, nx)
+	for i := range x {
+		if x[i], err = r.elem(); err != nil {
+			return nil, err
+		}
+	}
+	nz, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if nx != nz+1 {
+		return nil, fmt.Errorf("pubsub: state header shape |X|=%d, N=%d", nx, nz)
+	}
+	zs := make([][]byte, nz)
+	for i := range zs {
+		z, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(z) != core.NonceSize {
+			return nil, fmt.Errorf("pubsub: state header nonce of %d bytes, want %d", len(z), core.NonceSize)
+		}
+		zs[i] = z
+	}
+	h := &core.Header{X: x, Zs: zs}
+	if h.Size() > r.hdrBudget {
+		return nil, errStateOversize
+	}
+	r.hdrBudget -= h.Size()
+	return h, nil
+}
+
+// Broadcast configuration header encodings inside lastPub.
+const (
+	stCfgNone       = 0 // inaccessible configuration
+	stCfgInline     = 1 // inline single header
+	stCfgRef        = 2 // reference into the ungrouped config cache
+	stCfgGroupedIn  = 3 // inline grouped header
+	stCfgGroupedRef = 4 // reference into the grouped config cache
+)
+
+func (p *Publisher) exportStateV2() ([]byte, error) {
+	reg := p.reg.exportFull()
+	cfgs, shards, grouped := p.keys.engine.ExportCache()
+	// Deterministic output: identical state always encodes to identical
+	// bytes (tests pin the round trip; operators can diff sealed states by
+	// re-sealing).
+	sort.Slice(cfgs, func(i, j int) bool { return cfgs[i].ID < cfgs[j].ID })
+	sort.Slice(shards, func(i, j int) bool { return shards[i].ID < shards[j].ID })
+	sort.Slice(grouped, func(i, j int) bool { return grouped[i].ID < grouped[j].ID })
+
+	p.pubMu.Lock()
+	epoch, gen := p.epoch, p.gen
+	last := make(map[string]*lastBroadcast, len(p.lastPub))
+	for name, lb := range p.lastPub {
+		last[name] = lb
+	}
+	p.pubMu.Unlock()
+
+	w := &stateWriter{}
+	w.buf.Write(stateMagicV2)
+	w.u64(epoch)
+	w.u64(gen)
+
+	// Table T, in sorted order for deterministic output.
+	nyms := sortedKeys(reg.table)
+	w.u32(len(nyms))
+	for _, nym := range nyms {
+		w.str(nym)
+		row := reg.table[nym]
+		conds := sortedKeys(row)
+		w.u32(len(conds))
+		for _, cond := range conds {
+			w.str(cond)
+			w.u64(uint64(row[cond]))
+		}
+	}
+
+	// Membership versions.
+	ids := sortedKeys(reg.memVer)
+	w.u32(len(ids))
+	for _, id := range ids {
+		w.str(id)
+		w.u64(reg.memVer[id])
+	}
+
+	// Sticky group assignments.
+	ids = sortedKeys(reg.grpAssign)
+	w.u32(len(ids))
+	for _, id := range ids {
+		w.str(id)
+		w.u32(len(reg.grpCounts[id]))
+		members := sortedKeys(reg.grpAssign[id])
+		w.u32(len(members))
+		for _, nym := range members {
+			w.str(nym)
+			w.u32(reg.grpAssign[id][nym])
+		}
+	}
+
+	// Engine caches. Pointer → ID maps let the lastPub section reference the
+	// shared header objects.
+	cfgByHdr := make(map[*core.Header]string, len(cfgs))
+	w.u32(len(cfgs))
+	for _, c := range cfgs {
+		w.str(c.ID)
+		w.str(c.Sig)
+		writeStateHeader(w, c.Hdr)
+		w.u64(uint64(c.Key))
+		cfgByHdr[c.Hdr] = c.ID
+	}
+	w.u32(len(shards))
+	for _, s := range shards {
+		w.str(s.ID)
+		w.str(s.Sig)
+		writeStateHeader(w, s.Hdr)
+		w.u64(uint64(s.Key))
+	}
+	grpIDByPtr := make(map[*core.GroupedHeader]string, len(grouped))
+	w.u32(len(grouped))
+	for _, g := range grouped {
+		w.str(g.ID)
+		w.str(g.Sig)
+		w.bytes(g.RekeyNonce)
+		w.u32(len(g.Shards))
+		for _, sh := range g.Shards {
+			if sh.ShardID != "" {
+				w.u8(0)
+				w.str(sh.ShardID)
+			} else {
+				w.u8(1)
+				writeStateHeader(w, sh.Hdr)
+			}
+			w.u64(uint64(sh.Wrap))
+		}
+		w.u64(uint64(g.Key))
+		grpIDByPtr[g.Hdr] = g.ID
+	}
+
+	// Per-document diff bases.
+	docs := sortedKeys(last)
+	w.u32(len(docs))
+	for _, name := range docs {
+		lb := last[name]
+		w.str(name)
+		writeStateBroadcast(w, lb.b, cfgByHdr, grpIDByPtr)
+		subdocs := sortedKeys(lb.digests)
+		w.u32(len(subdocs))
+		for _, sd := range subdocs {
+			w.str(sd)
+			d := lb.digests[sd]
+			w.buf.Write(d[:])
+		}
+	}
+	return w.buf.Bytes(), nil
+}
+
+func writeStateBroadcast(w *stateWriter, b *Broadcast, cfgByHdr map[*core.Header]string, grpIDByPtr map[*core.GroupedHeader]string) {
+	w.str(b.DocName)
+	w.u64(b.Epoch)
+	w.u64(b.Gen)
+	w.u32(len(b.Policies))
+	for _, pi := range b.Policies {
+		w.str(pi.ID)
+		w.u32(len(pi.CondIDs))
+		for _, c := range pi.CondIDs {
+			w.str(c)
+		}
+	}
+	w.u32(len(b.Configs))
+	for i := range b.Configs {
+		ci := &b.Configs[i]
+		w.str(string(ci.Key))
+		w.u64(ci.Rev)
+		switch {
+		case ci.Grouped != nil:
+			if id, ok := grpIDByPtr[ci.Grouped]; ok {
+				w.u8(stCfgGroupedRef)
+				w.str(id)
+			} else {
+				w.u8(stCfgGroupedIn)
+				w.bytes(ci.Grouped.RekeyNonce)
+				w.u32(len(ci.Grouped.Shards))
+				for _, sh := range ci.Grouped.Shards {
+					writeStateHeader(w, sh.Hdr)
+					w.u64(uint64(sh.Wrap))
+				}
+			}
+			w.u32(len(ci.ShardRevs))
+			for _, rv := range ci.ShardRevs {
+				w.u64(rv)
+			}
+		case ci.Header != nil:
+			if id, ok := cfgByHdr[ci.Header]; ok {
+				w.u8(stCfgRef)
+				w.str(id)
+			} else {
+				w.u8(stCfgInline)
+				writeStateHeader(w, ci.Header)
+			}
+		default:
+			w.u8(stCfgNone)
+		}
+	}
+	w.u32(len(b.Items))
+	for i := range b.Items {
+		it := &b.Items[i]
+		w.str(it.Subdoc)
+		w.str(string(it.Config))
+		w.bytes(it.Ciphertext)
+		w.u64(it.Rev)
+	}
+}
+
+func (p *Publisher) importStateV2(data []byte) error {
+	r := &stateReader{data: data[len(stateMagicV2):], hdrBudget: maxStateHeaderBudget}
+
+	epoch, err := r.u64()
+	if err != nil {
+		return err
+	}
+	gen, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if gen == 0 {
+		return errors.New("pubsub: state has zero generation")
+	}
+
+	// Table T, with the same stale-column filtering as v1 plus duplicate-nym
+	// rejection. Dropping anything means the policy set changed since export,
+	// so the restored caches may cover memberships that no longer hold; every
+	// policy is then marked dirty (conservative full re-solve).
+	n, err := r.count()
+	if err != nil {
+		return err
+	}
+	dropped := false
+	table := make(map[string]map[string]core.CSS, n)
+	for i := 0; i < n; i++ {
+		nym, err := r.str(maxStateNymLen)
+		if err != nil {
+			return err
+		}
+		if err := validateStateNym(nym); err != nil {
+			return err
+		}
+		if _, dup := table[nym]; dup {
+			return fmt.Errorf("pubsub: state contains duplicate pseudonym %q", nym)
+		}
+		nc, err := r.count()
+		if err != nil {
+			return err
+		}
+		if nc > maxStateRowCells {
+			return errStateOversize
+		}
+		row := make(map[string]core.CSS, nc)
+		for j := 0; j < nc; j++ {
+			cond, err := r.str(maxStateCondLen)
+			if err != nil {
+				return err
+			}
+			css, err := r.u64()
+			if err != nil {
+				return err
+			}
+			if css == 0 || css >= ff64.Modulus {
+				return fmt.Errorf("pubsub: state contains invalid CSS for (%q, %q)", nym, cond)
+			}
+			if _, known := p.condByID[cond]; !known {
+				dropped = true
+				continue
+			}
+			row[cond] = core.CSS(css)
+		}
+		if len(row) > 0 {
+			table[nym] = row
+		} else {
+			dropped = true
+		}
+	}
+
+	// Membership versions.
+	n, err = r.count()
+	if err != nil {
+		return err
+	}
+	memVer := make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		id, err := r.str(maxStateCondLen)
+		if err != nil {
+			return err
+		}
+		v, err := r.u64()
+		if err != nil {
+			return err
+		}
+		memVer[id] = v
+	}
+
+	// Sticky group assignments.
+	n, err = r.count()
+	if err != nil {
+		return err
+	}
+	grpAssign := make(map[string]map[string]int, n)
+	grpCounts := make(map[string][]int, n)
+	for i := 0; i < n; i++ {
+		id, err := r.str(maxStateCondLen)
+		if err != nil {
+			return err
+		}
+		groups, err := r.count()
+		if err != nil {
+			return err
+		}
+		// The group-count list is the one allocation here not naturally
+		// bounded by input length (a policy legitimately keeps empty groups
+		// after revocations, so groups may exceed members) — charge it
+		// against the shared budget so a crafted blob cannot amplify a few
+		// bytes into gigabytes of retained slices.
+		if 8*groups > r.hdrBudget {
+			return errStateOversize
+		}
+		r.hdrBudget -= 8 * groups
+		members, err := r.count()
+		if err != nil {
+			return err
+		}
+		assign := make(map[string]int, members)
+		counts := make([]int, groups)
+		for j := 0; j < members; j++ {
+			nym, err := r.str(maxStateNymLen)
+			if err != nil {
+				return err
+			}
+			gid, err := r.u32()
+			if err != nil {
+				return err
+			}
+			if gid >= groups {
+				return fmt.Errorf("pubsub: state assigns %q to group %d of %d", nym, gid, groups)
+			}
+			if _, dup := assign[nym]; dup {
+				return fmt.Errorf("pubsub: state assigns %q twice in policy %q", nym, id)
+			}
+			assign[nym] = gid
+			// Occupancy is recomputed from the assignments rather than
+			// trusted, preserving the fill invariant; only the group-list
+			// length (which fixes future group numbering) is taken as stored.
+			counts[gid]++
+		}
+		grpAssign[id] = assign
+		grpCounts[id] = counts
+	}
+
+	// Engine caches.
+	n, err = r.count()
+	if err != nil {
+		return err
+	}
+	cfgs := make([]core.CachedConfig, 0, n)
+	cfgHdrByID := make(map[string]*core.Header, n)
+	for i := 0; i < n; i++ {
+		var c core.CachedConfig
+		if c.ID, err = r.str(maxStateSigLen); err != nil {
+			return err
+		}
+		if c.Sig, err = r.str(maxStateSigLen); err != nil {
+			return err
+		}
+		if c.Hdr, err = readStateHeader(r); err != nil {
+			return err
+		}
+		if c.Key, err = r.elem(); err != nil {
+			return err
+		}
+		cfgs = append(cfgs, c)
+		cfgHdrByID[c.ID] = c.Hdr
+	}
+	n, err = r.count()
+	if err != nil {
+		return err
+	}
+	shards := make([]core.CachedShard, 0, n)
+	for i := 0; i < n; i++ {
+		var s core.CachedShard
+		if s.ID, err = r.str(maxStateSigLen); err != nil {
+			return err
+		}
+		if s.Sig, err = r.str(maxStateSigLen); err != nil {
+			return err
+		}
+		if s.Hdr, err = readStateHeader(r); err != nil {
+			return err
+		}
+		if s.Key, err = r.elem(); err != nil {
+			return err
+		}
+		shards = append(shards, s)
+	}
+	n, err = r.count()
+	if err != nil {
+		return err
+	}
+	grouped := make([]core.CachedGrouped, 0, n)
+	for i := 0; i < n; i++ {
+		var g core.CachedGrouped
+		if g.ID, err = r.str(maxStateSigLen); err != nil {
+			return err
+		}
+		if g.Sig, err = r.str(maxStateSigLen); err != nil {
+			return err
+		}
+		if g.RekeyNonce, err = r.bytes(); err != nil {
+			return err
+		}
+		if len(g.RekeyNonce) != core.NonceSize {
+			return fmt.Errorf("pubsub: state rekey nonce of %d bytes, want %d", len(g.RekeyNonce), core.NonceSize)
+		}
+		ns, err := r.count()
+		if err != nil {
+			return err
+		}
+		g.Shards = make([]core.CachedGroupedShard, ns)
+		for j := 0; j < ns; j++ {
+			kind, err := r.u8()
+			if err != nil {
+				return err
+			}
+			var sh core.CachedGroupedShard
+			switch kind {
+			case 0:
+				if sh.ShardID, err = r.str(maxStateSigLen); err != nil {
+					return err
+				}
+			case 1:
+				if sh.Hdr, err = readStateHeader(r); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("pubsub: bad state shard kind %d", kind)
+			}
+			if sh.Wrap, err = r.elem(); err != nil {
+				return err
+			}
+			g.Shards[j] = sh
+		}
+		if g.Key, err = r.elem(); err != nil {
+			return err
+		}
+		grouped = append(grouped, g)
+	}
+
+	// Diff bases. Header references resolve against the decoded caches, so
+	// the restored broadcasts share objects with the restored engine exactly
+	// like the live ones did — which is what keeps the first post-restart
+	// publish pointer-identical (revisions carry forward, deltas stay small).
+	restoredGrp, err := restoreGroupedHeaders(shards, grouped)
+	if err != nil {
+		return err
+	}
+	n, err = r.count()
+	if err != nil {
+		return err
+	}
+	last := make(map[string]*lastBroadcast, n)
+	for i := 0; i < n; i++ {
+		name, err := r.str(maxStateCondLen)
+		if err != nil {
+			return err
+		}
+		if _, dup := last[name]; dup {
+			return fmt.Errorf("pubsub: state contains duplicate document %q", name)
+		}
+		b, err := readStateBroadcast(r, cfgHdrByID, restoredGrp)
+		if err != nil {
+			return err
+		}
+		if b.DocName != name {
+			return fmt.Errorf("pubsub: state diff base keyed %q holds document %q", name, b.DocName)
+		}
+		if b.Gen != gen {
+			return fmt.Errorf("pubsub: state diff base %q carries foreign generation", name)
+		}
+		nd, err := r.count()
+		if err != nil {
+			return err
+		}
+		digests := make(map[string][32]byte, nd)
+		for j := 0; j < nd; j++ {
+			sd, err := r.str(maxStateCondLen)
+			if err != nil {
+				return err
+			}
+			if r.off+32 > len(r.data) {
+				return errStateTruncated
+			}
+			var d [32]byte
+			copy(d[:], r.data[r.off:])
+			r.off += 32
+			digests[sd] = d
+		}
+		last[name] = &lastBroadcast{b: b, digests: digests}
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+
+	// Everything decoded and validated; install. The grouped cache entries
+	// carry the pre-resolved header objects, so the engine shares them with
+	// the restored diff bases (pointer identity = delta-small publishes).
+	for i := range grouped {
+		grouped[i].Hdr = restoredGrp[grouped[i].ID]
+	}
+	if err := p.keys.engine.RestoreCache(cfgs, shards, grouped); err != nil {
+		return err
+	}
+	st := registryState{table: table, memVer: memVer, grpAssign: grpAssign, grpCounts: grpCounts}
+	p.reg.restore(st)
+	if dropped {
+		// The policy set changed since export: restored caches may encode
+		// memberships that no longer hold. Dirty everything.
+		p.reg.bumpAll()
+	}
+	p.pubMu.Lock()
+	p.epoch = epoch
+	p.gen = gen
+	p.lastPub = last
+	p.pubMu.Unlock()
+	return nil
+}
+
+// restoreGroupedHeaders rebuilds the grouped cache's live header objects from
+// the decoded entries, resolving shard references against the decoded shard
+// cache so the pointers are shared.
+func restoreGroupedHeaders(shards []core.CachedShard, grouped []core.CachedGrouped) (map[string]*core.GroupedHeader, error) {
+	byID := make(map[string]*core.Header, len(shards))
+	for _, s := range shards {
+		byID[s.ID] = s.Hdr
+	}
+	out := make(map[string]*core.GroupedHeader, len(grouped))
+	for _, g := range grouped {
+		hdr := &core.GroupedHeader{RekeyNonce: g.RekeyNonce, Shards: make([]core.GroupShard, len(g.Shards))}
+		for i, sh := range g.Shards {
+			h := sh.Hdr
+			if sh.ShardID != "" {
+				var ok bool
+				if h, ok = byID[sh.ShardID]; !ok {
+					return nil, fmt.Errorf("pubsub: state configuration %q references unknown shard %q", g.ID, sh.ShardID)
+				}
+			}
+			if h == nil {
+				return nil, fmt.Errorf("pubsub: state configuration %q shard %d has no sub-header", g.ID, i)
+			}
+			hdr.Shards[i] = core.GroupShard{Hdr: h, Wrap: sh.Wrap}
+		}
+		out[g.ID] = hdr
+	}
+	return out, nil
+}
+
+func readStateBroadcast(r *stateReader, cfgHdrByID map[string]*core.Header, grpByID map[string]*core.GroupedHeader) (*Broadcast, error) {
+	b := &Broadcast{}
+	var err error
+	if b.DocName, err = r.str(maxStateCondLen); err != nil {
+		return nil, err
+	}
+	if b.Epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if b.Gen, err = r.u64(); err != nil {
+		return nil, err
+	}
+	np, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < np; i++ {
+		var pi PolicyInfo
+		if pi.ID, err = r.str(maxStateCondLen); err != nil {
+			return nil, err
+		}
+		nc, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nc; j++ {
+			c, err := r.str(maxStateCondLen)
+			if err != nil {
+				return nil, err
+			}
+			pi.CondIDs = append(pi.CondIDs, c)
+		}
+		b.Policies = append(b.Policies, pi)
+	}
+	ncfg, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ncfg; i++ {
+		var ci ConfigInfo
+		key, err := r.str(maxStateSigLen)
+		if err != nil {
+			return nil, err
+		}
+		ci.Key = policy.ConfigKey(key)
+		if ci.Rev, err = r.u64(); err != nil {
+			return nil, err
+		}
+		kind, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case stCfgNone:
+		case stCfgInline:
+			if ci.Header, err = readStateHeader(r); err != nil {
+				return nil, err
+			}
+		case stCfgRef:
+			id, err := r.str(maxStateSigLen)
+			if err != nil {
+				return nil, err
+			}
+			h, ok := cfgHdrByID[id]
+			if !ok {
+				return nil, fmt.Errorf("pubsub: state broadcast references unknown configuration %q", id)
+			}
+			ci.Header = h
+		case stCfgGroupedIn, stCfgGroupedRef:
+			if kind == stCfgGroupedRef {
+				id, err := r.str(maxStateSigLen)
+				if err != nil {
+					return nil, err
+				}
+				g, ok := grpByID[id]
+				if !ok {
+					return nil, fmt.Errorf("pubsub: state broadcast references unknown grouped configuration %q", id)
+				}
+				ci.Grouped = g
+			} else {
+				nonce, err := r.bytes()
+				if err != nil {
+					return nil, err
+				}
+				if len(nonce) != core.NonceSize {
+					return nil, fmt.Errorf("pubsub: state rekey nonce of %d bytes, want %d", len(nonce), core.NonceSize)
+				}
+				ns, err := r.count()
+				if err != nil {
+					return nil, err
+				}
+				g := &core.GroupedHeader{RekeyNonce: nonce, Shards: make([]core.GroupShard, ns)}
+				for j := 0; j < ns; j++ {
+					h, err := readStateHeader(r)
+					if err != nil {
+						return nil, err
+					}
+					wrap, err := r.elem()
+					if err != nil {
+						return nil, err
+					}
+					g.Shards[j] = core.GroupShard{Hdr: h, Wrap: wrap}
+				}
+				ci.Grouped = g
+			}
+			nr, err := r.count()
+			if err != nil {
+				return nil, err
+			}
+			if nr != len(ci.Grouped.Shards) {
+				return nil, fmt.Errorf("pubsub: state has %d shard revisions for %d shards", nr, len(ci.Grouped.Shards))
+			}
+			ci.ShardRevs = make([]uint64, nr)
+			for j := range ci.ShardRevs {
+				if ci.ShardRevs[j], err = r.u64(); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("pubsub: bad state config kind %d", kind)
+		}
+		b.Configs = append(b.Configs, ci)
+	}
+	ni, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ni; i++ {
+		var it Item
+		if it.Subdoc, err = r.str(maxStateCondLen); err != nil {
+			return nil, err
+		}
+		cfg, err := r.str(maxStateSigLen)
+		if err != nil {
+			return nil, err
+		}
+		it.Config = policy.ConfigKey(cfg)
+		if it.Ciphertext, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		if it.Rev, err = r.u64(); err != nil {
+			return nil, err
+		}
+		b.Items = append(b.Items, it)
+	}
+	return b, nil
+}
+
+// sortedKeys returns a map's keys in sorted order (deterministic encoding).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

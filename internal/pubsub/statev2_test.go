@@ -1,0 +1,489 @@
+package pubsub
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"ppcd/internal/core"
+	"ppcd/internal/document"
+	"ppcd/internal/idtoken"
+	"ppcd/internal/ocbe"
+	"ppcd/internal/policy"
+)
+
+// TestStateV2RoundTripDeterministic pins the full warm-restart contract at
+// the pubsub layer: a v2 export restored into a fresh publisher preserves
+// the table, sticky group assignments, membership versions, epoch counter,
+// incarnation generation and engine caches — so re-exporting yields
+// byte-identical state, and the first post-restore publish performs zero
+// solves and diffs small against the pre-restore broadcast.
+func TestStateV2RoundTripDeterministic(t *testing.T) {
+	env := newDeltaEnv(t, 2, 3)
+	var nyms []string
+	for i := 0; i < 9; i++ {
+		nyms = append(nyms, env.join(t, 1+i%2))
+	}
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.pub.RevokeSubscription(nyms[4]); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	state, err := env.pub.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env2 := newDeltaEnv(t, 2, 3)
+	if err := env2.pub.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	if env2.pub.SubscriberCount() != env.pub.SubscriberCount() {
+		t.Fatalf("restored %d subscribers, want %d", env2.pub.SubscriberCount(), env.pub.SubscriberCount())
+	}
+	if env2.pub.Generation() != env.pub.Generation() {
+		t.Error("generation not preserved across restore")
+	}
+	if env2.pub.Epoch() != env.pub.Epoch() {
+		t.Errorf("epoch %d after restore, want %d", env2.pub.Epoch(), env.pub.Epoch())
+	}
+
+	// Sticky group assignments restored exactly: nobody moves shards.
+	env.pub.reg.grpMu.Lock()
+	wantAssign := env.pub.reg.grpAssign
+	env.pub.reg.grpMu.Unlock()
+	env2.pub.reg.grpMu.Lock()
+	gotAssign := env2.pub.reg.grpAssign
+	env2.pub.reg.grpMu.Unlock()
+	if len(gotAssign) != len(wantAssign) {
+		t.Fatalf("restored assignments for %d policies, want %d", len(gotAssign), len(wantAssign))
+	}
+	for id, want := range wantAssign {
+		got := gotAssign[id]
+		if len(got) != len(want) {
+			t.Fatalf("policy %s: %d assigned members, want %d", id, len(got), len(want))
+		}
+		for nym, gid := range want {
+			if got[nym] != gid {
+				t.Errorf("policy %s: %s moved from group %d to %d across restore", id, nym, gid, got[nym])
+			}
+		}
+	}
+
+	// Deterministic encoding: the restored publisher re-exports the very
+	// same bytes.
+	state2, err := env2.pub.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, state2) {
+		t.Errorf("re-export differs: %d vs %d bytes", len(state), len(state2))
+	}
+
+	// First post-restore publish: zero solves, epoch continues, and the
+	// delta against the pre-restore broadcast is empty — a reconnecting
+	// subscriber pays nothing.
+	before := env2.pub.Stats()
+	post, err := env2.pub.Publish(env2.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := env2.pub.Stats()
+	if solves := after.Solves - before.Solves; solves != 0 {
+		t.Errorf("first post-restore publish performed %d solves, want 0", solves)
+	}
+	if post.Epoch != pre.Epoch+1 || post.Gen != pre.Gen {
+		t.Errorf("post-restore broadcast epoch %d gen match %v, want epoch %d and matching gen",
+			post.Epoch, post.Gen == pre.Gen, pre.Epoch+1)
+	}
+	d, err := Diff(pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 0 || len(d.Items) != 0 || d.PoliciesChanged {
+		t.Errorf("post-restore delta ships %d configs %d items, want empty", len(d.Configs), len(d.Items))
+	}
+
+	// A surviving member resumes its stream across the restart with a warm
+	// KEV cache: applying the restart-spanning delta re-derives its key
+	// without hashing a single fresh KEV.
+	member := env.subscriber(t, nyms[0])
+	if err := member.ApplySnapshot(pre); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := member.DecryptCurrent("doc"); err != nil {
+		t.Fatal(err)
+	}
+	base := member.kevMisses
+	if err := member.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := member.DecryptCurrent("doc"); err != nil || len(got) == 0 {
+		t.Fatalf("member decrypts %d subdocs across restart (err=%v)", len(got), err)
+	}
+	if member.kevMisses != base {
+		t.Errorf("restart-spanning delta cost %d fresh KEV hashings, want 0", member.kevMisses-base)
+	}
+	// The revoked subscriber stays out after the restore.
+	if got, _ := env.subscriber(t, nyms[4]).Decrypt(post); len(got) != 0 {
+		t.Error("revoked subscriber decrypts after restore")
+	}
+}
+
+// TestWarmRestartAcceptance pins the PR's acceptance criterion at scale:
+// 256 subscribers, grouping degree 4 — a restored publisher's first publish
+// performs zero null-space solves and the restart-spanning delta stays far
+// below the snapshot a cold subscriber would need.
+func TestWarmRestartAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-subscriber acceptance run")
+	}
+	const subs, groups = 256, 4
+	env := newDeltaEnv(t, 2, subs/groups)
+	for i := 0; i < subs; i++ {
+		env.join(t, 1+i%2)
+	}
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := env.pub.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env2 := newDeltaEnv(t, 2, subs/groups)
+	if err := env2.pub.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	before := env2.pub.Stats()
+	post, err := env2.pub.Publish(env2.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solves := env2.pub.Stats().Solves - before.Solves; solves != 0 {
+		t.Errorf("warm restart at %d subs g=%d: first publish performed %d solves, want 0", subs, groups, solves)
+	}
+	d, err := Diff(pre, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Configs) != 0 || len(d.Items) != 0 {
+		t.Errorf("restart-spanning delta ships %d configs %d items, want empty", len(d.Configs), len(d.Items))
+	}
+}
+
+// TestImportIdenticalTableV1NoRebuild is the PR 5 bugfix pin: importing a v1
+// table identical to the live one must not dirty a single policy (the old
+// code forced a whole-engine reset — a full N³/g² rebuild storm on every
+// restart).
+func TestImportIdenticalTableV1NoRebuild(t *testing.T) {
+	env := newDeltaEnv(t, 3, 0)
+	for i := 0; i < 8; i++ {
+		env.join(t, 1+i%3)
+	}
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := json.Marshal(stateFile{Version: 1, Table: env.pub.reg.export()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.pub.ImportState(v1); err != nil {
+		t.Fatal(err)
+	}
+	before := env.pub.Stats()
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+	after := env.pub.Stats()
+	if solves := after.Solves - before.Solves; solves != 0 {
+		t.Errorf("identical v1 import caused %d solves, want 0", solves)
+	}
+	if rebuilds := after.Rebuilds - before.Rebuilds; rebuilds != 0 {
+		t.Errorf("identical v1 import caused %d rebuilds, want 0", rebuilds)
+	}
+
+	// A partial difference re-solves exactly the affected policies: drop one
+	// subscriber's attr0 cell from the imported table.
+	table := env.pub.reg.export()
+	for nym, row := range table {
+		if _, ok := row["attr0 >= 1"]; ok {
+			delete(row, "attr0 >= 1")
+			if len(row) == 0 {
+				delete(table, nym)
+			}
+			break
+		}
+	}
+	v1b, err := json.Marshal(stateFile{Version: 1, Table: table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.pub.ImportState(v1b); err != nil {
+		t.Fatal(err)
+	}
+	before = env.pub.Stats()
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+	after = env.pub.Stats()
+	if after.Rebuilds-before.Rebuilds != 1 {
+		t.Errorf("one-cell difference rebuilt %d configurations, want 1", after.Rebuilds-before.Rebuilds)
+	}
+}
+
+// TestStateV2Hardening: a damaged or crafted v2 state must fail loudly, not
+// import silently or drive unbounded allocations.
+func TestStateV2Hardening(t *testing.T) {
+	env := newDeltaEnv(t, 2, 2)
+	for i := 0; i < 4; i++ {
+		env.join(t, 1+i%2)
+	}
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+	state, err := env.pub.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *Publisher { return newDeltaEnv(t, 2, 2).pub }
+
+	// Truncations at every prefix must error, never panic or half-import.
+	for cut := len(stateMagicV2); cut < len(state); cut += 97 {
+		if err := fresh().ImportState(state[:cut]); err == nil {
+			t.Fatalf("truncated state (%d of %d bytes) imported", cut, len(state))
+		}
+	}
+	// A bit flip anywhere in the body must be rejected (shape or value
+	// validation); in production the AEAD layer (internal/store) already
+	// rejects it, this is the belt under that suspender. Flips that only
+	// touch opaque varstrings (policy IDs, signatures) may legitimately
+	// still parse — the point is absence of panics and of silent partial
+	// imports, so exercise a spread of offsets.
+	for off := len(stateMagicV2); off < len(state); off += 131 {
+		mut := append([]byte(nil), state...)
+		mut[off] ^= 0x80
+		p := fresh()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("bit flip at %d paniced: %v", off, r)
+				}
+			}()
+			_ = p.ImportState(mut)
+		}()
+	}
+
+	// Out-of-range CSS, on a hand-built minimal state.
+	w := &stateWriter{}
+	w.buf.Write(stateMagicV2)
+	w.u64(1)            // epoch
+	w.u64(7)            // gen
+	w.u32(1)            // one nym
+	w.str("pn-x")       // nym
+	w.u32(1)            // one cell
+	w.str("attr0 >= 1") // condition
+	w.u64(0)            // CSS zero: invalid
+	if err := fresh().ImportState(w.buf.Bytes()); err == nil {
+		t.Error("zero CSS imported")
+	}
+
+	// Duplicate pseudonyms.
+	w = &stateWriter{}
+	w.buf.Write(stateMagicV2)
+	w.u64(1)
+	w.u64(7)
+	w.u32(2)
+	for i := 0; i < 2; i++ {
+		w.str("pn-dup")
+		w.u32(1)
+		w.str("attr0 >= 1")
+		w.u64(5)
+	}
+	if err := fresh().ImportState(w.buf.Bytes()); err == nil {
+		t.Error("duplicate pseudonym imported")
+	}
+
+	// Zero generation (would disable the restart-detection stamp).
+	w = &stateWriter{}
+	w.buf.Write(stateMagicV2)
+	w.u64(1)
+	w.u64(0)
+	if err := fresh().ImportState(w.buf.Bytes()); err == nil {
+		t.Error("zero generation imported")
+	}
+
+	// Oversized element count: must be rejected by the clamp before any
+	// allocation of that size is attempted.
+	w = &stateWriter{}
+	w.buf.Write(stateMagicV2)
+	w.u64(1)
+	w.u64(7)
+	w.u32(1 << 30) // nym count far beyond maxStateCount
+	if err := fresh().ImportState(w.buf.Bytes()); err == nil {
+		t.Error("oversized count imported")
+	}
+
+	// Oversized total input.
+	big := make([]byte, maxStateBytes+1)
+	copy(big, stateMagicV2)
+	if err := fresh().ImportState(big); err == nil {
+		t.Error("oversized state imported")
+	}
+}
+
+// TestApplyStateEventIdempotent: WAL replay over a snapshot that already
+// contains the event must not dirty memberships (the engine would otherwise
+// re-solve clean configurations after every crash recovery).
+func TestApplyStateEventIdempotent(t *testing.T) {
+	env := newDeltaEnv(t, 2, 0)
+	nym := env.join(t, 2)
+	cells := make(map[string]core.CSS)
+	for cond, css := range env.css[nym] {
+		cells[cond] = css
+	}
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the registration with identical cells: no version bump, no
+	// solve on the next publish.
+	if err := env.pub.ApplyStateEvent(StateEvent{Kind: StateEventRegister, Nym: nym, Cells: cells}); err != nil {
+		t.Fatal(err)
+	}
+	before := env.pub.Stats()
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+	if solves := env.pub.Stats().Solves - before.Solves; solves != 0 {
+		t.Errorf("idempotent replay caused %d solves", solves)
+	}
+
+	// Replaying a revocation for an absent row is a no-op, not an error.
+	if err := env.pub.ApplyStateEvent(StateEvent{Kind: StateEventRevokeSubscription, Nym: "pn-ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch replay is a max, never a rollback.
+	if err := env.pub.ApplyStateEvent(StateEvent{Kind: StateEventPublish, Doc: "doc", Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.pub.Epoch(); got < 2 {
+		t.Errorf("epoch rolled back to %d", got)
+	}
+	// Bad events are rejected.
+	if err := env.pub.ApplyStateEvent(StateEvent{Kind: 99}); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+	if err := env.pub.ApplyStateEvent(StateEvent{Kind: StateEventRegister, Nym: "", Cells: cells}); err == nil {
+		t.Error("empty nym accepted")
+	}
+	if err := env.pub.ApplyStateEvent(StateEvent{Kind: StateEventRegister, Nym: "pn-x",
+		Cells: map[string]core.CSS{"attr0 >= 1": 0}}); err == nil {
+		t.Error("zero CSS accepted")
+	}
+}
+
+// TestJournalWriteAhead: a failing journal must veto the mutation it logs —
+// the write-ahead discipline (no state change the log does not cover).
+func TestJournalWriteAhead(t *testing.T) {
+	env := newDeltaEnv(t, 1, 0)
+	nym := env.join(t, 1)
+	failing := journalFunc(func(StateEvent) error { return fmt.Errorf("disk full") })
+	env.pub.SetJournal(failing)
+
+	if err := env.pub.RevokeSubscription(nym); err == nil {
+		t.Error("revocation succeeded with a failing journal")
+	}
+	if env.pub.SubscriberCount() != 1 {
+		t.Error("vetoed revocation still removed the row")
+	}
+	if _, err := env.pub.Publish(env.doc); err == nil {
+		t.Error("publish succeeded with a failing journal")
+	}
+	epochBefore := env.pub.Epoch()
+	env.pub.SetJournal(nil)
+	b, err := env.pub.Publish(env.doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch != epochBefore+1 {
+		t.Errorf("vetoed publish leaked epoch: %d after %d", b.Epoch, epochBefore)
+	}
+}
+
+type journalFunc func(StateEvent) error
+
+func (f journalFunc) Append(ev StateEvent) error { return f(ev) }
+
+// TestAdmissionEnforcesStateCaps: identifiers that could never round-trip
+// through the durable-state format are rejected at their source — a
+// registration, publish or construction that succeeded but poisoned every
+// later recovery would be a one-shot persistent denial of restart.
+func TestAdmissionEnforcesStateCaps(t *testing.T) {
+	env := newDeltaEnv(t, 1, 0)
+	long := strings.Repeat("x", maxStateNymLen+1)
+
+	_, err := env.pub.Register(&RegistrationRequest{
+		Token:  &idtoken.Token{Nym: long, Tag: "attr0", Commitment: []byte{1}},
+		CondID: "attr0 >= 1",
+		OCBE:   &ocbe.Request{Commitment: []byte{1}},
+	})
+	if err == nil {
+		t.Error("oversized pseudonym registered")
+	}
+	if err := env.pub.ApplyStateEvent(StateEvent{Kind: StateEventRegister, Nym: long,
+		Cells: map[string]core.CSS{"attr0 >= 1": 5}}); err == nil {
+		t.Error("oversized pseudonym replayed")
+	}
+
+	doc := &document.Document{Name: strings.Repeat("d", maxStateCondLen+1),
+		Subdocs: []document.Subdocument{{Name: "sd0", Content: []byte("x")}}}
+	if _, err := env.pub.Publish(doc); err == nil {
+		t.Error("oversized document name published")
+	}
+
+	params, mgr := testEnv(t)
+	acp, err := policy.New(strings.Repeat("p", maxStateCondLen+1), "attr0 >= 1", "doc", "sd0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPublisher(params, mgr.PublicKey(), []*policy.ACP{acp}, Options{Ell: 8}); err == nil {
+		t.Error("publisher accepted a policy ID beyond the state cap")
+	}
+}
+
+// TestStateV2GroupCountBudget: the per-policy group lists are the one
+// decode allocation not bounded by input bytes; a crafted blob packing many
+// maximum-group policies must hit the shared budget, not the OOM killer.
+func TestStateV2GroupCountBudget(t *testing.T) {
+	w := &stateWriter{}
+	w.buf.Write(stateMagicV2)
+	w.u64(1)            // epoch
+	w.u64(7)            // gen
+	w.u32(0)            // no table rows
+	w.u32(0)            // no membership versions
+	const policies = 64 // 64 × (1<<22 groups × 8B) = 2 GiB requested
+	w.u32(policies)
+	for i := 0; i < policies; i++ {
+		w.str(fmt.Sprintf("acp%d", i))
+		w.u32(maxStateCount) // groups
+		w.u32(0)             // members
+	}
+	env := newDeltaEnv(t, 1, 2)
+	if err := env.pub.ImportState(w.buf.Bytes()); err == nil {
+		t.Fatal("state demanding gigabytes of group lists imported")
+	}
+}

@@ -548,3 +548,88 @@ func TestSubscribeUnsupported(t *testing.T) {
 		t.Fatalf("Subscribe against non-streaming server: %v", err)
 	}
 }
+
+// TestRestartReseededRingServesDelta models the ppcd-pub warm-restart path:
+// publisher state exported, a fresh incarnation restores it, and the new
+// server's retention ring is re-seeded with the restored diff bases — so a
+// subscriber reconnecting with its pre-restart epoch catches up with a delta
+// frame, not a snapshot.
+func TestRestartReseededRingServesDelta(t *testing.T) {
+	srv, _, pub, subs := startGroupedServer(t, 3, nil)
+	b1, err := pub.Publish(newsDoc(t, "pre-restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PublishBroadcast(b1); err != nil {
+		t.Fatal(err)
+	}
+	state, err := pub.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	// Fresh incarnation: same policies, restored state, re-seeded ring.
+	p, m := env(t)
+	acp, err := policy.New("adult", "age >= 18", "news.txt", "body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub2, err := pubsub.NewPublisher(p, m.PublicKey(), []*policy.ACP{acp}, pubsub.Options{Ell: 8, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub2.ImportState(state); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(pub2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range pub2.LastBroadcasts() {
+		if err := srv2.PublishBroadcast(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	// Reconnect with the pre-restart epoch: current (no catch-up frame),
+	// then the first post-restart publish arrives as a delta.
+	client, err := Dial(addr2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	st, err := client.Subscribe("news.txt", b1.Epoch, b1.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	waitStreams(t, srv2, 1)
+
+	b2, err := pub2.Publish(newsDoc(t, "post-restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.PublishBroadcast(b2); err != nil {
+		t.Fatal(err)
+	}
+	f := nextFrame(t, st)
+	if f.Type != wire.FrameDelta || f.Delta.BaseEpoch != b1.Epoch || f.Epoch != b2.Epoch {
+		t.Fatalf("post-restart frame type %d epoch %d, want delta %d→%d", f.Type, f.Epoch, b1.Epoch, b2.Epoch)
+	}
+	reader := subs[0]
+	if err := reader.ApplySnapshot(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reader.ApplyDelta(f.Delta); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := reader.DecryptCurrent("news.txt"); err != nil || string(got["body"]) != "post-restart" {
+		t.Fatalf("decrypt across restart: %q err=%v", got["body"], err)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"ppcd/internal/policy"
 	"ppcd/internal/pubsub"
 	"ppcd/internal/schnorr"
+	"ppcd/internal/store"
 	"ppcd/internal/transport"
 	"ppcd/internal/wire"
 )
@@ -187,3 +188,27 @@ func NewServer(pub *Publisher) (*Server, error) { return transport.NewServer(pub
 func Dial(addr string, params *CommitmentParams) (*Client, error) {
 	return transport.Dial(addr, params)
 }
+
+// StateStore is the publisher's durable-state subsystem: an AEAD-encrypted
+// write-ahead log of registration/revocation/publish events plus compacted
+// full-state snapshots (internal/store). A publisher recovered through it
+// keeps table T, its sticky group assignments, its epoch counter and its
+// incarnation generation, so the first post-restart publish is a zero-solve
+// steady-state publish and streaming subscribers catch up with deltas.
+type StateStore = store.Store
+
+// StateRecovery describes what StateStore.Recover restored.
+type StateRecovery = store.RecoveryStats
+
+// OpenStore opens (creating if necessary) a durable-state directory under a
+// 32-byte operator key. Typical lifecycle:
+//
+//	st, _ := ppcd.OpenStore(dir, key)
+//	rec, _ := st.Recover(pub)   // warm restart: table, epochs, caches return
+//	pub.SetJournal(st)          // subsequent mutations hit the WAL
+//	defer func() { st.Snapshot(pub); st.Close() }()
+func OpenStore(dir string, key [32]byte) (*StateStore, error) { return store.Open(dir, key) }
+
+// LoadOrCreateKeyFile reads a hex-encoded operator key, generating a fresh
+// random one (file mode 0600) if absent.
+func LoadOrCreateKeyFile(path string) ([32]byte, error) { return store.LoadOrCreateKeyFile(path) }
