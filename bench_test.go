@@ -7,6 +7,7 @@ package ppcd
 import (
 	"fmt"
 	"math/big"
+	benchrand "math/rand"
 	"sync"
 	"testing"
 
@@ -16,7 +17,9 @@ import (
 	"ppcd/internal/benchutil"
 	"ppcd/internal/core"
 	"ppcd/internal/experiments"
+	"ppcd/internal/ff64"
 	"ppcd/internal/idtoken"
+	"ppcd/internal/linalg"
 	"ppcd/internal/ocbe"
 	"ppcd/internal/pedersen"
 	"ppcd/internal/pubsub"
@@ -603,6 +606,54 @@ func BenchmarkPublishGroupedSingleLeave(b *testing.B) {
 		})
 	}
 }
+
+// --- Solve kernel: blocked elimination vs reference Gauss–Jordan ---
+//
+// The engine's null-space solves run on linalg's blocked panel elimination
+// (echelon + per-sample back-substitution, delayed-reduction accumulators).
+// These benchmarks race it against the reference RREF path on shard-shaped
+// systems (n rows × n+1 columns, leading 1-column), the same shape
+// core.solveShard and solveConfig assemble.
+
+func benchShardSystem(b *testing.B, n int) *linalg.Matrix {
+	b.Helper()
+	rng := benchrand.New(benchrand.NewSource(int64(n)))
+	m := linalg.NewMatrix(n, n+1)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		row[0] = ff64.One
+		for j := 1; j <= n; j++ {
+			row[j] = ff64.New(rng.Uint64())
+		}
+	}
+	return m
+}
+
+func benchSolve(b *testing.B, n int, blocked bool) {
+	src := benchShardSystem(b, n)
+	work := linalg.NewMatrix(n, n+1)
+	ws := linalg.NewWorkspace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < n; r++ {
+			copy(work.Row(r), src.Row(r))
+		}
+		var err error
+		if blocked {
+			_, err = work.RandomKernelVectorBlocked(ws)
+		} else {
+			_, err = work.RandomKernelVector()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveReference512(b *testing.B) { benchSolve(b, 512, false) }
+func BenchmarkSolveBlocked512(b *testing.B)   { benchSolve(b, 512, true) }
+func BenchmarkSolveReference128(b *testing.B) { benchSolve(b, 128, false) }
+func BenchmarkSolveBlocked128(b *testing.B)   { benchSolve(b, 128, true) }
 
 // --- Registration path (ISSUE 3): OCBE envelopes and batch registration ---
 

@@ -16,6 +16,7 @@
 //	ppcd-bench -publish -groups 4   # same, sharded into 4 groups/policy (§VIII-C)
 //	ppcd-bench -publish -stream     # plus a TCP streaming smoke: delta vs snapshot bytes on the wire
 //	ppcd-bench -register -subs 50 -conds 4   # oblivious registration timings (JSON)
+//	ppcd-bench -scale -subs 1000000 -policies 2   # million-row regime: build, solve storm, churn replay (JSON)
 package main
 
 import (
@@ -63,9 +64,19 @@ func main() {
 		conds     = flag.Int("conds", 4, "-register: conditions per subscriber (alternating EQ and GE)")
 		ell       = flag.Int("ell", 8, "-register: bit-length bound for inequality OCBE")
 		recover   = flag.Bool("recover", false, "measure durable-state recovery: warm and crash restarts from the encrypted snapshot + WAL, emit JSON")
+		scale     = flag.Bool("scale", false, "measure the million-row regime: columnar build, cold solve storm, open-loop churn replay, worker sweep; emit JSON (use -subs for rows)")
+		shardSize = flag.Int("shard-size", 128, "-scale: §VIII-C group size (rows per shard)")
+		churnPubs = flag.Int("churn-publishes", 40, "-scale: publishes in the churn replay")
+		noSweep   = flag.Bool("no-sweep", false, "-scale: skip the worker sweep")
 	)
 	flag.Parse()
 
+	if *scale {
+		if _, err := runScaleBench(*subs, *policies, *shardSize, *churnPubs, !*noSweep, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *recover {
 		if err := runRecoverBench(*subs, *policies, *groups); err != nil {
 			log.Fatal(err)

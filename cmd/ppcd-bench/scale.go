@@ -1,0 +1,334 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ppcd"
+	"ppcd/internal/benchutil"
+	"ppcd/internal/core"
+	"ppcd/internal/pubsub"
+	"ppcd/internal/wire"
+)
+
+// scaleReport is the JSON document emitted by -scale and committed as
+// BENCH_SCALE.json: the million-row regime of the ROADMAP — columnar table
+// build, full solve storm, open-loop churn replay, dissemination bytes and
+// worker scaling, with the environment recorded so numbers are comparable
+// across machines.
+type scaleReport struct {
+	Rows      int `json:"rows"`
+	Policies  int `json:"policies"`
+	ShardSize int `json:"shard_size"`
+	// TotalRows is the sum of qualified rows across policies (the partial
+	// pool qualifies for one policy only); Shards the resulting shard count.
+	TotalRows int `json:"total_rows"`
+	Shards    int `json:"shards"`
+	GoMaxProcs int `json:"gomaxprocs"`
+
+	// Build: injecting the synthetic table through the state-import path.
+	BuildNs        int64   `json:"build_ns"`
+	BuildRowsPerSec float64 `json:"build_rows_per_sec"`
+
+	// Table memory: the columnar registry's estimate vs the measured live
+	// heap of the same table as nested maps (the pre-columnar layout).
+	TableBytes          int64   `json:"table_bytes"`
+	BytesPerSubscriber  float64 `json:"bytes_per_subscriber"`
+	MapsTableBytes      int64   `json:"maps_table_bytes"`
+	MapsBytesPerSub     float64 `json:"maps_bytes_per_subscriber"`
+	ColumnarShrink      float64 `json:"columnar_shrink_factor"`
+
+	// First publish: every shard solved once (the cold solve storm).
+	FirstPublishNs     int64   `json:"first_publish_ns"`
+	Solves             uint64  `json:"solves"`
+	SolvesPerSec       float64 `json:"solves_per_sec"`
+	SolvedRowsPerSec   float64 `json:"solved_rows_per_sec"`
+
+	// Churn replay: batches of leave/join events applied between publishes
+	// (open loop: the schedule does not wait for the publisher).
+	Churn struct {
+		Events           int     `json:"events"`
+		Publishes        int     `json:"publishes"`
+		PublishP50Ns     int64   `json:"publish_p50_ns"`
+		PublishP99Ns     int64   `json:"publish_p99_ns"`
+		PublishMaxNs     int64   `json:"publish_max_ns"`
+		DeltaBytesAvg    int64   `json:"delta_bytes_avg"`
+		SnapshotBytes    int     `json:"snapshot_bytes"`
+		DeltaRatio       float64 `json:"delta_ratio"`
+		SolvesPerPublish float64 `json:"solves_per_publish"`
+	} `json:"churn"`
+
+	// Workers: the same full-rebuild storm under different scheduler caps,
+	// on a capped-size table (100k) so the sweep stays tractable. Speedup is
+	// against the 1-worker run; Ideal is min(workers, GOMAXPROCS) — on a
+	// single-CPU runner every cap is honestly reported as ideal 1.
+	SweepRows int `json:"sweep_rows"`
+	Workers   []workerPoint `json:"workers"`
+
+	RSSBytes int64 `json:"rss_bytes"`
+
+	Stats struct {
+		Rekeys    uint64 `json:"rekeys"`
+		Rebuilds  uint64 `json:"rebuilds"`
+		CacheHits uint64 `json:"cache_hits"`
+		Solves    uint64 `json:"solves"`
+	} `json:"engine_stats"`
+}
+
+type workerPoint struct {
+	Workers    int     `json:"workers"`
+	RebuildNs  int64   `json:"full_rebuild_ns"`
+	Speedup    float64 `json:"speedup"`
+	Ideal      float64 `json:"ideal"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// runScaleBench drives the scale regime and prints the JSON report. The
+// table is injected through the public import path (no OCBE crypto), sharded
+// into groups of shardSize rows, solved cold, then churned.
+func runScaleBench(rows, policies, shardSize, churnPublishes int, sweep bool, out io.Writer) (*scaleReport, error) {
+	if rows < 100 || policies < 1 || shardSize < 2 || churnPublishes < 1 {
+		return nil, fmt.Errorf("ppcd-bench: -scale needs subs>=100, policies>=1, shard-size>=2, churn-publishes>=1")
+	}
+	rep := &scaleReport{Rows: rows, Policies: policies, ShardSize: shardSize, GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	params, err := ppcd.Setup(ppcd.SchnorrGroup(), []byte("ppcd-bench"))
+	if err != nil {
+		return nil, err
+	}
+	idmgr, err := ppcd.NewIdentityManager(params)
+	if err != nil {
+		return nil, err
+	}
+	// Half the pseudonyms hold only attr0 (single-policy members), the rest
+	// qualify everywhere — so churn touches a mix of light and heavy rows.
+	partial := rows / 2
+	acps, doc, state, err := benchutil.Workload(rows, policies, partial, 256)
+	if err != nil {
+		return nil, err
+	}
+	rep.TotalRows = rows + (policies-1)*(rows-partial)
+	for p := 0; p < policies; p++ {
+		n := rows
+		if p > 0 {
+			n = rows - partial
+		}
+		rep.Shards += (n + shardSize - 1) / shardSize
+	}
+
+	pub, err := ppcd.NewPublisher(params, idmgr.PublicKey(), acps, ppcd.Options{Ell: 8, GroupSize: shardSize})
+	if err != nil {
+		return nil, err
+	}
+
+	// Build: columnar table construction through the import path.
+	start := time.Now()
+	if err := pub.ImportState(state); err != nil {
+		return nil, err
+	}
+	rep.BuildNs = time.Since(start).Nanoseconds()
+	rep.BuildRowsPerSec = float64(rows) / time.Since(start).Seconds()
+
+	subs, tableBytes := pub.TableMemory()
+	if subs != rows {
+		return nil, fmt.Errorf("ppcd-bench: imported %d rows, want %d", subs, rows)
+	}
+	rep.TableBytes = tableBytes
+	rep.BytesPerSubscriber = float64(tableBytes) / float64(rows)
+
+	// The pre-columnar layout, measured: live heap held by the same table as
+	// nested maps (parse the import JSON again, GC away the parsing garbage,
+	// diff HeapAlloc).
+	mapsBytes, err := measureMapsTable(state)
+	if err != nil {
+		return nil, err
+	}
+	rep.MapsTableBytes = mapsBytes
+	rep.MapsBytesPerSub = float64(mapsBytes) / float64(rows)
+	if tableBytes > 0 {
+		rep.ColumnarShrink = float64(mapsBytes) / float64(tableBytes)
+	}
+
+	// Cold storm: the first publish solves every shard of every policy.
+	s0 := pub.Stats()
+	start = time.Now()
+	prev, err := pub.Publish(doc)
+	if err != nil {
+		return nil, err
+	}
+	cold := time.Since(start)
+	s1 := pub.Stats()
+	rep.FirstPublishNs = cold.Nanoseconds()
+	rep.Solves = s1.Solves - s0.Solves
+	rep.SolvesPerSec = float64(rep.Solves) / cold.Seconds()
+	rep.SolvedRowsPerSec = float64(rep.TotalRows) / cold.Seconds()
+
+	// Churn replay: each round applies a fixed batch of events — leaves from
+	// the partial pool, plus returning joins so the table does not drain —
+	// then publishes. The batch size does not adapt to publish latency
+	// (open loop).
+	const eventsPerPublish = 8
+	lat := make([]int64, 0, churnPublishes)
+	var deltaTotal int64
+	evIdx := 0
+	for r := 0; r < churnPublishes; r++ {
+		for e := 0; e < eventsPerPublish; e++ {
+			i := evIdx % partial
+			evIdx++
+			if evIdx%3 == 0 {
+				// A returning subscriber: re-register a previously revoked
+				// row through the replication-event path (no OCBE).
+				nym := fmt.Sprintf("pn-%d", i)
+				if err := pub.ApplyStateEvent(pubsub.StateEvent{
+					Kind:  pubsub.StateEventRegister,
+					Nym:   nym,
+					Cells: map[string]core.CSS{"attr0 >= 1": core.CSS(uint64(i)*2654435761 + 1)},
+				}); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if err := pub.RevokeSubscription(fmt.Sprintf("pn-%d", i)); err != nil {
+				// Already revoked by an earlier wrap of the pool: skip.
+				continue
+			}
+		}
+		start = time.Now()
+		b, err := pub.Publish(doc)
+		if err != nil {
+			return nil, err
+		}
+		lat = append(lat, time.Since(start).Nanoseconds())
+		d, err := ppcd.Diff(prev, b)
+		if err != nil {
+			return nil, err
+		}
+		deltaTotal += int64(len(wire.MarshalDeltaFrame(d)))
+		prev = b
+	}
+	s2 := pub.Stats()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.Churn.Events = evIdx
+	rep.Churn.Publishes = churnPublishes
+	rep.Churn.PublishP50Ns = lat[len(lat)/2]
+	rep.Churn.PublishP99Ns = lat[(len(lat)*99+99)/100-1]
+	rep.Churn.PublishMaxNs = lat[len(lat)-1]
+	rep.Churn.DeltaBytesAvg = deltaTotal / int64(churnPublishes)
+	rep.Churn.SnapshotBytes = len(wire.MarshalSnapshotFrame(prev))
+	rep.Churn.DeltaRatio = float64(rep.Churn.DeltaBytesAvg) / float64(rep.Churn.SnapshotBytes)
+	rep.Churn.SolvesPerPublish = float64(s2.Solves-s1.Solves) / float64(churnPublishes)
+
+	// Worker sweep: the same cold storm under different scheduler caps, on a
+	// table capped at 100k rows.
+	if sweep {
+		sweepRows := rows
+		if sweepRows > 100_000 {
+			sweepRows = 100_000
+		}
+		rep.SweepRows = sweepRows
+		sAcps, sDoc, sState, err := benchutil.Workload(sweepRows, policies, sweepRows/2, 256)
+		if err != nil {
+			return nil, err
+		}
+		var base int64
+		for _, w := range []int{1, 2, 4, 8} {
+			sPub, err := ppcd.NewPublisher(params, idmgr.PublicKey(), sAcps, ppcd.Options{Ell: 8, GroupSize: shardSize, Workers: w})
+			if err != nil {
+				return nil, err
+			}
+			if err := sPub.ImportState(sState); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := sPub.Publish(sDoc); err != nil {
+				return nil, err
+			}
+			ns := time.Since(start).Nanoseconds()
+			if w == 1 {
+				base = ns
+			}
+			ideal := float64(w)
+			if g := float64(runtime.GOMAXPROCS(0)); ideal > g {
+				ideal = g
+			}
+			speedup := float64(base) / float64(ns)
+			rep.Workers = append(rep.Workers, workerPoint{
+				Workers: w, RebuildNs: ns, Speedup: speedup, Ideal: ideal, Efficiency: speedup / ideal,
+			})
+		}
+	}
+
+	rep.RSSBytes = readRSS()
+	st := pub.Stats()
+	rep.Stats.Rekeys, rep.Stats.Rebuilds, rep.Stats.CacheHits, rep.Stats.Solves =
+		st.Rekeys, st.Rebuilds, st.CacheHits, st.Solves
+
+	if out != nil {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// measureMapsTable parses the v1 state JSON into the pre-columnar
+// map-of-maps layout and returns the live heap it retains once parsing
+// garbage is collected.
+func measureMapsTable(state []byte) (int64, error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	var st struct {
+		Table map[string]map[string]uint64 `json:"table"`
+	}
+	if err := json.Unmarshal(state, &st); err != nil {
+		return 0, err
+	}
+	tbl := make(map[string]map[string]core.CSS, len(st.Table))
+	for nym, row := range st.Table {
+		cells := make(map[string]core.CSS, len(row))
+		for cond, v := range row {
+			cells[cond] = core.CSS(v)
+		}
+		tbl[nym] = cells
+	}
+	st.Table = nil
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	bytes := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	runtime.KeepAlive(tbl)
+	return bytes, nil
+}
+
+// readRSS returns the process resident set from /proc/self/status (0 when
+// unavailable).
+func readRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

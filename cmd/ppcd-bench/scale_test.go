@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestScaleReportShape runs the scale regime at smoke size and validates the
+// BENCH_SCALE.json schema: every committed field present, the structural
+// invariants (shard counts, latency ordering, positive throughputs) holding.
+// CI runs this under the race detector; the committed BENCH_SCALE.json is the
+// same report at a million rows.
+func TestScaleReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke is not -short")
+	}
+	var buf bytes.Buffer
+	rep, err := runScaleBench(2000, 2, 64, 5, true, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.TotalRows != 2000+1000 {
+		t.Errorf("TotalRows = %d, want 3000", rep.TotalRows)
+	}
+	wantShards := (2000+63)/64 + (1000+63)/64
+	if rep.Shards != wantShards {
+		t.Errorf("Shards = %d, want %d", rep.Shards, wantShards)
+	}
+	if rep.Solves == 0 || uint64(rep.Shards) != rep.Solves {
+		t.Errorf("cold storm solved %d shards, want %d", rep.Solves, rep.Shards)
+	}
+	if rep.BuildNs <= 0 || rep.FirstPublishNs <= 0 || rep.SolvesPerSec <= 0 {
+		t.Errorf("non-positive timings: build %d, first publish %d, solves/s %f",
+			rep.BuildNs, rep.FirstPublishNs, rep.SolvesPerSec)
+	}
+	if rep.TableBytes <= 0 || rep.BytesPerSubscriber <= 0 {
+		t.Errorf("table memory not reported: %d bytes", rep.TableBytes)
+	}
+	if rep.Churn.Publishes != 5 || rep.Churn.Events == 0 {
+		t.Errorf("churn replay: %d publishes, %d events", rep.Churn.Publishes, rep.Churn.Events)
+	}
+	if rep.Churn.PublishP50Ns <= 0 || rep.Churn.PublishP99Ns < rep.Churn.PublishP50Ns ||
+		rep.Churn.PublishMaxNs < rep.Churn.PublishP99Ns {
+		t.Errorf("latency quantiles out of order: p50 %d, p99 %d, max %d",
+			rep.Churn.PublishP50Ns, rep.Churn.PublishP99Ns, rep.Churn.PublishMaxNs)
+	}
+	if rep.Churn.DeltaBytesAvg <= 0 || rep.Churn.SnapshotBytes <= 0 ||
+		rep.Churn.DeltaRatio <= 0 || rep.Churn.DeltaRatio >= 1 {
+		t.Errorf("dissemination bytes: delta %d, snapshot %d, ratio %f",
+			rep.Churn.DeltaBytesAvg, rep.Churn.SnapshotBytes, rep.Churn.DeltaRatio)
+	}
+	if len(rep.Workers) != 4 {
+		t.Fatalf("worker sweep has %d points, want 4", len(rep.Workers))
+	}
+	for _, w := range rep.Workers {
+		if w.RebuildNs <= 0 || w.Ideal < 1 || w.Speedup <= 0 {
+			t.Errorf("worker point %+v", w)
+		}
+	}
+	if rep.RSSBytes <= 0 {
+		t.Errorf("RSS not read: %d", rep.RSSBytes)
+	}
+
+	// The emitted JSON decodes back with the same required keys — the schema
+	// contract for the committed BENCH_SCALE.json.
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"rows", "policies", "shard_size", "total_rows", "shards", "gomaxprocs",
+		"build_ns", "table_bytes", "bytes_per_subscriber", "maps_bytes_per_subscriber",
+		"first_publish_ns", "solves_per_sec", "churn", "workers", "rss_bytes", "engine_stats",
+	} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("report JSON missing key %q", key)
+		}
+	}
+}

@@ -32,10 +32,12 @@ import (
 //     covers four configurations in the paper's Example 4).
 //
 //  3. Parallel solves. Distinct configurations are independent linear
-//     systems; their O(N³) kernel solves fan out across a bounded worker
-//     pool.
+//     systems; their kernel solves fan out across one shared bounded worker
+//     pool (scheduler.go) fed by every rekey session at once, with blocked
+//     elimination (linalg blocked path) over per-worker reusable scratch.
 type Engine struct {
 	workers int
+	sched   *solveScheduler
 
 	mu    sync.Mutex
 	cache map[string]engineEntry
@@ -125,6 +127,7 @@ func NewEngine(workers int) *Engine {
 	}
 	return &Engine{
 		workers:      workers,
+		sched:        newSolveScheduler(workers),
 		cache:        make(map[string]engineEntry),
 		shardCache:   make(map[string]shardEntry),
 		groupedCache: make(map[string]groupedEntry),
@@ -384,17 +387,14 @@ func (e *Engine) RekeyAll(specs []ConfigSpec) (map[string]ConfigKeys, error) {
 		err error
 	}
 	results := make([]solved, len(dirty))
-	sem := make(chan struct{}, e.workers)
 	var wg sync.WaitGroup
+	wg.Add(len(dirty))
 	for i, d := range dirty {
-		wg.Add(1)
-		go func(i int, d dirtyCfg) {
+		e.sched.submit(func(sc *solveScratch) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			hdr, key, err := e.solveConfig(d.spec, d.n, zs, blocks)
+			hdr, key, err := e.solveConfig(d.spec, d.n, zs, blocks, sc)
 			results[i] = solved{id: d.spec.ID, sig: d.spec.Sig, hdr: hdr, key: key, err: err}
-		}(i, d)
+		})
 	}
 	wg.Wait()
 
@@ -412,21 +412,19 @@ func (e *Engine) RekeyAll(specs []ConfigSpec) (map[string]ConfigKeys, error) {
 }
 
 // hashGroups computes, for every distinct row group, the hash block
-// a[i][j] = H(row_i ‖ z_j) once, fanning groups across the worker pool.
+// a[i][j] = H(row_i ‖ z_j) once, fanning groups across the shared scheduler.
 // Each group is hashed only against the first groupN[id] session nonces —
 // the largest capacity among the configurations containing it.
 func (e *Engine) hashGroups(groups []RowGroup, groupN map[string]int, zs [][]byte) (map[string][]linalg.Vector, error) {
 	blocks := make(map[string][]linalg.Vector, len(groups))
 	var mu sync.Mutex
 	var firstErr error
-	sem := make(chan struct{}, e.workers)
 	var wg sync.WaitGroup
+	wg.Add(len(groups))
 	for _, g := range groups {
-		wg.Add(1)
-		go func(g RowGroup, nz int) {
+		nz := groupN[g.ID]
+		e.sched.submit(func(*solveScratch) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
 			rows := make([]linalg.Vector, len(g.Rows))
 			for i, css := range g.Rows {
 				if len(css) == 0 {
@@ -447,7 +445,7 @@ func (e *Engine) hashGroups(groups []RowGroup, groupN map[string]int, zs [][]byt
 			mu.Lock()
 			blocks[g.ID] = rows
 			mu.Unlock()
-		}(g, groupN[g.ID])
+		})
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -457,13 +455,14 @@ func (e *Engine) hashGroups(groups []RowGroup, groupN map[string]int, zs [][]byt
 }
 
 // solveConfig assembles matrix A for one configuration from the shared hash
-// blocks and solves for a fresh ACV and key.
-func (e *Engine) solveConfig(s ConfigSpec, n int, zs [][]byte, blocks map[string][]linalg.Vector) (*Header, ff64.Elem, error) {
+// blocks — into the worker's reusable scratch — and solves for a fresh ACV
+// and key with the blocked elimination path.
+func (e *Engine) solveConfig(s ConfigSpec, n int, zs [][]byte, blocks map[string][]linalg.Vector, sc *solveScratch) (*Header, ff64.Elem, error) {
 	total := 0
 	for _, g := range s.Groups {
 		total += len(g.Rows)
 	}
-	a := linalg.NewMatrix(total, n+1)
+	a := sc.ws.Matrix(total, n+1)
 	i := 0
 	for _, g := range s.Groups {
 		for _, hashRow := range blocks[g.ID] {
@@ -474,7 +473,7 @@ func (e *Engine) solveConfig(s ConfigSpec, n int, zs [][]byte, blocks map[string
 		}
 	}
 	e.stats.solves.Add(1)
-	y, err := a.RandomKernelVectorInPlace()
+	y, err := a.RandomKernelVectorBlocked(sc.ws)
 	if err != nil {
 		return nil, 0, fmt.Errorf("solving AY=0: %w", err)
 	}

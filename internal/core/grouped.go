@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"ppcd/internal/ff64"
-	"ppcd/internal/linalg"
 )
 
 // This file is the grouped (§VIII-C) half of the rekey engine. A grouped
@@ -146,17 +145,14 @@ func (e *Engine) RekeyAllGrouped(specs []GroupedConfigSpec) (map[string]GroupedC
 		err error
 	}
 	results := make([]solvedShard, len(solveList))
-	sem := make(chan struct{}, e.workers)
 	var wg sync.WaitGroup
+	wg.Add(len(solveList))
 	for i, sh := range solveList {
-		wg.Add(1)
-		go func(i int, sh ShardSpec) {
+		e.sched.submit(func(sc *solveScratch) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			hdr, key, err := e.solveShard(sh, zs)
+			hdr, key, err := e.solveShard(sh, zs, sc)
 			results[i] = solvedShard{id: sh.ID, sig: sh.Sig, hdr: hdr, key: key, err: err}
-		}(i, sh)
+		})
 	}
 	wg.Wait()
 
@@ -196,10 +192,12 @@ func (e *Engine) RekeyAllGrouped(specs []GroupedConfigSpec) (map[string]GroupedC
 // prefix, delivering a fresh random group key. Shard capacity is exactly the
 // row count: with content-signature dirtiness, capacity headroom cannot save
 // a solve (any join changes the signature anyway), so the sub-header stays
-// as small as §VIII-C promises.
-func (e *Engine) solveShard(sh ShardSpec, zs [][]byte) (*Header, ff64.Elem, error) {
+// as small as §VIII-C promises. The system is assembled into the worker's
+// reusable scratch and solved with blocked elimination — after warm-up a
+// shard solve allocates only its result vector.
+func (e *Engine) solveShard(sh ShardSpec, zs [][]byte, sc *solveScratch) (*Header, ff64.Elem, error) {
 	n := len(sh.Rows)
-	a := linalg.NewMatrix(n, n+1)
+	a := sc.ws.Matrix(n, n+1)
 	for i, css := range sh.Rows {
 		if len(css) == 0 {
 			return nil, 0, ErrEmptyCSS
@@ -212,7 +210,7 @@ func (e *Engine) solveShard(sh ShardSpec, zs [][]byte) (*Header, ff64.Elem, erro
 		}
 	}
 	e.stats.solves.Add(1)
-	y, err := a.RandomKernelVectorInPlace()
+	y, err := a.RandomKernelVectorBlocked(sc.ws)
 	if err != nil {
 		return nil, 0, fmt.Errorf("solving AY=0: %w", err)
 	}

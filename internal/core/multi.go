@@ -40,21 +40,31 @@ func BuildMulti(rows [][]CSS, n, count int) ([]*Header, []ff64.Elem, error) {
 		return nil, nil, err
 	}
 
+	// Factorize A once (blocked elimination) and draw every document's ACV
+	// from the same echelon form: count in-place kernel samples instead of
+	// count full Gauss–Jordan reductions over cloned matrices.
+	ws := linalg.NewWorkspace()
+	sampler, err := ws.Factorize(a)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: solving AY=0: %w", err)
+	}
+
 	headers := make([]*Header, 0, count)
 	keys := make([]ff64.Elem, 0, count)
 	for i := 0; i < count; i++ {
 		var hdr *Header
 		var key ff64.Elem
+		x := linalg.NewVector(a.Cols)
 		for attempt := 0; attempt < 8; attempt++ {
-			y, err := a.RandomKernelVector()
-			if err != nil {
+			// Every entry of x is overwritten per attempt, so the retry loop
+			// reuses the one buffer the header will own.
+			if err := sampler.SampleInPlace(x); err != nil {
 				return nil, nil, fmt.Errorf("core: sampling ACV %d: %w", i, err)
 			}
 			k, err := ff64.RandNonZero()
 			if err != nil {
 				return nil, nil, err
 			}
-			x := y.Clone()
 			x[0] = ff64.Add(x[0], k)
 			if tailZero(x) {
 				continue

@@ -104,6 +104,101 @@ func MulAdd(acc, a, b Elem) Elem {
 	return Elem(reduce128(hi, lo))
 }
 
+// MaxVecMulAcc bounds the number of VecMulAcc accumulations a (hi,lo) pair
+// can absorb before VecReduce must run. Each product of reduced operands has
+// a high limb below 2⁵⁸, so 63 accumulations (with their carries) stay below
+// 2⁶⁴ in the high limb; callers batching more must reduce in between.
+const MaxVecMulAcc = 63
+
+// VecMulAcc accumulates a·b[k] into the 128-bit accumulator pair
+// (hi[k], lo[k]) for every k, WITHOUT reducing. It is the delayed-reduction
+// inner loop of blocked elimination (package linalg): a panel of up to
+// MaxVecMulAcc rank-1 updates costs one 64×64 multiply and two adds per
+// element, with a single VecReduce at the end instead of one reduce128 per
+// multiply. hi and lo must be at least len(b) long.
+func VecMulAcc(hi, lo []uint64, a Elem, b []Elem) {
+	av := uint64(a)
+	if len(b) == 0 {
+		return
+	}
+	_ = hi[len(b)-1]
+	_ = lo[len(b)-1]
+	for k, bv := range b {
+		h, l := bits.Mul64(av, uint64(bv))
+		var c uint64
+		lo[k], c = bits.Add64(lo[k], l, 0)
+		hi[k] += h + c
+	}
+}
+
+// VecMulAcc4 accumulates four rank-1 contributions a_i·b_i[k] into the
+// accumulator pair in one sweep, loading and storing each (hi, lo) element
+// once instead of four times. The trailing-update loop of blocked
+// elimination is bound by accumulator traffic, not multiplies, so batching
+// sources quadruples its arithmetic density. Counts as four accumulations
+// against the MaxVecMulAcc budget. All b_i and hi/lo must be at least as
+// long as b0.
+func VecMulAcc4(hi, lo []uint64, a0, a1, a2, a3 Elem, b0, b1, b2, b3 []Elem) {
+	n := len(b0)
+	if n == 0 {
+		return
+	}
+	v0, v1, v2, v3 := uint64(a0), uint64(a1), uint64(a2), uint64(a3)
+	b1, b2, b3 = b1[:n], b2[:n], b3[:n]
+	hi, lo = hi[:n], lo[:n]
+	for k, bv := range b0 {
+		lk, hk := lo[k], hi[k]
+		var c uint64
+		h, l := bits.Mul64(v0, uint64(bv))
+		lk, c = bits.Add64(lk, l, 0)
+		hk += h + c
+		h, l = bits.Mul64(v1, uint64(b1[k]))
+		lk, c = bits.Add64(lk, l, 0)
+		hk += h + c
+		h, l = bits.Mul64(v2, uint64(b2[k]))
+		lk, c = bits.Add64(lk, l, 0)
+		hk += h + c
+		h, l = bits.Mul64(v3, uint64(b3[k]))
+		lk, c = bits.Add64(lk, l, 0)
+		hk += h + c
+		lo[k], hi[k] = lk, hk
+	}
+}
+
+// VecLoad seeds the accumulator pair with the current row contents
+// (hi[k] = 0, lo[k] = out[k]) ahead of a VecMulAcc batch.
+func VecLoad(hi, lo []uint64, v []Elem) {
+	for k, e := range v {
+		lo[k] = uint64(e)
+		hi[k] = 0
+	}
+}
+
+// VecReduce folds each accumulator pair back into canonical field elements:
+// out[k] = (hi[k]·2⁶⁴ + lo[k]) mod q. Unlike reduce128 it accepts the full
+// 128-bit range, so it is safe after up to MaxVecMulAcc accumulations.
+func VecReduce(out []Elem, hi, lo []uint64) {
+	for k := range out {
+		out[k] = Reduce128Wide(hi[k], lo[k])
+	}
+}
+
+// Reduce128Wide reduces an arbitrary 128-bit value hi·2⁶⁴ + lo into F_q. It
+// is reduce128 without the hi < 2⁶¹ precondition (the high limb is split
+// before shifting), for delayed-reduction accumulators.
+func Reduce128Wide(hi, lo uint64) Elem {
+	// hi·2⁶⁴ ≡ 8·hi (mod q); split 8·hi exactly as h2·2⁶⁴ + l2.
+	h2, l2 := hi>>61, hi<<3
+	s, c := bits.Add64(l2, lo, 0)
+	// Now value ≡ (h2+c)·2⁶⁴ + s ≡ 8·(h2+c) + s, with 8·(h2+c) ≤ 64.
+	v := (s & Modulus) + (s >> 61) + 8*(h2+c)
+	v = (v & Modulus) + (v >> 61)
+	if v >= Modulus {
+		v -= Modulus
+	}
+	return Elem(v)
+}
+
 // Exp returns a^e in F_q by square-and-multiply.
 func Exp(a Elem, e uint64) Elem {
 	result := One

@@ -235,3 +235,130 @@ func BenchmarkMulAdd(b *testing.B) {
 	}
 	_ = acc
 }
+
+func TestReduce128Wide(t *testing.T) {
+	cases := []struct{ hi, lo uint64 }{
+		{0, 0},
+		{0, Modulus},
+		{0, Modulus - 1},
+		{0, ^uint64(0)},
+		{1, 0},
+		{1, ^uint64(0)},
+		{Modulus, Modulus},
+		{^uint64(0), ^uint64(0)},
+		{1 << 60, 12345},
+		{(1 << 61) - 1, (1 << 61) - 1},
+	}
+	for _, c := range cases {
+		got := Reduce128Wide(c.hi, c.lo)
+		// Reference: (hi·2⁶⁴ + lo) mod q via big-int-free double reduction:
+		// hi·2⁶⁴ ≡ hi·8, computed with the narrow-range reduce path.
+		want := Add(Mul(New(c.hi), New(8)), New(c.lo))
+		if got != want {
+			t.Fatalf("Reduce128Wide(%d,%d) = %d, want %d", c.hi, c.lo, got, want)
+		}
+		if uint64(got) >= Modulus {
+			t.Fatalf("Reduce128Wide(%d,%d) = %d not in canonical range", c.hi, c.lo, got)
+		}
+	}
+}
+
+func TestVecMulAccMatchesMulAdd(t *testing.T) {
+	const n = 97
+	b := make([]Elem, n)
+	acc := make([]Elem, n)
+	for i := range b {
+		v, err := Rand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[i] = v
+		w, err := Rand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc[i] = w
+	}
+	want := append([]Elem(nil), acc...)
+	hi := make([]uint64, n)
+	lo := make([]uint64, n)
+	VecLoad(hi, lo, acc)
+	for round := 0; round < MaxVecMulAcc; round++ {
+		a, err := Rand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		VecMulAcc(hi, lo, a, b)
+		for i := range want {
+			want[i] = MulAdd(want[i], a, b[i])
+		}
+	}
+	got := make([]Elem, n)
+	VecReduce(got, hi, lo)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: VecMulAcc chain = %d, MulAdd chain = %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVecMulAccWorstCase(t *testing.T) {
+	// MaxVecMulAcc accumulations of the largest possible product must not
+	// overflow the high limb.
+	big := Elem(Modulus - 1)
+	b := []Elem{big}
+	hi := make([]uint64, 1)
+	lo := make([]uint64, 1)
+	VecLoad(hi, lo, []Elem{big})
+	var want Elem = big
+	for round := 0; round < MaxVecMulAcc; round++ {
+		VecMulAcc(hi, lo, big, b)
+		want = MulAdd(want, big, big)
+	}
+	var got [1]Elem
+	VecReduce(got[:], hi, lo)
+	if got[0] != want {
+		t.Fatalf("worst-case chain = %d, want %d", got[0], want)
+	}
+}
+
+func TestVecMulAcc4MatchesSingle(t *testing.T) {
+	const n = 53
+	rows := make([][]Elem, 4)
+	as := make([]Elem, 4)
+	for r := range rows {
+		rows[r] = make([]Elem, n)
+		for i := range rows[r] {
+			v, err := Rand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows[r][i] = v
+		}
+		a, err := Rand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		as[r] = a
+	}
+	base := make([]Elem, n)
+	hi4 := make([]uint64, n)
+	lo4 := make([]uint64, n)
+	hi1 := make([]uint64, n)
+	lo1 := make([]uint64, n)
+	VecLoad(hi4, lo4, base)
+	VecLoad(hi1, lo1, base)
+	VecMulAcc4(hi4, lo4, as[0], as[1], as[2], as[3], rows[0], rows[1], rows[2], rows[3])
+	for r := range rows {
+		VecMulAcc(hi1, lo1, as[r], rows[r])
+	}
+	got := make([]Elem, n)
+	want := make([]Elem, n)
+	VecReduce(got, hi4, lo4)
+	VecReduce(want, hi1, lo1)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: VecMulAcc4 = %d, four VecMulAcc = %d", i, got[i], want[i])
+		}
+	}
+}

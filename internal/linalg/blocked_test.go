@@ -1,0 +1,214 @@
+package linalg
+
+import (
+	"testing"
+
+	"ppcd/internal/ff64"
+)
+
+// randMatrix fills a rows×cols matrix with uniform entries.
+func cryptoRandMatrix(t testing.TB, rows, cols int) *Matrix {
+	t.Helper()
+	m := NewMatrix(rows, cols)
+	for i := range m.data {
+		v, err := ff64.Rand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.data[i] = v
+	}
+	return m
+}
+
+// plantDeficiency overwrites some rows with random linear combinations of
+// earlier rows, forcing rank ≤ rows − planted.
+func plantDeficiency(t testing.TB, m *Matrix, planted int) {
+	t.Helper()
+	for k := 0; k < planted && m.Rows > 1; k++ {
+		dst := m.Rows - 1 - k
+		clear(m.data[dst*m.Cols : (dst+1)*m.Cols])
+		for src := 0; src < dst; src++ {
+			c, err := ff64.Rand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := m.Row(dst)
+			from := m.Row(src)
+			for j := range row {
+				row[j] = ff64.MulAdd(row[j], c, from[j])
+			}
+		}
+	}
+}
+
+// shardMatrix mimics the engine's shard systems: n×(n+1) with an all-ones
+// first column and random hash entries elsewhere.
+func shardMatrix(t testing.TB, n int) *Matrix {
+	t.Helper()
+	m := cryptoRandMatrix(t, n, n+1)
+	for i := 0; i < n; i++ {
+		m.Set(i, 0, ff64.One)
+	}
+	return m
+}
+
+func TestBlockedEchelonPivotsMatchRREF(t *testing.T) {
+	shapes := []struct{ rows, cols, planted int }{
+		{1, 2, 0}, {3, 4, 0}, {7, 8, 0}, {8, 8, 0},
+		{31, 32, 0}, {32, 33, 0}, {33, 40, 0}, {40, 33, 0},
+		{65, 70, 0}, {64, 100, 0}, {100, 64, 0},
+		{20, 21, 5}, {40, 41, 13}, {70, 71, 35}, {33, 40, 33},
+	}
+	ws := NewWorkspace()
+	for _, sh := range shapes {
+		m := cryptoRandMatrix(t, sh.rows, sh.cols)
+		plantDeficiency(t, m, sh.planted)
+		ref := m.Clone()
+		refPivots := ref.rref()
+		gotPivots := m.Clone().blockedEchelon(ws)
+		if len(gotPivots) != len(refPivots) {
+			t.Fatalf("%dx%d planted=%d: blocked rank %d, reference rank %d",
+				sh.rows, sh.cols, sh.planted, len(gotPivots), len(refPivots))
+		}
+		for i := range gotPivots {
+			if gotPivots[i] != refPivots[i] {
+				t.Fatalf("%dx%d planted=%d: pivot %d at column %d, reference %d",
+					sh.rows, sh.cols, sh.planted, i, gotPivots[i], refPivots[i])
+			}
+		}
+	}
+}
+
+func TestBlockedKernelSamplesAreKernelElements(t *testing.T) {
+	shapes := []struct{ rows, cols, planted int }{
+		{1, 2, 0}, {5, 6, 0}, {31, 32, 0}, {32, 33, 0}, {33, 40, 0},
+		{64, 65, 0}, {65, 96, 0}, {96, 97, 40}, {40, 41, 12}, {50, 80, 50},
+	}
+	ws := NewWorkspace()
+	for _, sh := range shapes {
+		m := cryptoRandMatrix(t, sh.rows, sh.cols)
+		plantDeficiency(t, m, sh.planted)
+		orig := m.Clone()
+		wantFree := sh.cols - orig.Rank()
+
+		s, err := ws.Factorize(m)
+		if err != nil {
+			t.Fatalf("%dx%d planted=%d: %v", sh.rows, sh.cols, sh.planted, err)
+		}
+		if s.FreeCount() != wantFree {
+			t.Fatalf("%dx%d planted=%d: kernel dimension %d, want %d",
+				sh.rows, sh.cols, sh.planted, s.FreeCount(), wantFree)
+		}
+		out := NewVector(sh.cols)
+		for draw := 0; draw < 3; draw++ {
+			if err := s.SampleInPlace(out); err != nil {
+				t.Fatal(err)
+			}
+			if out.IsZero() {
+				t.Fatalf("%dx%d planted=%d: sampled the zero vector", sh.rows, sh.cols, sh.planted)
+			}
+			prod, err := orig.MulVec(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prod.IsZero() {
+				t.Fatalf("%dx%d planted=%d: A·v ≠ 0", sh.rows, sh.cols, sh.planted)
+			}
+		}
+	}
+}
+
+func TestBlockedTrivialKernel(t *testing.T) {
+	// A square full-rank system has only the trivial kernel; both paths must
+	// agree on the failure.
+	m := cryptoRandMatrix(t, 16, 16)
+	if m.Rank() != 16 {
+		t.Skip("random square matrix unexpectedly singular")
+	}
+	ws := NewWorkspace()
+	if _, err := ws.Factorize(m.Clone()); err != ErrTrivialKernel {
+		t.Fatalf("Factorize error = %v, want ErrTrivialKernel", err)
+	}
+	if _, err := m.Clone().RandomKernelVectorInPlace(); err != ErrTrivialKernel {
+		t.Fatalf("reference error = %v, want ErrTrivialKernel", err)
+	}
+}
+
+func TestWorkspaceReuseAcrossShapes(t *testing.T) {
+	// One workspace must serve back-to-back solves of different shapes (the
+	// engine's per-worker reuse pattern), including workspace-backed matrices.
+	ws := NewWorkspace()
+	for _, n := range []int{40, 7, 96, 33, 1, 64} {
+		src := shardMatrix(t, n)
+		work := ws.Matrix(n, n+1)
+		copy(work.data, src.data)
+		v, err := work.RandomKernelVectorBlocked(ws)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		prod, err := src.MulVec(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prod.IsZero() || v.IsZero() {
+			t.Fatalf("n=%d: bad kernel sample from reused workspace", n)
+		}
+	}
+}
+
+func TestInPlaceVectorOps(t *testing.T) {
+	v := Vector{1, 2, 3}
+	w := Vector{10, 20, ff64.Elem(ff64.Modulus - 1)}
+	sum, err := v.Add(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.Clone()
+	if err := got.AddInPlace(w); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sum {
+		if got[i] != sum[i] {
+			t.Fatalf("AddInPlace[%d] = %v, want %v", i, got[i], sum[i])
+		}
+	}
+	if err := got.AddInPlace(Vector{1}); err == nil {
+		t.Fatal("AddInPlace accepted mismatched lengths")
+	}
+	c := ff64.Elem(12345)
+	scaled := v.Scale(c)
+	got = v.Clone()
+	got.ScaleInPlace(c)
+	for i := range scaled {
+		if got[i] != scaled[i] {
+			t.Fatalf("ScaleInPlace[%d] = %v, want %v", i, got[i], scaled[i])
+		}
+	}
+}
+
+// The acceptance benchmarks: blocked vs reference on engine-shaped 512×513
+// shard systems (one solve = factorize + one kernel sample).
+
+func benchSolve(b *testing.B, n int, blocked bool) {
+	src := shardMatrix(b, n)
+	ws := NewWorkspace()
+	work := NewMatrix(n, n+1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work.data, src.data)
+		var err error
+		if blocked {
+			_, err = work.RandomKernelVectorBlocked(ws)
+		} else {
+			_, err = work.RandomKernelVectorInPlace()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReferenceSolve512(b *testing.B) { benchSolve(b, 512, false) }
+func BenchmarkBlockedSolve512(b *testing.B)   { benchSolve(b, 512, true) }
+func BenchmarkReferenceSolve128(b *testing.B) { benchSolve(b, 128, false) }
+func BenchmarkBlockedSolve128(b *testing.B)   { benchSolve(b, 128, true) }

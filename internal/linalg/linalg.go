@@ -53,6 +53,26 @@ func (v Vector) Scale(c ff64.Elem) Vector {
 	return out
 }
 
+// AddInPlace adds w into v elementwise without allocating. The hot-path
+// variant of Add for callers that own v (engine solve loops, kernel
+// sampling); the two vectors must have equal length.
+func (v Vector) AddInPlace(w Vector) error {
+	if len(v) != len(w) {
+		return fmt.Errorf("linalg: add of length %d with length %d", len(v), len(w))
+	}
+	for i := range v {
+		v[i] = ff64.Add(v[i], w[i])
+	}
+	return nil
+}
+
+// ScaleInPlace multiplies v by c without allocating.
+func (v Vector) ScaleInPlace(c ff64.Elem) {
+	for i := range v {
+		v[i] = ff64.Mul(c, v[i])
+	}
+}
+
 // IsZero reports whether every entry is zero.
 func (v Vector) IsZero() bool {
 	for _, e := range v {

@@ -1,0 +1,189 @@
+package pubsub
+
+import (
+	"sort"
+
+	"ppcd/internal/core"
+)
+
+// cssTable is the flat columnar backing of table T. The previous
+// representation — map[nym]map[condID]CSS — cost two map headers, a bucket
+// chain and a string key per cell; at the ROADMAP's million-row scale the
+// overhead dwarfed the 8-byte CSS payload and every scan chased pointers
+// across the heap. The columnar layout interns the condition universe once
+// (it is fixed at construction: the publisher's policy set defines it, and
+// every import path drops unknown conditions before reaching the registry)
+// and stores the cells as one dense row-major []core.CSS block:
+//
+//	cell(nym, cond) = cells[slot(nym)*width + condIdx[cond]]
+//
+// A zero cell means "no CSS" (a CSS is never zero: every writer validates
+// against ff64.Modulus and draws non-zero secrets), so presence needs no
+// side bitmap. Policy qualification and row assembly become contiguous
+// array reads instead of nested map lookups.
+//
+// Slot lifecycle: a new pseudonym takes a slot from the free list or appends
+// one. Deletion zeroes the row and marks the slot dead, but the slot is NOT
+// reused until the next compact() — this keeps the lazily maintained sorted
+// iteration order consistent without re-sorting on every mutation:
+//
+//   - sorted holds the slots known at the last compaction, in nym order;
+//     dead slots are skipped at read time.
+//   - pendAdd holds slots added since; a sorted view merges them on the fly.
+//   - compact() (called under the registry write lock at snapshot-install
+//     points, amortized by a threshold) folds pendAdd into sorted, drops the
+//     dead entries and recycles their slots through the free list.
+type cssTable struct {
+	conds   []string
+	condIdx map[string]int
+	width   int
+
+	nyms   []string         // slot → pseudonym, "" = dead slot
+	slotOf map[string]int32 // live pseudonyms only
+	cells  []core.CSS       // row-major: slot*width + condition index
+	live   int
+
+	sorted  []int32 // nym-sorted slots as of the last compact (may include dead)
+	pendAdd []int32 // slots added since the last compact (unsorted)
+	dead    int     // dead slots not yet compacted away
+	freed   []int32 // reusable slots (zeroed, absent from sorted and pendAdd)
+}
+
+func newCSSTable(conds []string) *cssTable {
+	t := &cssTable{
+		conds:   conds,
+		condIdx: make(map[string]int, len(conds)),
+		width:   len(conds),
+		slotOf:  make(map[string]int32),
+	}
+	for i, c := range conds {
+		t.condIdx[c] = i
+	}
+	return t
+}
+
+// ensureRow returns the slot of nym, allocating one if absent.
+func (t *cssTable) ensureRow(nym string) int32 {
+	if s, ok := t.slotOf[nym]; ok {
+		return s
+	}
+	var s int32
+	if n := len(t.freed); n > 0 {
+		s = t.freed[n-1]
+		t.freed = t.freed[:n-1]
+	} else {
+		s = int32(len(t.nyms))
+		t.nyms = append(t.nyms, "")
+		t.cells = append(t.cells, make([]core.CSS, t.width)...)
+	}
+	t.nyms[s] = nym
+	t.slotOf[nym] = s
+	t.pendAdd = append(t.pendAdd, s)
+	t.live++
+	return s
+}
+
+func (t *cssTable) row(s int32) []core.CSS {
+	return t.cells[int(s)*t.width : (int(s)+1)*t.width]
+}
+
+// deleteRow zeroes and retires nym's slot. Reports whether the row existed.
+func (t *cssTable) deleteRow(nym string) bool {
+	s, ok := t.slotOf[nym]
+	if !ok {
+		return false
+	}
+	clear(t.row(s))
+	t.nyms[s] = ""
+	delete(t.slotOf, nym)
+	t.live--
+	t.dead++
+	return true
+}
+
+// sortedLive returns the live slots in pseudonym order. When nothing is
+// pending the last compaction's order is returned as-is (zero cost); dead
+// slots are filtered by the caller via nyms[slot] == "". Callers hold at
+// least the registry read lock and must not retain the slice across an
+// unlock.
+func (t *cssTable) sortedLive() []int32 {
+	if len(t.pendAdd) == 0 {
+		return t.sorted
+	}
+	add := append([]int32(nil), t.pendAdd...)
+	sort.Slice(add, func(i, j int) bool { return t.nyms[add[i]] < t.nyms[add[j]] })
+	out := make([]int32, 0, len(t.sorted)+len(add))
+	i, j := 0, 0
+	for i < len(t.sorted) && j < len(add) {
+		if t.nyms[add[j]] == "" {
+			j++
+			continue
+		}
+		if t.nyms[t.sorted[i]] <= t.nyms[add[j]] {
+			out = append(out, t.sorted[i])
+			i++
+		} else {
+			out = append(out, add[j])
+			j++
+		}
+	}
+	out = append(out, t.sorted[i:]...)
+	for ; j < len(add); j++ {
+		if t.nyms[add[j]] != "" {
+			out = append(out, add[j])
+		}
+	}
+	return out
+}
+
+// needsCompact reports whether the pending/dead bookkeeping has outgrown the
+// threshold where a compaction pays for itself.
+func (t *cssTable) needsCompact() bool {
+	return len(t.pendAdd)+t.dead > 64+t.live/8
+}
+
+// compact folds pendAdd into sorted, drops dead slots and recycles them
+// through the free list. Callers hold the registry write lock.
+func (t *cssTable) compact() {
+	if len(t.pendAdd) == 0 && t.dead == 0 {
+		return
+	}
+	for _, s := range t.sorted {
+		if t.nyms[s] == "" {
+			t.freed = append(t.freed, s)
+		}
+	}
+	for _, s := range t.pendAdd {
+		if t.nyms[s] == "" {
+			t.freed = append(t.freed, s)
+		}
+	}
+	merged := t.sortedLive()
+	out := make([]int32, 0, t.live)
+	for _, s := range merged {
+		if t.nyms[s] != "" {
+			out = append(out, s)
+		}
+	}
+	t.sorted = out
+	t.pendAdd = t.pendAdd[:0]
+	t.dead = 0
+}
+
+// memBytes estimates the resident footprint of the table: cell block, slot
+// directory, interned strings and bookkeeping. The per-entry map constant
+// approximates Go's bucket + key-header overhead for string→int32 maps.
+func (t *cssTable) memBytes() int64 {
+	const mapEntryOverhead = 48
+	b := int64(cap(t.cells)) * 8
+	b += int64(cap(t.nyms)) * 16
+	b += int64(cap(t.sorted)+cap(t.pendAdd)+cap(t.freed)) * 4
+	for _, n := range t.nyms {
+		b += int64(len(n))
+	}
+	b += int64(len(t.slotOf)) * mapEntryOverhead
+	for _, c := range t.conds {
+		b += int64(len(c)) + 16 + mapEntryOverhead
+	}
+	return b
+}

@@ -21,6 +21,15 @@ import (
 // update therefore changes exactly one group's content per affected policy,
 // which is what turns the engine's per-shard cache into "one small solve per
 // churn event".
+//
+// The snapshot itself is incremental too. Mutations record churn hints — the
+// (policy, nym) pairs they touched (registry.hint) — and snapshotGrouped
+// re-qualifies just those pseudonyms against the columnar table, updates the
+// affected groups' membership, and re-digests only the dirty groups' row
+// blocks. At a million rows a single join costs one row qualification plus
+// one group re-assembly instead of a full-table scan and regroup. The scan
+// path (fullRegroup) remains for the cases hints cannot describe: the first
+// snapshot of a policy, a restored sticky assignment, and bumpAll.
 
 // shardRows is one group's row block for one policy: the stable group
 // number, a digest of the block's content (the engine's dirtiness signal),
@@ -31,12 +40,21 @@ type shardRows struct {
 	Rows [][]core.CSS
 }
 
-// groupedPolicyRows is the cached grouped assembly of one policy, tagged
-// with the membership version it was built at (same invalidation protocol as
-// the ungrouped rowsCache).
-type groupedPolicyRows struct {
-	ver    uint64
-	shards []shardRows
+// groupState is the grouping state of one policy: the sticky assignment, the
+// per-group occupancy (len(counts) is the number of groups ever created —
+// empty groups keep their numbers), a constant-time least-full tracker, the
+// sorted member list per group, and the cached shard assembly tagged with
+// the membership version it reflects. valid=false forces a full regroup
+// (fresh policy, restored assignment, bumpAll); afterwards the state stays
+// valid and advances through churn hints alone. Guarded by grpMu.
+type groupState struct {
+	assign  map[string]int
+	counts  []int
+	tracker *minTracker
+	members [][]string
+	shards  []shardRows
+	ver     uint64
+	valid   bool
 }
 
 // shardSig digests one group's content: policy, group number and the
@@ -64,146 +82,271 @@ func shardSig(acpID string, gid int, nyms []string, rows [][]core.CSS) string {
 	return base64.RawStdEncoding.EncodeToString(h.Sum(nil))
 }
 
+// trackOcc clamps an occupancy to the tracker's range. Occupancies above
+// capacity can only arrive through inconsistent imported state; clamping
+// parks such groups in the "full" bucket where they are never picked.
+func trackOcc(c, capacity int) int {
+	if c > capacity {
+		return capacity
+	}
+	return c
+}
+
 // snapshotGrouped is the grouped counterpart of snapshot: for every policy
 // it returns the qualified rows partitioned into sticky groups, with a
 // content signature per group. Policies whose membership version is
-// unchanged reuse their cached grouped assembly, so a steady-state snapshot
-// costs O(policies). The returned shard slices are immutable once cached;
-// callers use them lock-free.
+// unchanged reuse their cached shard assembly; changed policies with valid
+// group state replay just their churn hints. The returned shard slices are
+// immutable once cached; callers use them lock-free.
 func (r *registry) snapshotGrouped(acps []*policy.ACP) map[string][]shardRows {
 	out := make(map[string][]shardRows, len(acps))
 
 	// grpMu serializes grouped assembly (concurrent publishes) and guards
-	// the assignment state. The stale-policy table scan below holds the
-	// shared read lock — mutations queue behind it just as they do behind
-	// the ungrouped snapshot's scan — while the regroup/digest phase
-	// afterwards runs under grpMu alone, overlapping registrations and
-	// revocations.
+	// the group state. The incremental path additionally holds the write
+	// lock for its (small) qualify-and-gather step so the hint steal, the
+	// version read and the row reads are one atomic unit; the full-regroup
+	// scan holds only the shared read lock, so a big rebuild does not stall
+	// registrations.
 	r.grpMu.Lock()
 	defer r.grpMu.Unlock()
 
-	type staleScan struct {
-		acp  *policy.ACP
-		ver  uint64
-		nyms []string
-		rows [][]core.CSS
-	}
-	var stale []staleScan
-
-	r.mu.RLock()
-	var allNyms []string
 	for _, a := range acps {
-		ver := r.memVer[a.ID]
-		if c, ok := r.grpCache[a.ID]; ok && c.ver == ver {
-			out[a.ID] = c.shards
+		gs := r.grp[a.ID]
+		if gs == nil {
+			gs = &groupState{assign: make(map[string]int)}
+			r.grp[a.ID] = gs
+		}
+		if gs.valid {
+			r.mu.Lock()
+			ver := r.memVer[a.ID]
+			if gs.ver == ver {
+				r.mu.Unlock()
+				out[a.ID] = gs.shards
+				continue
+			}
+			hints := r.pend[a.ID]
+			delete(r.pend, a.ID)
+			r.applyChurn(gs, a, ver, hints)
+			r.maybeCompact()
+			r.mu.Unlock()
+			out[a.ID] = gs.shards
 			continue
 		}
-		if allNyms == nil {
-			allNyms = make([]string, 0, len(r.table))
-			for nym := range r.table {
-				allNyms = append(allNyms, nym)
-			}
-			sort.Strings(allNyms)
-		}
-		sc := staleScan{acp: a, ver: ver}
-		for _, nym := range allNyms {
-			row := r.table[nym]
-			css := make([]core.CSS, 0, len(a.Conds))
-			complete := true
-			for _, c := range a.Conds {
-				v, ok := row[c.ID()]
-				if !ok {
-					complete = false
-					break
-				}
-				css = append(css, v)
-			}
-			if complete {
-				sc.nyms = append(sc.nyms, nym)
-				sc.rows = append(sc.rows, css)
-			}
-		}
-		stale = append(stale, sc)
-	}
-	r.mu.RUnlock()
-
-	for _, sc := range stale {
-		shards := r.regroup(sc.acp.ID, sc.nyms, sc.rows)
-		// The version recorded is the one read together with the rows; a
-		// mutation racing with the scan bumps memVer past it, so the next
-		// snapshot reassembles.
-		r.grpCache[sc.acp.ID] = groupedPolicyRows{ver: sc.ver, shards: shards}
-		out[sc.acp.ID] = shards
+		// Full regroup: discard any pending hints first — the scan below
+		// subsumes them. A mutation racing with the scan re-adds its hint
+		// and bumps memVer past the version read inside the scan's lock, so
+		// the next snapshot replays it.
+		r.mu.Lock()
+		delete(r.pend, a.ID)
+		r.mu.Unlock()
+		r.fullRegroup(gs, a)
+		out[a.ID] = gs.shards
 	}
 	return out
 }
 
-// regroup folds the current qualified members of one policy into the sticky
-// assignment and rebuilds the per-group row blocks. Callers hold grpMu.
-func (r *registry) regroup(acpID string, nyms []string, rows [][]core.CSS) []shardRows {
-	assign := r.grpAssign[acpID]
-	if assign == nil {
-		assign = make(map[string]int)
-		r.grpAssign[acpID] = assign
+// applyChurn advances one policy's group state by its churn hints: each
+// hinted pseudonym is re-qualified against the table, departures free their
+// slots, arrivals fill the least-full group (sorted-nym order, exactly as
+// the full regroup assigns newcomers), and only groups whose membership or
+// member content changed are re-assembled and re-digested. Callers hold
+// grpMu and the registry write lock.
+func (r *registry) applyChurn(gs *groupState, a *policy.ACP, ver uint64, hints map[string]struct{}) {
+	cis := r.polConds[a.ID]
+	dirty := make(map[int]bool)
+	var leavers, joiners []string
+	for nym := range hints {
+		qualified := false
+		if s, ok := r.tab.slotOf[nym]; ok {
+			qualified = qualifiesRow(r.tab.row(s), cis)
+		}
+		gid, assigned := gs.assign[nym]
+		switch {
+		case assigned && !qualified:
+			leavers = append(leavers, nym)
+		case !assigned && qualified:
+			joiners = append(joiners, nym)
+		case assigned && qualified:
+			// Still a member, but its cells may have changed: re-digest.
+			dirty[gid] = true
+		}
 	}
-	counts := r.grpCounts[acpID]
 
-	// Release departed members so their slots refill later; everyone still
-	// present keeps their group.
+	// Departures first, so their slots are refillable by this batch's
+	// arrivals — the same order the full regroup uses.
+	for _, nym := range leavers {
+		gid := gs.assign[nym]
+		delete(gs.assign, nym)
+		gs.tracker.move(gid, trackOcc(gs.counts[gid], r.groupSize), trackOcc(gs.counts[gid]-1, r.groupSize))
+		gs.counts[gid]--
+		gs.members[gid] = removeSorted(gs.members[gid], nym)
+		dirty[gid] = true
+	}
+	sort.Strings(joiners)
+	for _, nym := range joiners {
+		gid, ok := gs.tracker.least()
+		if !ok {
+			gid = len(gs.counts)
+			gs.counts = append(gs.counts, 0)
+			gs.members = append(gs.members, nil)
+			gs.tracker.addAt(gid, 0)
+		}
+		gs.assign[nym] = gid
+		gs.tracker.move(gid, trackOcc(gs.counts[gid], r.groupSize), trackOcc(gs.counts[gid]+1, r.groupSize))
+		gs.counts[gid]++
+		gs.members[gid] = insertSorted(gs.members[gid], nym)
+		dirty[gid] = true
+	}
+
+	if len(dirty) > 0 {
+		r.assembleShards(gs, a.ID, dirty)
+	}
+	gs.ver = ver
+}
+
+// assembleShards rebuilds the policy's shard list, re-reading rows and
+// recomputing signatures only for the dirty groups; clean groups keep their
+// existing (immutable) shardRows. Callers hold grpMu and the registry write
+// lock.
+func (r *registry) assembleShards(gs *groupState, acpID string, dirty map[int]bool) {
+	prev := make(map[int]shardRows, len(gs.shards))
+	for _, sh := range gs.shards {
+		prev[sh.GID] = sh
+	}
+	cis := r.polConds[acpID]
+	shards := make([]shardRows, 0, len(gs.shards)+len(dirty))
+	for gid, c := range gs.counts {
+		if c <= 0 {
+			continue
+		}
+		if !dirty[gid] {
+			if sh, ok := prev[gid]; ok {
+				shards = append(shards, sh)
+				continue
+			}
+		}
+		members := gs.members[gid]
+		rows := make([][]core.CSS, len(members))
+		for j, nym := range members {
+			row := r.tab.row(r.tab.slotOf[nym])
+			css := make([]core.CSS, len(cis))
+			for k, ci := range cis {
+				css[k] = row[ci]
+			}
+			rows[j] = css
+		}
+		shards = append(shards, shardRows{GID: gid, Sig: shardSig(acpID, gid, members, rows), Rows: rows})
+	}
+	gs.shards = shards
+}
+
+// fullRegroup rebuilds one policy's group state from a full table scan: the
+// sticky assignment keeps everyone still qualified in place, departures are
+// released, newcomers fill least-full groups in sorted order, and occupancy,
+// tracker, member lists and shards are reconstructed. Callers hold grpMu
+// (but NOT the registry lock — the scan takes the read lock itself).
+func (r *registry) fullRegroup(gs *groupState, a *policy.ACP) {
+	r.mu.RLock()
+	ver := r.memVer[a.ID]
+	nyms, rows := r.collectQualified(a)
+	r.mu.RUnlock()
+
+	if gs.assign == nil {
+		gs.assign = make(map[string]int)
+	}
 	present := make(map[string]bool, len(nyms))
 	for _, nym := range nyms {
 		present[nym] = true
 	}
-	for nym, gid := range assign {
+	for nym := range gs.assign {
 		if !present[nym] {
-			delete(assign, nym)
-			counts[gid]--
+			delete(gs.assign, nym)
 		}
+	}
+	// Rebuild occupancy from the surviving assignment. The group universe —
+	// including empty groups — keeps its numbering, so restored members
+	// never move shards.
+	ngroups := len(gs.counts)
+	for _, gid := range gs.assign {
+		if gid >= ngroups {
+			ngroups = gid + 1
+		}
+	}
+	counts := make([]int, ngroups)
+	for _, gid := range gs.assign {
+		counts[gid]++
+	}
+	tracker := newMinTracker(r.groupSize)
+	for gid, c := range counts {
+		tracker.addAt(gid, trackOcc(c, r.groupSize))
 	}
 	// Assign newcomers to the least-full group with spare capacity (lowest
 	// group number on ties, so refills are deterministic), opening a new
-	// group once all are full.
+	// group once all are full. nyms arrive sorted.
 	for _, nym := range nyms {
-		if _, ok := assign[nym]; ok {
+		if _, ok := gs.assign[nym]; ok {
 			continue
 		}
-		best := -1
-		for gid, c := range counts {
-			if c < r.groupSize && (best == -1 || c < counts[best]) {
-				best = gid
-			}
-		}
-		if best == -1 {
-			best = len(counts)
+		gid, ok := tracker.least()
+		if !ok {
+			gid = len(counts)
 			counts = append(counts, 0)
+			tracker.addAt(gid, 0)
 		}
-		assign[nym] = best
-		counts[best]++
+		gs.assign[nym] = gid
+		tracker.move(gid, trackOcc(counts[gid], r.groupSize), trackOcc(counts[gid]+1, r.groupSize))
+		counts[gid]++
 	}
-	r.grpCounts[acpID] = counts
+	gs.counts = counts
+	gs.tracker = tracker
 
-	// Build the per-group blocks in sorted-nym order (nyms arrive sorted).
+	// Per-group member lists and row blocks, in sorted-nym order.
 	byGid := make([][]int, len(counts))
 	for i, nym := range nyms {
-		gid := assign[nym]
+		gid := gs.assign[nym]
 		byGid[gid] = append(byGid[gid], i)
 	}
-	var shards []shardRows
-	for gid, members := range byGid {
-		if len(members) == 0 {
+	gs.members = make([][]string, len(counts))
+	shards := make([]shardRows, 0, len(byGid))
+	for gid, idx := range byGid {
+		if len(idx) == 0 {
 			continue
 		}
-		gNyms := make([]string, len(members))
-		gRows := make([][]core.CSS, len(members))
-		for j, i := range members {
+		gNyms := make([]string, len(idx))
+		gRows := make([][]core.CSS, len(idx))
+		for j, i := range idx {
 			gNyms[j] = nyms[i]
 			gRows[j] = rows[i]
 		}
+		gs.members[gid] = gNyms
 		shards = append(shards, shardRows{
 			GID:  gid,
-			Sig:  shardSig(acpID, gid, gNyms, gRows),
+			Sig:  shardSig(a.ID, gid, gNyms, gRows),
 			Rows: gRows,
 		})
 	}
-	return shards
+	gs.shards = shards
+	gs.ver = ver
+	gs.valid = true
+}
+
+// insertSorted inserts nym into a sorted slice (no-op if already present).
+func insertSorted(s []string, nym string) []string {
+	i := sort.SearchStrings(s, nym)
+	if i < len(s) && s[i] == nym {
+		return s
+	}
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = nym
+	return s
+}
+
+// removeSorted removes nym from a sorted slice (no-op if absent).
+func removeSorted(s []string, nym string) []string {
+	i := sort.SearchStrings(s, nym)
+	if i >= len(s) || s[i] != nym {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
 }

@@ -1,0 +1,101 @@
+package pubsub
+
+import "math/bits"
+
+// minTracker answers the grouping layer's hot query — "which group has the
+// fewest members among those with spare capacity, lowest group number on
+// ties?" — in (amortized) constant time. The previous implementation scanned
+// the whole occupancy slice per arrival, O(groups) per join; at a million
+// rows with small groups that scan dominated churn handling.
+//
+// The structure is a bucket per occupancy level 0..cap: a bitset of group
+// numbers at that occupancy plus a one-bit-per-word summary so the lowest
+// set bit is found with two TrailingZeros64 steps. minOcc tracks a lower
+// bound on the lowest non-empty assignable bucket; it only decreases when a
+// group enters a lower bucket and is advanced lazily in least(), so the
+// amortized cost per occupancy move is O(1).
+type minTracker struct {
+	cap     int
+	cnt     []int      // occupancy → number of groups at that occupancy
+	occBits [][]uint64 // occupancy → bitset of group numbers
+	occSum  [][]uint64 // occupancy → bit w set iff occBits[occ][w] != 0
+	minOcc  int
+}
+
+func newMinTracker(capacity int) *minTracker {
+	return &minTracker{
+		cap:     capacity,
+		cnt:     make([]int, capacity+1),
+		occBits: make([][]uint64, capacity+1),
+		occSum:  make([][]uint64, capacity+1),
+		minOcc:  capacity + 1,
+	}
+}
+
+func (m *minTracker) set(occ, gid int) {
+	w, b := gid>>6, uint(gid&63)
+	bs := m.occBits[occ]
+	if w >= len(bs) {
+		nb := make([]uint64, w+1)
+		copy(nb, bs)
+		bs = nb
+		m.occBits[occ] = bs
+	}
+	bs[w] |= 1 << b
+	sw := w >> 6
+	sum := m.occSum[occ]
+	if sw >= len(sum) {
+		ns := make([]uint64, sw+1)
+		copy(ns, sum)
+		sum = ns
+		m.occSum[occ] = sum
+	}
+	sum[sw] |= 1 << uint(w&63)
+	m.cnt[occ]++
+	if occ < m.minOcc {
+		m.minOcc = occ
+	}
+}
+
+func (m *minTracker) unset(occ, gid int) {
+	w, b := gid>>6, uint(gid&63)
+	bs := m.occBits[occ]
+	bs[w] &^= 1 << b
+	if bs[w] == 0 {
+		m.occSum[occ][w>>6] &^= 1 << uint(w&63)
+	}
+	m.cnt[occ]--
+}
+
+// addAt registers group gid at occupancy occ (state (re)construction and
+// new-group creation).
+func (m *minTracker) addAt(gid, occ int) { m.set(occ, gid) }
+
+// move records that gid's occupancy changed from `from` to `to`.
+func (m *minTracker) move(gid, from, to int) {
+	if from == to {
+		return
+	}
+	m.unset(from, gid)
+	m.set(to, gid)
+}
+
+// least returns the lowest-numbered group among those with minimal
+// occupancy below capacity, or ok=false when every group is full (or none
+// exists).
+func (m *minTracker) least() (int, bool) {
+	for m.minOcc < m.cap && m.cnt[m.minOcc] == 0 {
+		m.minOcc++
+	}
+	if m.minOcc >= m.cap {
+		return 0, false
+	}
+	for sw, sv := range m.occSum[m.minOcc] {
+		if sv == 0 {
+			continue
+		}
+		w := sw<<6 + bits.TrailingZeros64(sv)
+		return w<<6 + bits.TrailingZeros64(m.occBits[m.minOcc][w]), true
+	}
+	return 0, false // unreachable while cnt is consistent
+}

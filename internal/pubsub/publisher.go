@@ -487,3 +487,10 @@ func (p *Publisher) RevokeCredential(nym, condID string) error {
 func (p *Publisher) SubscriberCount() int {
 	return p.reg.count()
 }
+
+// TableMemory returns the number of registered pseudonyms and the estimated
+// resident bytes of table T's columnar backing — the bytes-per-subscriber
+// metric reported by the scale benchmark.
+func (p *Publisher) TableMemory() (subscribers int, bytes int64) {
+	return p.reg.tableMemory()
+}

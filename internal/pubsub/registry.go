@@ -2,46 +2,59 @@ package pubsub
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"ppcd/internal/core"
 	"ppcd/internal/policy"
 )
 
-// registry is the publisher's table-T layer: it owns the nym → condition →
-// CSS map together with per-policy membership versions, behind a read-write
-// lock. Mutations (Register, Revoke*) take the write lock only for the map
+// registry is the publisher's table-T layer: it owns the (nym, condition) →
+// CSS table together with per-policy membership versions, behind a read-write
+// lock. Mutations (Register, Revoke*) take the write lock only for the table
 // update itself — never across crypto — and Publish reads a consistent
 // snapshot under the read lock, so registration traffic and broadcast
 // encryption proceed concurrently.
+//
+// The table itself is columnar (columnar.go): the condition universe is fixed
+// at construction, each pseudonym owns one dense row of CSS cells, and scans
+// walk contiguous arrays instead of nested maps. The map-of-maps shape
+// survives only at the serialization boundary (export/exportFull/restore).
 //
 // A policy's membership version increments whenever a table mutation could
 // have changed that policy's qualified row set: a CSS write or delete for a
 // condition of the policy, or the disappearance of a whole row. The keymgr
 // layer compares version vectors to decide which configurations actually
-// need a fresh ACV solve (incremental rekeying).
+// need a fresh ACV solve (incremental rekeying). In grouped mode the same
+// mutations additionally record WHICH pseudonym was touched (pend), so the
+// grouped snapshot can re-qualify just the churned rows instead of rescanning
+// the table.
 type registry struct {
-	mu    sync.RWMutex
-	table map[string]map[string]core.CSS
+	mu  sync.RWMutex
+	tab *cssTable
 	// memVer is the membership version per policy ID.
 	memVer map[string]uint64
 	// byCond maps a condition ID to the IDs of policies containing it.
 	byCond map[string][]string
+	// polConds maps a policy ID to its conditions' interned column indices,
+	// in policy-condition order (the row-assembly order of matrix A).
+	polConds map[string][]int
 	// rowsCache holds the assembled qualified rows per policy, tagged with
 	// the membership version they were built at; a steady-state snapshot is
 	// then O(policies) instead of a full table scan.
 	rowsCache map[string]policyRows
+	// pend accumulates, per policy, the pseudonyms whose cells for that
+	// policy changed since the last grouped snapshot consumed them. Only
+	// maintained in grouped mode (groupSize > 0); guarded by mu.
+	pend map[string]map[string]struct{}
 
 	// Grouped mode (§VIII-C, grouping.go): groupSize > 0 partitions each
 	// policy's rows into sticky groups of at most groupSize members. grpMu
-	// guards the assignment state and the grouped rows cache; it is
-	// independent of mu so mutations never wait on a grouped assembly.
+	// guards the per-policy group state; it is independent of mu so
+	// mutations never wait on a grouped assembly. Lock order: grpMu → mu
+	// (never the reverse while holding mu).
 	groupSize int
 	grpMu     sync.Mutex
-	grpAssign map[string]map[string]int // policy → nym → group number
-	grpCounts map[string][]int          // policy → members per group
-	grpCache  map[string]groupedPolicyRows
+	grp       map[string]*groupState
 }
 
 // policyRows is one cached row assembly. The rows slice is immutable once
@@ -54,21 +67,31 @@ type policyRows struct {
 
 func newRegistry(acps []*policy.ACP, groupSize int) *registry {
 	r := &registry{
-		table:     make(map[string]map[string]core.CSS),
 		memVer:    make(map[string]uint64, len(acps)),
 		byCond:    make(map[string][]string),
+		polConds:  make(map[string][]int, len(acps)),
 		rowsCache: make(map[string]policyRows, len(acps)),
+		pend:      make(map[string]map[string]struct{}),
 		groupSize: groupSize,
-		grpAssign: make(map[string]map[string]int),
-		grpCounts: make(map[string][]int),
-		grpCache:  make(map[string]groupedPolicyRows),
+		grp:       make(map[string]*groupState),
 	}
+	// The condition universe is the union of the policies' conditions, in
+	// first-seen order (deterministic given the policy list).
+	var conds []string
+	seen := make(map[string]int)
 	for _, a := range acps {
 		r.memVer[a.ID] = 0
 		for _, c := range a.Conds {
-			r.byCond[c.ID()] = append(r.byCond[c.ID()], a.ID)
+			id := c.ID()
+			if _, ok := seen[id]; !ok {
+				seen[id] = len(conds)
+				conds = append(conds, id)
+			}
+			r.byCond[id] = append(r.byCond[id], a.ID)
+			r.polConds[a.ID] = append(r.polConds[a.ID], seen[id])
 		}
 	}
+	r.tab = newCSSTable(conds)
 	return r
 }
 
@@ -80,14 +103,45 @@ func (r *registry) bump(condID string) {
 	}
 }
 
+// hint records that nym's cells for condID's policies changed, feeding the
+// grouped snapshot's incremental churn path. Callers hold the write lock.
+func (r *registry) hint(nym, condID string) {
+	if r.groupSize <= 0 {
+		return
+	}
+	for _, acpID := range r.byCond[condID] {
+		m := r.pend[acpID]
+		if m == nil {
+			m = make(map[string]struct{})
+			r.pend[acpID] = m
+		}
+		m[nym] = struct{}{}
+	}
+}
+
 // bumpAll marks every policy membership-dirty (used when a state import had
 // to drop stale columns: restored caches may cover memberships that no
-// longer hold).
+// longer hold). Grouped state is invalidated wholesale — the churn hints
+// cannot describe "everything may have changed".
 func (r *registry) bumpAll() {
+	r.grpMu.Lock()
+	defer r.grpMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for id := range r.memVer {
 		r.memVer[id]++
+	}
+	clear(r.pend)
+	r.mu.Unlock()
+	for _, gs := range r.grp {
+		gs.valid = false
+	}
+}
+
+// maybeCompact folds the columnar table's pending bookkeeping when it has
+// outgrown its threshold. Callers hold the write lock.
+func (r *registry) maybeCompact() {
+	if r.tab.needsCompact() {
+		r.tab.compact()
 	}
 }
 
@@ -99,15 +153,17 @@ func (r *registry) setCells(nym string, cells map[string]core.CSS) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	row, ok := r.table[nym]
-	if !ok {
-		row = make(map[string]core.CSS, len(cells))
-		r.table[nym] = row
-	}
+	row := r.tab.row(r.tab.ensureRow(nym))
 	for condID, css := range cells {
-		row[condID] = css
+		ci, ok := r.tab.condIdx[condID]
+		if !ok {
+			continue // unknown condition: no policy can see it
+		}
+		row[ci] = css
 		r.bump(condID)
+		r.hint(nym, condID)
 	}
+	r.maybeCompact()
 }
 
 // revokeSubscription removes a pseudonym's whole row (paper "Subscription
@@ -115,14 +171,18 @@ func (r *registry) setCells(nym string, cells map[string]core.CSS) {
 func (r *registry) revokeSubscription(nym string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	row, ok := r.table[nym]
+	s, ok := r.tab.slotOf[nym]
 	if !ok {
 		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
 	}
-	delete(r.table, nym)
-	for condID := range row {
-		r.bump(condID)
+	for ci, v := range r.tab.row(s) {
+		if v != 0 {
+			r.bump(r.tab.conds[ci])
+			r.hint(nym, r.tab.conds[ci])
+		}
 	}
+	r.tab.deleteRow(nym)
+	r.maybeCompact()
 	return nil
 }
 
@@ -133,18 +193,29 @@ func (r *registry) revokeSubscription(nym string) error {
 func (r *registry) revokeCredential(nym, condID string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	row, ok := r.table[nym]
+	s, ok := r.tab.slotOf[nym]
 	if !ok {
 		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
 	}
-	if _, ok := row[condID]; !ok {
+	row := r.tab.row(s)
+	ci, known := r.tab.condIdx[condID]
+	if !known || row[ci] == 0 {
 		return fmt.Errorf("pubsub: subscriber %q has no CSS for %q", nym, condID)
 	}
-	delete(row, condID)
-	if len(row) == 0 {
-		delete(r.table, nym)
-	}
+	row[ci] = 0
 	r.bump(condID)
+	r.hint(nym, condID)
+	empty := true
+	for _, v := range row {
+		if v != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		r.tab.deleteRow(nym)
+	}
+	r.maybeCompact()
 	return nil
 }
 
@@ -152,22 +223,75 @@ func (r *registry) revokeCredential(nym, condID string) error {
 func (r *registry) count() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return len(r.table)
+	return r.tab.live
+}
+
+// tableMemory returns the number of registered pseudonyms and the estimated
+// resident bytes of table T's columnar backing (the bytes/subscriber metric
+// of the scale benchmark).
+func (r *registry) tableMemory() (int, int64) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tab.live, r.tab.memBytes()
 }
 
 // rowCopy returns a copy of one pseudonym's row (nil if absent).
 func (r *registry) rowCopy(nym string) map[string]core.CSS {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	row, ok := r.table[nym]
+	s, ok := r.tab.slotOf[nym]
 	if !ok {
 		return nil
 	}
-	out := make(map[string]core.CSS, len(row))
-	for k, v := range row {
-		out[k] = v
+	out := make(map[string]core.CSS)
+	for ci, v := range r.tab.row(s) {
+		if v != 0 {
+			out[r.tab.conds[ci]] = v
+		}
 	}
 	return out
+}
+
+// qualifiesRow reports whether a columnar row holds a CSS for every listed
+// condition column.
+func qualifiesRow(row []core.CSS, cis []int) bool {
+	for _, ci := range cis {
+		if row[ci] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// collectQualified assembles, in sorted-pseudonym order, the qualified
+// member nyms and CSS rows of one policy. Callers hold at least the read
+// lock.
+func (r *registry) collectQualified(a *policy.ACP) ([]string, [][]core.CSS) {
+	cis := r.polConds[a.ID]
+	var nyms []string
+	var rows [][]core.CSS
+	for _, s := range r.tab.sortedLive() {
+		nym := r.tab.nyms[s]
+		if nym == "" {
+			continue
+		}
+		row := r.tab.row(s)
+		css := make([]core.CSS, len(cis))
+		ok := true
+		for k, ci := range cis {
+			v := row[ci]
+			if v == 0 {
+				ok = false
+				break
+			}
+			css[k] = v
+		}
+		if ok {
+			nyms = append(nyms, nym)
+			rows = append(rows, css)
+		}
+	}
+	return nyms, rows
 }
 
 // snapshot assembles, for every given policy, the subscriber CSS rows of
@@ -203,7 +327,6 @@ func (r *registry) snapshot(acps []*policy.ACP) (map[string][][]core.CSS, map[st
 	// the versions read here are consistent with the scanned rows.
 	rebuilt := make(map[string]policyRows, len(stale))
 	r.mu.RLock()
-	var nyms []string
 	for _, a := range stale {
 		if e, ok := r.rowsCache[a.ID]; ok && e.ver == r.memVer[a.ID] {
 			// A concurrent snapshot rebuilt it while we were unlocked.
@@ -211,30 +334,7 @@ func (r *registry) snapshot(acps []*policy.ACP) (map[string][][]core.CSS, map[st
 			vers[a.ID] = e.ver
 			continue
 		}
-		if nyms == nil {
-			nyms = make([]string, 0, len(r.table))
-			for nym := range r.table {
-				nyms = append(nyms, nym)
-			}
-			sort.Strings(nyms)
-		}
-		var acpRows [][]core.CSS
-		for _, nym := range nyms {
-			row := r.table[nym]
-			css := make([]core.CSS, 0, len(a.Conds))
-			complete := true
-			for _, c := range a.Conds {
-				v, ok := row[c.ID()]
-				if !ok {
-					complete = false
-					break
-				}
-				css = append(css, v)
-			}
-			if complete {
-				acpRows = append(acpRows, css)
-			}
-		}
+		_, acpRows := r.collectQualified(a)
 		e := policyRows{ver: r.memVer[a.ID], rows: acpRows}
 		rebuilt[a.ID] = e
 		rows[a.ID] = e.rows
@@ -255,6 +355,7 @@ func (r *registry) snapshot(acps []*policy.ACP) (map[string][][]core.CSS, map[st
 			r.rowsCache[id] = e
 		}
 	}
+	r.maybeCompact()
 	return rows, vers
 }
 
@@ -262,11 +363,14 @@ func (r *registry) snapshot(acps []*policy.ACP) (map[string][][]core.CSS, map[st
 func (r *registry) export() map[string]map[string]uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]map[string]uint64, len(r.table))
-	for nym, row := range r.table {
-		cells := make(map[string]uint64, len(row))
-		for cond, css := range row {
-			cells[cond] = uint64(css)
+	out := make(map[string]map[string]uint64, r.tab.live)
+	for nym, s := range r.tab.slotOf {
+		row := r.tab.row(s)
+		cells := make(map[string]uint64)
+		for ci, v := range row {
+			if v != 0 {
+				cells[r.tab.conds[ci]] = uint64(v)
+			}
 		}
 		out[nym] = cells
 	}
@@ -275,7 +379,9 @@ func (r *registry) export() map[string]map[string]uint64 {
 
 // registryState is a full snapshot of the registry's durable state: table T,
 // the per-policy membership versions, and the sticky group assignment (§VIII-C)
-// with its per-group occupancy counts.
+// with its per-group occupancy counts. It keeps the serialization-friendly
+// map-of-maps shape; the live registry converts to and from the columnar
+// layout at this boundary.
 type registryState struct {
 	table     map[string]map[string]core.CSS
 	memVer    map[string]uint64
@@ -291,11 +397,14 @@ func (r *registry) exportFull() registryState {
 		grpCounts: make(map[string][]int),
 	}
 	r.mu.RLock()
-	st.table = make(map[string]map[string]core.CSS, len(r.table))
-	for nym, row := range r.table {
-		cells := make(map[string]core.CSS, len(row))
-		for cond, css := range row {
-			cells[cond] = css
+	st.table = make(map[string]map[string]core.CSS, r.tab.live)
+	for nym, s := range r.tab.slotOf {
+		row := r.tab.row(s)
+		cells := make(map[string]core.CSS)
+		for ci, v := range row {
+			if v != 0 {
+				cells[r.tab.conds[ci]] = v
+			}
 		}
 		st.table[nym] = cells
 	}
@@ -304,15 +413,13 @@ func (r *registry) exportFull() registryState {
 	}
 	r.mu.RUnlock()
 	r.grpMu.Lock()
-	for id, assign := range r.grpAssign {
-		cp := make(map[string]int, len(assign))
-		for nym, gid := range assign {
+	for id, gs := range r.grp {
+		cp := make(map[string]int, len(gs.assign))
+		for nym, gid := range gs.assign {
 			cp[nym] = gid
 		}
 		st.grpAssign[id] = cp
-	}
-	for id, counts := range r.grpCounts {
-		st.grpCounts[id] = append([]int(nil), counts...)
+		st.grpCounts[id] = append([]int(nil), gs.counts...)
 	}
 	r.grpMu.Unlock()
 	return st
@@ -322,14 +429,26 @@ func (r *registry) exportFull() registryState {
 // Membership versions are restored exactly as exported so that engine cache
 // signatures computed against them keep matching; assignments for policies
 // the publisher no longer has are dropped. Caches are cleared — the next
-// snapshot reassembles rows (a table scan, no solves).
+// snapshot reassembles rows (a table scan, no solves), and the next grouped
+// snapshot regroups from the restored sticky assignment.
 func (r *registry) restore(st registryState) {
 	r.mu.Lock()
-	r.table = st.table
+	tab := newCSSTable(r.tab.conds)
+	for nym, row := range st.table {
+		dst := tab.row(tab.ensureRow(nym))
+		for cond, css := range row {
+			if ci, ok := tab.condIdx[cond]; ok {
+				dst[ci] = css
+			}
+		}
+	}
+	tab.compact()
+	r.tab = tab
 	for id := range r.memVer {
 		r.memVer[id] = st.memVer[id]
 	}
 	r.rowsCache = make(map[string]policyRows)
+	clear(r.pend)
 	known := make(map[string]bool, len(r.memVer))
 	for id := range r.memVer {
 		known[id] = true
@@ -337,15 +456,14 @@ func (r *registry) restore(st registryState) {
 	r.mu.Unlock()
 
 	r.grpMu.Lock()
-	r.grpAssign = make(map[string]map[string]int)
-	r.grpCounts = make(map[string][]int)
-	r.grpCache = make(map[string]groupedPolicyRows)
+	r.grp = make(map[string]*groupState)
 	for id, assign := range st.grpAssign {
 		if !known[id] {
 			continue
 		}
-		r.grpAssign[id] = assign
-		r.grpCounts[id] = st.grpCounts[id]
+		// valid stays false: the next grouped snapshot rebuilds occupancy,
+		// members and shards around the restored sticky assignment.
+		r.grp[id] = &groupState{assign: assign, counts: st.grpCounts[id]}
 	}
 	r.grpMu.Unlock()
 }
@@ -361,26 +479,58 @@ func (r *registry) replaceDiff(table map[string]map[string]core.CSS) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	changed := make(map[string]bool)
-	for nym, newRow := range table {
-		oldRow := r.table[nym]
-		for cond, v := range newRow {
-			if oldRow[cond] != v { // absent cells read as 0, never a valid CSS
-				changed[cond] = true
-			}
-		}
+	touch := func(nym, cond string) {
+		changed[cond] = true
+		r.hint(nym, cond)
 	}
-	for nym, oldRow := range r.table {
+	// Diff existing rows (including removals) against the incoming table.
+	for s, nym := range r.tab.nyms {
+		if nym == "" {
+			continue
+		}
 		newRow := table[nym]
-		for cond, v := range oldRow {
-			if newRow[cond] != v {
-				changed[cond] = true
+		for ci, old := range r.tab.row(int32(s)) {
+			if old != newRow[r.tab.conds[ci]] { // absent cells read as 0, never a valid CSS
+				touch(nym, r.tab.conds[ci])
 			}
 		}
 	}
-	r.table = table
+	// Cells of brand-new rows.
+	for nym, newRow := range table {
+		if _, ok := r.tab.slotOf[nym]; ok {
+			continue
+		}
+		for cond, v := range newRow {
+			if v != 0 {
+				if _, known := r.tab.condIdx[cond]; known {
+					touch(nym, cond)
+				}
+			}
+		}
+	}
+	// Apply: drop rows absent from the new table, then overwrite the rest.
+	var drop []string
+	for nym := range r.tab.slotOf {
+		if _, ok := table[nym]; !ok {
+			drop = append(drop, nym)
+		}
+	}
+	for _, nym := range drop {
+		r.tab.deleteRow(nym)
+	}
+	for nym, newRow := range table {
+		dst := r.tab.row(r.tab.ensureRow(nym))
+		clear(dst)
+		for cond, v := range newRow {
+			if ci, ok := r.tab.condIdx[cond]; ok {
+				dst[ci] = v
+			}
+		}
+	}
 	for cond := range changed {
 		r.bump(cond)
 	}
+	r.tab.compact()
 }
 
 // setCellsDiff is the WAL-replay variant of setCells: a cell overwrite with
@@ -393,18 +543,17 @@ func (r *registry) setCellsDiff(nym string, cells map[string]core.CSS) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	row, ok := r.table[nym]
-	if !ok {
-		row = make(map[string]core.CSS, len(cells))
-		r.table[nym] = row
-	}
+	row := r.tab.row(r.tab.ensureRow(nym))
 	for condID, css := range cells {
-		if row[condID] == css {
+		ci, ok := r.tab.condIdx[condID]
+		if !ok || row[ci] == css {
 			continue
 		}
-		row[condID] = css
+		row[ci] = css
 		r.bump(condID)
+		r.hint(nym, condID)
 	}
+	r.maybeCompact()
 }
 
 // has reports whether a pseudonym has a row (and, with condID != "", a cell
@@ -412,10 +561,10 @@ func (r *registry) setCellsDiff(nym string, cells map[string]core.CSS) {
 func (r *registry) has(nym, condID string) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	row, ok := r.table[nym]
+	s, ok := r.tab.slotOf[nym]
 	if !ok || condID == "" {
 		return ok
 	}
-	_, ok = row[condID]
-	return ok
+	ci, known := r.tab.condIdx[condID]
+	return known && r.tab.row(s)[ci] != 0
 }

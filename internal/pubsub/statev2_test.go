@@ -57,12 +57,8 @@ func TestStateV2RoundTripDeterministic(t *testing.T) {
 	}
 
 	// Sticky group assignments restored exactly: nobody moves shards.
-	env.pub.reg.grpMu.Lock()
-	wantAssign := env.pub.reg.grpAssign
-	env.pub.reg.grpMu.Unlock()
-	env2.pub.reg.grpMu.Lock()
-	gotAssign := env2.pub.reg.grpAssign
-	env2.pub.reg.grpMu.Unlock()
+	wantAssign := env.pub.reg.exportFull().grpAssign
+	gotAssign := env2.pub.reg.exportFull().grpAssign
 	if len(gotAssign) != len(wantAssign) {
 		t.Fatalf("restored assignments for %d policies, want %d", len(gotAssign), len(wantAssign))
 	}
