@@ -17,6 +17,7 @@
 //	ppcd-bench -publish -stream     # plus a TCP streaming smoke: delta vs snapshot bytes on the wire
 //	ppcd-bench -register -subs 50 -conds 4   # oblivious registration timings (JSON)
 //	ppcd-bench -scale -subs 1000000 -policies 2   # million-row regime: build, solve storm, churn replay (JSON)
+//	ppcd-bench -fanout -fanout-conns 100,1000 -relays 1   # relay tier: K downstream streams, origin egress flatness (JSON)
 package main
 
 import (
@@ -65,12 +66,22 @@ func main() {
 		ell       = flag.Int("ell", 8, "-register: bit-length bound for inequality OCBE")
 		recover   = flag.Bool("recover", false, "measure durable-state recovery: warm and crash restarts from the encrypted snapshot + WAL, emit JSON")
 		scale     = flag.Bool("scale", false, "measure the million-row regime: columnar build, cold solve storm, open-loop churn replay, worker sweep; emit JSON (use -subs for rows)")
+		fanout    = flag.Bool("fanout", false, "measure the relay fan-out tier: origin -> relay chain -> K streaming consumers under churn; emit JSON")
+		fanConns  = flag.String("fanout-conns", "100,1000", "-fanout: comma-separated downstream connection counts to sweep")
+		relays    = flag.Int("relays", 1, "-fanout: relays chained in series between origin and consumers")
+		fanPubs   = flag.Int("fanout-publishes", 20, "-fanout: churn publishes per sweep point")
 		shardSize = flag.Int("shard-size", 128, "-scale: §VIII-C group size (rows per shard)")
 		churnPubs = flag.Int("churn-publishes", 40, "-scale: publishes in the churn replay")
 		noSweep   = flag.Bool("no-sweep", false, "-scale: skip the worker sweep")
 	)
 	flag.Parse()
 
+	if *fanout {
+		if _, err := runFanoutBench(*fanConns, *relays, *fanPubs, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *scale {
 		if _, err := runScaleBench(*subs, *policies, *shardSize, *churnPubs, !*noSweep, os.Stdout); err != nil {
 			log.Fatal(err)

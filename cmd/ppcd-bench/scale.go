@@ -66,9 +66,11 @@ type scaleReport struct {
 	} `json:"churn"`
 
 	// Workers: the same full-rebuild storm under different scheduler caps,
-	// on a capped-size table (100k) so the sweep stays tractable. Speedup is
-	// against the 1-worker run; Ideal is min(workers, GOMAXPROCS) — on a
-	// single-CPU runner every cap is honestly reported as ideal 1.
+	// on a capped-size table (100k) so the sweep stays tractable. Each point
+	// is the best of several runs; Speedup is against the 1-worker point,
+	// Ideal is min(workers, GOMAXPROCS) — on a single-CPU runner every cap
+	// is honestly reported as ideal 1 — and Efficiency = Speedup / Ideal,
+	// clamped to 1.0 (a super-ideal reading is timing noise, not physics).
 	SweepRows int `json:"sweep_rows"`
 	Workers   []workerPoint `json:"workers"`
 
@@ -237,30 +239,42 @@ func runScaleBench(rows, policies, shardSize, churnPublishes int, sweep bool, ou
 		if err != nil {
 			return nil, err
 		}
+		// Best-of-reps damps the noise of single-shot wall timing; without it
+		// a lucky 8-worker run on a 1-CPU box reads as efficiency > 1.
+		const sweepReps = 2
 		var base int64
 		for _, w := range []int{1, 2, 4, 8} {
-			sPub, err := ppcd.NewPublisher(params, idmgr.PublicKey(), sAcps, ppcd.Options{Ell: 8, GroupSize: shardSize, Workers: w})
-			if err != nil {
-				return nil, err
+			var best int64
+			for r := 0; r < sweepReps; r++ {
+				sPub, err := ppcd.NewPublisher(params, idmgr.PublicKey(), sAcps, ppcd.Options{Ell: 8, GroupSize: shardSize, Workers: w})
+				if err != nil {
+					return nil, err
+				}
+				if err := sPub.ImportState(sState); err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if _, err := sPub.Publish(sDoc); err != nil {
+					return nil, err
+				}
+				if ns := time.Since(start).Nanoseconds(); r == 0 || ns < best {
+					best = ns
+				}
 			}
-			if err := sPub.ImportState(sState); err != nil {
-				return nil, err
-			}
-			start := time.Now()
-			if _, err := sPub.Publish(sDoc); err != nil {
-				return nil, err
-			}
-			ns := time.Since(start).Nanoseconds()
 			if w == 1 {
-				base = ns
+				base = best
 			}
 			ideal := float64(w)
 			if g := float64(runtime.GOMAXPROCS(0)); ideal > g {
 				ideal = g
 			}
-			speedup := float64(base) / float64(ns)
+			speedup := float64(base) / float64(best)
+			eff := speedup / ideal
+			if eff > 1 {
+				eff = 1
+			}
 			rep.Workers = append(rep.Workers, workerPoint{
-				Workers: w, RebuildNs: ns, Speedup: speedup, Ideal: ideal, Efficiency: speedup / ideal,
+				Workers: w, RebuildNs: best, Speedup: speedup, Ideal: ideal, Efficiency: eff,
 			})
 		}
 	}

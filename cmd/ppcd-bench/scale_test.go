@@ -58,6 +58,9 @@ func TestScaleReportShape(t *testing.T) {
 		if w.RebuildNs <= 0 || w.Ideal < 1 || w.Speedup <= 0 {
 			t.Errorf("worker point %+v", w)
 		}
+		if w.Efficiency <= 0 || w.Efficiency > 1 {
+			t.Errorf("efficiency %f not in (0, 1] for %d workers", w.Efficiency, w.Workers)
+		}
 	}
 	if rep.RSSBytes <= 0 {
 		t.Errorf("RSS not read: %d", rep.RSSBytes)

@@ -65,6 +65,7 @@ func main() {
 		stream     = flag.Bool("stream", true, "serve push streams: every publish fans epoch deltas out to subscribed clients")
 		heartbeat  = flag.Duration("stream-heartbeat", 30*time.Second, "stream heartbeat interval (0 disables)")
 		retain     = flag.Int("retain", 8, "recent epochs kept for fetches and stream delta catch-ups")
+		queueDepth = flag.Int("queue-depth", 32, "per-stream outbound frame queue depth before a slow consumer is evicted")
 		stateDir   = flag.String("state-dir", "", "durable-state directory: encrypted snapshot + WAL, auto-recovered on start")
 		stateKey   = flag.String("state-key", "", "operator key file, hex (default <state-dir>/key.hex; created if absent)")
 		snapEvery  = flag.Duration("snapshot-every", 5*time.Minute, "interval between compacted state snapshots (0 disables the ticker)")
@@ -152,6 +153,7 @@ func main() {
 	srv.SetStreaming(*stream)
 	srv.SetHeartbeatInterval(*heartbeat)
 	srv.SetRetention(*retain)
+	srv.SetQueueDepth(*queueDepth)
 	// Re-seed the retention ring with the recovered diff bases so
 	// reconnecting subscribers holding pre-restart epochs catch up with a
 	// delta instead of a snapshot.

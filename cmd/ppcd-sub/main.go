@@ -232,7 +232,11 @@ func runStream(params *ppcd.CommitmentParams, addr, doc, outdir string, sub *ppc
 			time.Sleep(2 * time.Second)
 			continue
 		}
-		log.Printf("subscribed at %s from epoch %d", addr, lastEpoch)
+		if origin := client.Origin(); origin != "" {
+			log.Printf("subscribed at %s (relay for origin %s) from epoch %d", addr, origin, lastEpoch)
+		} else {
+			log.Printf("subscribed at %s from epoch %d", addr, lastEpoch)
+		}
 		for {
 			if err := st.SetReadDeadline(time.Now().Add(streamIdleTimeout)); err != nil {
 				log.Printf("stream: %v; reconnecting", err)

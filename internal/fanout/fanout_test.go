@@ -1,0 +1,331 @@
+package fanout
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppcd/internal/pubsub"
+	"ppcd/internal/wire"
+)
+
+func bcast(doc string, epoch, gen uint64) *pubsub.Broadcast {
+	return &pubsub.Broadcast{
+		DocName: doc,
+		Epoch:   epoch,
+		Gen:     gen,
+		Items: []pubsub.Item{
+			{Subdoc: "body", Ciphertext: []byte(fmt.Sprintf("%s-%d", doc, epoch)), Rev: epoch},
+		},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello frames")
+	f := NewFrame(payload)
+	if got := f.Payload(); !bytes.Equal(got, payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+	if f.WireLen() != len(payload)+4 {
+		t.Fatalf("wire len %d, want %d", f.WireLen(), len(payload)+4)
+	}
+	if got := f.buf[:4]; !bytes.Equal(got, []byte{0, 0, 0, byte(len(payload))}) {
+		t.Fatalf("length prefix %v", got)
+	}
+	// Extra references keep the frame alive past the creator's release.
+	f.Ref()
+	f.Release()
+	if got := f.Payload(); !bytes.Equal(got, payload) {
+		t.Fatalf("payload after partial release %q", got)
+	}
+	f.Release()
+}
+
+func TestRingRetentionAndCatchup(t *testing.T) {
+	r := newRing(4)
+	var ents []*entry
+	for e := uint64(1); e <= 10; e++ {
+		ents = append(ents, r.add(bcast("news", e, 7), nil, nil, 0))
+	}
+	if len(r.entries) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(r.entries))
+	}
+	if got := r.latestEpoch(); got != 10 {
+		t.Fatalf("latest epoch %d, want 10", got)
+	}
+	cur := ents[9]
+	if cur.delta == nil || cur.prevEpoch != 9 {
+		t.Fatalf("entry 10 delta against %d (nil=%v), want 9", cur.prevEpoch, cur.delta == nil)
+	}
+
+	// Already current: nothing to send.
+	if got := r.catchup(cur, 10, 7); got != nil {
+		t.Fatal("current subscriber got a catch-up frame")
+	}
+	// One epoch behind: the stored adjacent delta.
+	if got := r.catchup(cur, 9, 7); !bytes.Equal(got, cur.delta) {
+		t.Fatal("adjacent catch-up is not the stored delta")
+	}
+	// Older retained base: a fresh diff, cached for the next reconnect.
+	first := r.catchup(cur, 7, 7)
+	f, err := wire.UnmarshalFrame(first)
+	if err != nil || f.Type != wire.FrameDelta || f.Delta.BaseEpoch != 7 {
+		t.Fatalf("retained-base catch-up: err %v, frame %+v", err, f)
+	}
+	if second := r.catchup(cur, 7, 7); &second[0] != &first[0] {
+		t.Fatal("catch-up diff not cached across reconnects")
+	}
+	// Rotated-out base or wrong generation: full snapshot.
+	if got := r.catchup(cur, 2, 7); !bytes.Equal(got, cur.snapshot) {
+		t.Fatal("rotated-out base did not get the snapshot")
+	}
+	if got := r.catchup(cur, 9, 8); !bytes.Equal(got, cur.snapshot) {
+		t.Fatal("generation mismatch did not get the snapshot")
+	}
+
+	// nearest serves rotated-out document names with the newest snapshot.
+	r.add(bcast("other", 11, 7), nil, nil, 0)
+	if ent := r.nearest("news"); ent == nil || ent.doc != "news" {
+		t.Fatal("nearest lost the retained document")
+	}
+	for e := uint64(12); e < 16; e++ {
+		r.add(bcast("other", e, 7), nil, nil, 0)
+	}
+	if ent := r.nearest("news"); ent == nil || ent.doc != "other" {
+		t.Fatal("rotated-out document not substituted with newest entry")
+	}
+	if !r.known("news") || r.known("never") {
+		t.Fatal("known() lost track of published names")
+	}
+}
+
+func TestRingRawFramesPreserved(t *testing.T) {
+	r := newRing(4)
+	b1 := bcast("news", 1, 3)
+	rawSnap := wire.MarshalSnapshotFrame(b1)
+	ent := r.add(b1, rawSnap, nil, 0)
+	if &ent.snapshot[0] != &rawSnap[0] {
+		t.Fatal("relay-provided snapshot bytes were re-marshaled")
+	}
+	b2 := bcast("news", 2, 3)
+	d, err := pubsub.Diff(b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawDelta := wire.MarshalDeltaFrame(d)
+	ent2 := r.add(b2, nil, rawDelta, 1)
+	if &ent2.delta[0] != &rawDelta[0] || ent2.prevEpoch != 1 {
+		t.Fatal("relay-provided delta bytes were not retained as-is")
+	}
+}
+
+// chanConn is a minimal in-process net.Conn: writes land on a channel (or
+// are dropped and counted), reads block until Close.
+type chanConn struct {
+	wrote  atomic.Int64
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newChanConn() *chanConn { return &chanConn{closed: make(chan struct{})} }
+
+func (c *chanConn) Write(p []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, io.ErrClosedPipe
+	default:
+		c.wrote.Add(int64(len(p)))
+		return len(p), nil
+	}
+}
+
+func (c *chanConn) Read(p []byte) (int, error) {
+	<-c.closed
+	return 0, io.EOF
+}
+
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *chanConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *chanConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *chanConn) SetDeadline(t time.Time) error      { return nil }
+func (c *chanConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *chanConn) SetWriteDeadline(t time.Time) error { return nil }
+
+var _ net.Conn = (*chanConn)(nil)
+
+func serveAsync(h *Hub, nc net.Conn, doc string, lastEpoch, lastGen uint64) {
+	want := h.Conns() + 1
+	go h.ServeConn(nc, doc, lastEpoch, lastGen)
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Conns() < want && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+func waitEgress(t *testing.T, h *Hub, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if frames, _ := h.Egress(); frames >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			frames, _ := h.Egress()
+			t.Fatalf("egress %d frames, want %d", frames, want)
+		}
+		runtime.Gosched()
+	}
+}
+
+func TestHubPublishAndCatchup(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.Publish(bcast("news", 1, 5), nil, nil, 0)
+
+	nc := newChanConn()
+	serveAsync(h, nc, "", 0, 0)
+	waitEgress(t, h, 1) // the catch-up snapshot
+
+	h.Publish(bcast("news", 2, 5), nil, nil, 0)
+	waitEgress(t, h, 2) // the live delta
+
+	known, raw, b := h.Lookup("news")
+	if !known || raw == nil || b.Epoch != 2 {
+		t.Fatalf("lookup: known=%v raw=%v epoch=%v", known, raw != nil, b)
+	}
+	if cur := h.Current("news"); cur == nil || cur.Epoch != 2 {
+		t.Fatal("Current() not at the newest epoch")
+	}
+
+	h.Close()
+	if h.Conns() != 0 {
+		t.Fatalf("%d conns after Close", h.Conns())
+	}
+}
+
+func TestHubSlowConsumerEviction(t *testing.T) {
+	h := NewHub()
+	defer h.Close()
+	h.SetQueueDepth(2)
+
+	// A connection whose writer never runs: ServeConn not called, we
+	// register by hand so the queue can only fill.
+	nc := newChanConn()
+	c := &Conn{nc: nc, ch: make(chan *Frame, 2), done: make(chan struct{}), epochs: make(map[string]lastSeen)}
+	h.mu.Lock()
+	h.conns[c] = struct{}{}
+	h.mu.Unlock()
+
+	for e := uint64(1); e <= 4; e++ {
+		h.Publish(bcast("news", e, 1), nil, nil, 0)
+	}
+	if h.Conns() != 0 {
+		t.Fatal("slow consumer not evicted")
+	}
+	select {
+	case <-c.done:
+	default:
+		t.Fatal("evicted conn not shut down")
+	}
+	// Its queued frames must still be referenced (writer would drain them);
+	// release by hand and confirm payload integrity first.
+	for len(c.ch) > 0 {
+		f := <-c.ch
+		if _, err := wire.UnmarshalFrame(f.Payload()); err != nil {
+			t.Fatalf("queued frame corrupt after eviction: %v", err)
+		}
+		f.Release()
+	}
+}
+
+// TestFanoutZeroAlloc is the acceptance-criterion assertion: offering one
+// epoch frame to K downstream connections and writing it on every socket
+// allocates nothing on the steady-state path (the frame buffers are pooled;
+// an occasional GC-driven pool drop is tolerated as amortized-zero).
+func TestFanoutZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under -race")
+	}
+	const K = 64
+	h := NewHub()
+	defer h.Close()
+	for i := 0; i < K; i++ {
+		serveAsync(h, newChanConn(), "", 0, 0)
+	}
+	if h.Conns() != K {
+		t.Fatalf("%d conns, want %d", h.Conns(), K)
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	var rounds int64
+	run := func() {
+		rounds++
+		f := NewFrame(payload)
+		h.mu.Lock()
+		for c := range h.conns {
+			h.offer(c, f)
+		}
+		h.mu.Unlock()
+		f.Release()
+		want := rounds * K
+		for {
+			if frames, _ := h.Egress(); frames >= want {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+	run() // warm the pool before counting
+	rounds = 0
+	h.egressFrames.Store(0)
+	allocs := testing.AllocsPerRun(100, run)
+	perWrite := allocs / K
+	if perWrite > 0.1 {
+		t.Fatalf("%.3f allocs per downstream frame write (%.1f per %d-conn round), want amortized zero", perWrite, allocs, K)
+	}
+}
+
+// BenchmarkFanoutWrite reports the per-epoch cost of fanning one frame out
+// to K connections; run with -benchmem to see the zero-allocation hot path.
+func BenchmarkFanoutWrite(b *testing.B) {
+	const K = 64
+	h := NewHub()
+	defer h.Close()
+	for i := 0; i < K; i++ {
+		nc := newChanConn()
+		go h.ServeConn(nc, "", 0, 0)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Conns() < K && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	payload := bytes.Repeat([]byte{0xAB}, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var want int64
+	for i := 0; i < b.N; i++ {
+		f := NewFrame(payload)
+		h.mu.Lock()
+		for c := range h.conns {
+			h.offer(c, f)
+		}
+		h.mu.Unlock()
+		f.Release()
+		want += K
+		for {
+			if frames, _ := h.Egress(); frames >= want {
+				break
+			}
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package fanout
+
+// raceEnabled lets tests skip allocation-count assertions, which the race
+// runtime inflates.
+const raceEnabled = true

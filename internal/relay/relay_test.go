@@ -1,0 +1,499 @@
+package relay
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ppcd/internal/document"
+	"ppcd/internal/idtoken"
+	"ppcd/internal/pedersen"
+	"ppcd/internal/policy"
+	"ppcd/internal/pubsub"
+	"ppcd/internal/schnorr"
+	"ppcd/internal/transport"
+	"ppcd/internal/wire"
+)
+
+var (
+	once   sync.Once
+	params *pedersen.Params
+	mgr    *idtoken.Manager
+)
+
+func env(t *testing.T) (*pedersen.Params, *idtoken.Manager) {
+	t.Helper()
+	once.Do(func() {
+		p, err := pedersen.Setup(schnorr.Must2048(), []byte("relay-test"))
+		if err != nil {
+			panic(err)
+		}
+		m, err := idtoken.NewManager(p)
+		if err != nil {
+			panic(err)
+		}
+		params, mgr = p, m
+	})
+	return params, mgr
+}
+
+func newPublisher(t *testing.T) *pubsub.Publisher {
+	t.Helper()
+	p, m := env(t)
+	acp, err := policy.New("adult", "age >= 18", "news.txt", "body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := pubsub.NewPublisher(p, m.PublicKey(), []*policy.ACP{acp}, pubsub.Options{Ell: 8, GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pub
+}
+
+// startOrigin spins up a publisher origin server with a fast heartbeat.
+func startOrigin(t *testing.T) (*transport.Server, string, *pubsub.Publisher) {
+	t.Helper()
+	pub := newPublisher(t)
+	srv, err := transport.NewServer(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, pub
+}
+
+// startRelay chains a relay onto upstream and waits for nothing: the
+// upstream loop connects asynchronously.
+func startRelay(t *testing.T, upstream string, opt *Options) (*Relay, string) {
+	t.Helper()
+	p, _ := env(t)
+	if opt == nil {
+		opt = &Options{ReconnectDelay: 50 * time.Millisecond}
+	}
+	r, err := New(upstream, p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := r.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, addr
+}
+
+// registerVia registers a fresh subscriber through the given address —
+// exercising the registration proxy chain when addr is a relay.
+func registerVia(t *testing.T, addr, nym string) *pubsub.Subscriber {
+	t.Helper()
+	p, m := env(t)
+	sub, err := pubsub.NewSubscriber(nym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, sec, err := m.IssueString(nym, "age", "30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.AddToken(tok, sec); err != nil {
+		t.Fatal(err)
+	}
+	client, err := transport.Dial(addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	got, err := sub.RegisterAll(client)
+	if err != nil {
+		t.Fatalf("registering %s via %s: %v", nym, addr, err)
+	}
+	if got != 1 {
+		t.Fatalf("%s extracted %d CSSs, want 1", nym, got)
+	}
+	return sub
+}
+
+func newsDoc(t *testing.T, body string) *document.Document {
+	t.Helper()
+	doc, err := document.New("news.txt", document.Subdocument{Name: "body", Content: []byte(body)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func waitEpoch(t *testing.T, r *Relay, epoch uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.LastEpoch() < epoch {
+		if time.Now().After(deadline) {
+			t.Fatalf("relay stuck at epoch %d, want %d", r.LastEpoch(), epoch)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func publish(t *testing.T, srv *transport.Server, pub *pubsub.Publisher, body string) *pubsub.Broadcast {
+	t.Helper()
+	b, err := pub.Publish(newsDoc(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.PublishBroadcast(b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRelayChainChurn is the depth-2 tree end-to-end property: origin →
+// relay1 → relay2, subscribers registered AND streaming through the edge
+// relay, membership churn at the origin — every surviving consumer
+// converges on the final epoch and decrypts byte-identically to a direct
+// fetch from the origin.
+func TestRelayChainChurn(t *testing.T) {
+	const nStream = 4
+	srv, originAddr, pub := startOrigin(t)
+	r1, r1Addr := startRelay(t, originAddr, nil)
+	r2, r2Addr := startRelay(t, r1Addr, nil)
+	_ = r1
+	p, _ := env(t)
+
+	// Registration proxies through both relays to the origin.
+	subs := make([]*pubsub.Subscriber, nStream+2)
+	for i := range subs {
+		subs[i] = registerVia(t, r2Addr, fmt.Sprintf("pn-chain-%d", i))
+	}
+
+	final := []byte("final edition")
+	var wg sync.WaitGroup
+	errs := make(chan error, nStream)
+	for i := 0; i < nStream; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client, err := transport.Dial(r2Addr, p)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			st, err := client.Subscribe("news.txt", 0, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer st.Close()
+			reader := subs[i]
+			for {
+				if err := st.SetReadDeadline(time.Now().Add(20 * time.Second)); err != nil {
+					errs <- err
+					return
+				}
+				f, err := st.Next()
+				if err != nil {
+					errs <- fmt.Errorf("consumer %d: %w", i, err)
+					return
+				}
+				switch f.Type {
+				case wire.FrameSnapshot:
+					if err := reader.ApplySnapshot(f.Snapshot); err != nil {
+						errs <- err
+						return
+					}
+				case wire.FrameDelta:
+					if err := reader.ApplyDelta(f.Delta); err != nil {
+						errs <- fmt.Errorf("consumer %d apply: %w", i, err)
+						return
+					}
+				case wire.FrameHeartbeat:
+					continue
+				}
+				got, err := reader.DecryptCurrent("news.txt")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if bytes.Equal(got["body"], final) {
+					return // converged
+				}
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for r2.Streams() < nStream {
+		if time.Now().After(deadline) {
+			t.Fatalf("edge relay has %d streams, want %d", r2.Streams(), nStream)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Churn at the origin: two revocations interleaved with publishes,
+	// then the final edition — all flowing through the chain.
+	var lastB *pubsub.Broadcast
+	for k := 0; k < 2; k++ {
+		publish(t, srv, pub, fmt.Sprintf("edition %d", k))
+		if err := pub.RevokeSubscription(subs[nStream+k].Nym()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastB = publish(t, srv, pub, string(final))
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Byte-identical re-serve: a fetch via the edge relay returns the same
+	// broadcast as a direct fetch from the origin (deterministic marshal).
+	waitEpoch(t, r2, lastB.Epoch)
+	viaRelay, err := transport.Dial(r2Addr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaRelay.Close()
+	bRelay, err := viaRelay.Fetch("news.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := transport.Dial(originAddr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	bOrigin, err := direct.Fetch("news.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.MarshalSnapshotFrame(bRelay), wire.MarshalSnapshotFrame(bOrigin)) {
+		t.Fatal("relay-fetched broadcast differs from the origin's")
+	}
+	if viaRelay.Origin() == "" {
+		t.Fatal("relay did not advertise an origin address")
+	}
+}
+
+// TestRelayReconnectDeltaCatchup: a subscriber that reconnects to the relay
+// presenting its last applied (epoch, Gen) receives exactly one delta, not
+// a snapshot — the relay's own retention ring serves the catch-up.
+func TestRelayReconnectDeltaCatchup(t *testing.T) {
+	srv, originAddr, pub := startOrigin(t)
+	r, rAddr := startRelay(t, originAddr, nil)
+	p, _ := env(t)
+	reader := registerVia(t, rAddr, "pn-catchup")
+
+	b1 := publish(t, srv, pub, "first")
+	waitEpoch(t, r, b1.Epoch)
+
+	client, err := transport.Dial(rAddr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	st, err := client.Subscribe("news.txt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := st.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != wire.FrameSnapshot {
+		t.Fatalf("initial frame type %d, want snapshot", f.Type)
+	}
+	if err := reader.ApplySnapshot(f.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	st.Close() // blip: the consumer goes away holding epoch b1
+
+	b2 := publish(t, srv, pub, "second")
+	waitEpoch(t, r, b2.Epoch)
+
+	st2, err := client.Subscribe("news.txt", b1.Epoch, b1.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	f2, err := st2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Type != wire.FrameDelta || f2.Delta.BaseEpoch != b1.Epoch || f2.Epoch != b2.Epoch {
+		t.Fatalf("catch-up frame type %d epoch %d, want delta %d→%d", f2.Type, f2.Epoch, b1.Epoch, b2.Epoch)
+	}
+	if err := reader.ApplyDelta(f2.Delta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.DecryptCurrent("news.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got["body"], []byte("second")) {
+		t.Fatalf("decrypted %q after delta catch-up", got["body"])
+	}
+}
+
+// TestRelayOriginRestartGenMismatch: the origin restarts as a fresh
+// incarnation (new Gen, epoch numbers colliding with the old ones). The
+// relay must detect the generation break, reset, and re-serve the new
+// incarnation via a snapshot — never a delta spliced across generations.
+func TestRelayOriginRestartGenMismatch(t *testing.T) {
+	pub1 := newPublisher(t)
+	srv1, err := transport.NewServer(pub1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originAddr, err := srv1.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, rAddr := startRelay(t, originAddr, &Options{ReconnectDelay: 20 * time.Millisecond})
+	p, _ := env(t)
+
+	reader1 := registerVia(t, rAddr, "pn-gen-a")
+	b1, err := pub1.Publish(newsDoc(t, "generation one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.PublishBroadcast(b1); err != nil {
+		t.Fatal(err)
+	}
+	waitEpoch(t, r, b1.Epoch)
+	_ = reader1
+
+	// Subscriber holding generation one state stays connected across the
+	// origin restart.
+	client, err := transport.Dial(rAddr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	st, err := client.Subscribe("news.txt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	f, err := st.Next()
+	if err != nil || f.Type != wire.FrameSnapshot || f.Snapshot.Gen != b1.Gen {
+		t.Fatalf("pre-restart frame: %v %+v", err, f)
+	}
+
+	// Origin dies and is replaced by a fresh incarnation on the same
+	// address: empty table, new Gen, epochs starting over.
+	srv1.Close()
+	pub2 := newPublisher(t)
+	srv2, err := transport.NewServer(pub2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.Listen(originAddr); err != nil {
+		t.Fatalf("rebinding origin address: %v", err)
+	}
+	defer srv2.Close()
+	if pub2.Generation() == b1.Gen {
+		t.Fatal("fresh incarnation kept the old generation")
+	}
+
+	reader2 := registerVia(t, originAddr, "pn-gen-b")
+	b2, err := pub2.Publish(newsDoc(t, "generation two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.PublishBroadcast(b2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The relay reconnects (its subscribe presents the generation-one
+	// epoch; the new origin does not retain it and answers with a
+	// snapshot). The connected downstream subscriber must see the new
+	// generation as a snapshot frame.
+	deadline := time.Now().Add(15 * time.Second)
+	var got *wire.Frame
+	for {
+		if err := st.SetReadDeadline(time.Now().Add(15 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		f, err := st.Next()
+		if err != nil {
+			t.Fatalf("downstream stream broke across origin restart: %v", err)
+		}
+		if f.Type == wire.FrameSnapshot && f.Snapshot.Gen == b2.Gen {
+			got = f
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("new generation never reached the downstream subscriber")
+		}
+	}
+	if err := reader2.ApplySnapshot(got.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := reader2.DecryptCurrent("news.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain["body"], []byte("generation two")) {
+		t.Fatalf("decrypted %q across generations", plain["body"])
+	}
+	if r.Stats().Resets == 0 && r.Stats().Reconnects < 2 {
+		t.Fatalf("relay stats show no recovery: %+v", r.Stats())
+	}
+}
+
+// TestRelaySlowDownstreamEviction: a downstream consumer that never reads
+// is evicted at the relay (bounded queue + write deadline), without
+// stalling the relay's other work.
+func TestRelaySlowDownstreamEviction(t *testing.T) {
+	srv, originAddr, pub := startOrigin(t)
+	r, rAddr := startRelay(t, originAddr, &Options{
+		QueueDepth:     1,
+		WriteTimeout:   100 * time.Millisecond,
+		ReconnectDelay: 50 * time.Millisecond,
+	})
+	p, _ := env(t)
+	registerVia(t, rAddr, "pn-slow")
+
+	b1 := publish(t, srv, pub, "edition 0")
+	waitEpoch(t, r, b1.Epoch)
+
+	client, err := transport.Dial(rAddr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	st, err := client.Subscribe("news.txt", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Streams() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("relay never registered the stream")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Never read: megabyte-scale editions (fresh content each round, so the
+	// deltas stay megabyte-scale too) fill the socket buffer, then the
+	// 1-deep queue, then the write deadline — and the relay evicts.
+	big := bytes.Repeat([]byte("payload "), 1<<18) // 2 MiB
+	deadline = time.Now().Add(20 * time.Second)
+	for k := 1; ; k++ {
+		b := publish(t, srv, pub, string(append(big, byte(k))))
+		waitEpoch(t, r, b.Epoch)
+		if r.Streams() == 0 {
+			return // evicted
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow downstream never evicted at the relay")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,9 +1,8 @@
 // Streaming dissemination: long-lived subscribe connections over which the
-// server pushes epoch-stamped wire frames. The server marshals each epoch's
-// snapshot and delta once (PublishBroadcast) and fans the same bytes out to
-// every stream; per-connection work is one channel send and one deadline
-// write. Slow consumers — a full outbound queue or a write missing its
-// deadline — are evicted rather than allowed to stall the fan-out.
+// server pushes epoch-stamped wire frames. The fan-out itself — marshal
+// once, bounded per-connection queues, slow-consumer eviction, heartbeats —
+// lives in internal/fanout; this file holds the subscriber-side Stream and
+// the server-side defaults.
 package transport
 
 import (
@@ -14,182 +13,17 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"sync"
 	"sync/atomic"
 	"time"
 
-	"ppcd/internal/pubsub"
 	"ppcd/internal/wire"
 )
 
-const (
-	defaultHeartbeat    = 30 * time.Second
-	defaultWriteTimeout = 10 * time.Second
-	// streamQueueDepth bounds each stream's outbound frame queue; a
-	// consumer this far behind the publish rate is evicted and must
-	// reconnect (its catch-up is then one delta or snapshot, cheaper than
-	// an unbounded backlog).
-	streamQueueDepth = 32
-)
+const defaultHeartbeat = 30 * time.Second
 
 // ErrStreamUnsupported is returned by Subscribe against servers that
 // predate (or disabled) the streaming RPC.
 var ErrStreamUnsupported = errors.New("transport: server does not support streaming")
-
-// streamConn is one subscribed connection. epochs (per-document last epoch
-// enqueued) is guarded by the server mutex; the queue decouples the fan-out
-// from the consumer's socket.
-type streamConn struct {
-	conn   net.Conn
-	doc    string // "" = all documents
-	ch     chan []byte
-	done   chan struct{}
-	once   sync.Once
-	epochs map[string]uint64
-}
-
-// shutdown wakes the writer loop and unblocks any in-flight socket I/O.
-// Idempotent; callers additionally remove the conn from s.streams under the
-// server mutex.
-func (sc *streamConn) shutdown() {
-	sc.once.Do(func() {
-		close(sc.done)
-		sc.conn.Close()
-	})
-}
-
-// offer enqueues pre-marshaled frame bytes without blocking; a full queue
-// evicts the consumer. Callers hold s.mu.
-func (s *Server) offer(sc *streamConn, payload []byte) {
-	select {
-	case sc.ch <- payload:
-	default:
-		delete(s.streams, sc)
-		sc.shutdown()
-	}
-}
-
-// dropStream removes a stream (writer error, consumer hangup).
-func (s *Server) dropStream(sc *streamConn) {
-	s.mu.Lock()
-	delete(s.streams, sc)
-	s.mu.Unlock()
-	sc.shutdown()
-}
-
-// serveStream converts an accepted connection into a frame stream: it
-// registers the conn, enqueues the catch-up frame for every retained
-// document the subscriber is behind on, then writes queued frames until the
-// consumer goes away. Runs on the connection's handler goroutine.
-func (s *Server) serveStream(conn net.Conn, req *request) {
-	sc := &streamConn{
-		conn:   conn,
-		doc:    req.Doc,
-		ch:     make(chan []byte, streamQueueDepth),
-		done:   make(chan struct{}),
-		epochs: make(map[string]uint64),
-	}
-
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	s.streams[sc] = struct{}{}
-	// Catch-up: newest retained entry per (matching) document. A subscriber
-	// already at that epoch gets nothing; one whose epoch is still retained
-	// gets a delta; anyone else a snapshot.
-	latest := make(map[string]*epochEntry)
-	for _, ent := range s.ring {
-		if sc.doc == "" || sc.doc == ent.doc {
-			latest[ent.doc] = ent
-		}
-	}
-	for doc, ent := range latest {
-		sc.epochs[doc] = ent.epoch
-		if req.LastEpoch == ent.epoch && req.LastGen == ent.b.Gen {
-			continue
-		}
-		payload := ent.snapshot
-		// Delta catch-up only against the exact retained state the
-		// subscriber holds: same document, same epoch, same publisher
-		// generation (a restarted publisher renumbers epochs). The
-		// marshaled delta is cached per base so a reconnect storm diffs
-		// each (base, target) pair once.
-		if base := s.findEntry(doc, req.LastEpoch); base != nil && base.epoch < ent.epoch && base.b.Gen == req.LastGen {
-			if cached, ok := ent.catchup[base.epoch]; ok {
-				payload = cached
-			} else if d, err := pubsub.Diff(base.b, ent.b); err == nil {
-				if ent.catchup == nil {
-					ent.catchup = make(map[uint64][]byte)
-				}
-				raw := wire.MarshalDeltaFrame(d)
-				ent.catchup[base.epoch] = raw
-				payload = raw
-			}
-		}
-		s.offer(sc, payload)
-	}
-	s.mu.Unlock()
-
-	// Consumer watchdog: subscribers never send after the subscribe
-	// request, so any read result — EOF, data, error — means hangup.
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		var one [1]byte
-		conn.Read(one[:])
-		s.dropStream(sc)
-	}()
-
-	var lenBuf [4]byte
-	for {
-		select {
-		case payload := <-sc.ch:
-			if err := conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
-				s.dropStream(sc)
-				return
-			}
-			binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
-			if _, err := conn.Write(lenBuf[:]); err != nil {
-				s.dropStream(sc)
-				return
-			}
-			if _, err := conn.Write(payload); err != nil {
-				s.dropStream(sc)
-				return
-			}
-		case <-sc.done:
-			return
-		}
-	}
-}
-
-// heartbeatLoop periodically fans a heartbeat frame (carrying the newest
-// retained epoch) to every stream, so idle consumers can detect dead
-// publishers and the server can evict dead consumers via the write path.
-func (s *Server) heartbeatLoop() {
-	defer s.wg.Done()
-	t := time.NewTicker(s.heartbeat)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			s.mu.Lock()
-			var epoch uint64
-			if len(s.ring) > 0 {
-				epoch = s.ring[len(s.ring)-1].epoch
-			}
-			payload := wire.MarshalHeartbeatFrame(epoch)
-			for sc := range s.streams {
-				s.offer(sc, payload)
-			}
-			s.mu.Unlock()
-		case <-s.hbStop:
-			return
-		}
-	}
-}
 
 // Stream is a subscriber-side broadcast stream: a dedicated connection on
 // which the server pushes snapshot, delta and heartbeat frames.
@@ -232,24 +66,33 @@ func (c *Client) Subscribe(doc string, lastEpoch, lastGen uint64) (*Stream, erro
 // slow-consumer eviction) — reconnect with Subscribe and the last applied
 // epoch.
 func (st *Stream) Next() (*wire.Frame, error) {
+	f, _, err := st.NextRaw()
+	return f, err
+}
+
+// NextRaw is Next exposing the frame's exact wire bytes alongside the
+// decoded form. A relay retains and re-serves those bytes so its whole
+// subtree sees the origin's marshal. The returned slice is owned by the
+// caller.
+func (st *Stream) NextRaw() (*wire.Frame, []byte, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(st.br, lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("transport: stream closed: %w", err)
+		return nil, nil, fmt.Errorf("transport: stream closed: %w", err)
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n == 0 || n > maxRequestBytes {
-		return nil, fmt.Errorf("transport: stream frame of %d bytes exceeds limits", n)
+		return nil, nil, fmt.Errorf("transport: stream frame of %d bytes exceeds limits", n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(st.br, payload); err != nil {
-		return nil, fmt.Errorf("transport: stream truncated: %w", err)
+		return nil, nil, fmt.Errorf("transport: stream truncated: %w", err)
 	}
 	atomic.AddInt64(&st.bytesRead, int64(n)+4)
 	f, err := wire.UnmarshalFrame(payload)
 	if err != nil {
-		return nil, fmt.Errorf("transport: decoding stream frame: %w", err)
+		return nil, nil, fmt.Errorf("transport: decoding stream frame: %w", err)
 	}
-	return f, nil
+	return f, payload, nil
 }
 
 // SetReadDeadline bounds the next Next call (e.g. heartbeat interval ×2 for

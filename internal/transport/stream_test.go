@@ -85,9 +85,7 @@ func waitStreams(t *testing.T, srv *Server, want int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		srv.mu.Lock()
-		got := len(srv.streams)
-		srv.mu.Unlock()
+		got := srv.Streams()
 		if got == want {
 			return
 		}
@@ -298,9 +296,7 @@ func TestRingBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	srv.mu.Lock()
-	got := len(srv.ring)
-	srv.mu.Unlock()
+	got := srv.RingLen()
 	if got != 4 {
 		t.Fatalf("ring holds %d entries, want 4", got)
 	}
@@ -426,9 +422,7 @@ func TestSlowConsumerEviction(t *testing.T) {
 		if err := srv.PublishBroadcast(b); err != nil {
 			t.Fatal(err)
 		}
-		srv.mu.Lock()
-		left := len(srv.streams)
-		srv.mu.Unlock()
+		left := srv.Streams()
 		if left == 0 {
 			return // evicted
 		}

@@ -15,6 +15,11 @@
 // delta catch-up when the server still retains that epoch, else a fresh
 // snapshot (see stream.go).
 //
+// The retention ring and the per-connection fan-out live in
+// internal/fanout, shared with the relay tier (internal/relay): the server
+// here is simply a registration backend (a local publisher at the origin, a
+// proxy to the origin at a relay) glued to a fanout.Hub.
+//
 // The Pedersen parameters themselves are system-wide public setup (group
 // choice + derivation seed) and are established out of band, as in the
 // paper, where the IdMgr publishes Param = ⟨G, g, h⟩ once.
@@ -29,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"ppcd/internal/fanout"
 	"ppcd/internal/ocbe"
 	"ppcd/internal/pedersen"
 	"ppcd/internal/policy"
@@ -66,6 +72,11 @@ type response struct {
 	// subscribe stream RPC, with the same unset-means-absent convention.
 	HasWire   bool
 	HasStream bool
+	// Origin names the authoritative publisher address when this server is
+	// a relay ("" when the server IS the origin, and on servers predating
+	// the relay tier). Clients may use it for logging or to reach the
+	// origin directly.
+	Origin    string
 	Envelope  *ocbe.Envelope
 	Batch     []pubsub.BatchResult
 	Broadcast *pubsub.Broadcast
@@ -76,75 +87,55 @@ type response struct {
 
 // DefaultRetention is the number of recent epochs the server keeps for
 // fetch serving and delta catch-ups.
-const DefaultRetention = 8
+const DefaultRetention = fanout.DefaultRetention
 
-// epochEntry is one retained epoch: the broadcast plus its wire frames,
-// marshaled once at PublishBroadcast time and served byte-identically to
-// every fetch and stream consumer.
-type epochEntry struct {
-	epoch uint64
-	doc   string
-	b     *pubsub.Broadcast
-	// snapshot is the v3 snapshot frame; delta the v3 delta frame against
-	// the previous retained epoch of the same document (nil for the first),
-	// with prevEpoch naming that base.
-	snapshot  []byte
-	delta     []byte
-	prevEpoch uint64
-	// catchup caches marshaled delta frames for older retained bases
-	// (keyed by base epoch), so a reconnect storm after a publisher blip
-	// computes each diff once instead of once per subscriber.
-	catchup map[uint64][]byte
-}
-
-// Server exposes a publisher over TCP.
+// Server exposes a registration backend plus a broadcast fan-out over TCP.
+// At the origin the backend is the local *pubsub.Publisher; at a relay it
+// is a proxy that forwards registrations upstream while broadcasts are
+// re-served from the relay's own retention ring.
 type Server struct {
-	pub *pubsub.Publisher
+	reg pubsub.BatchRegistrar
+	hub *fanout.Hub
 
-	retain       int
-	heartbeat    time.Duration
-	writeTimeout time.Duration
-	streaming    bool
+	heartbeat time.Duration
+	streaming bool
 
-	mu   sync.Mutex
-	ln   net.Listener
-	ring []*epochEntry
-	// docs records every document name ever published (names only, so the
-	// footprint is negligible): a fetch for a name that rotated out of the
-	// bounded ring is served with the nearest retained snapshot, while a
-	// fetch for a name never published stays an explicit error.
-	docs    map[string]bool
-	streams map[*streamConn]struct{}
-	hbStop  chan struct{}
-	wg      sync.WaitGroup
-	closed  bool
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	origin string
+	wg     sync.WaitGroup
+	closed bool
 }
 
-// NewServer wraps a publisher. Call Serve to start accepting connections.
+// NewServer wraps a publisher. Call Listen to start accepting connections.
 func NewServer(pub *pubsub.Publisher) (*Server, error) {
 	if pub == nil {
 		return nil, errors.New("transport: nil publisher")
 	}
+	return NewServerWithBackend(pub, "")
+}
+
+// NewServerWithBackend wraps any registration backend — a relay passes its
+// upstream proxy and the origin's address (advertised to clients in "info"
+// responses; "" when this server is itself the origin).
+func NewServerWithBackend(reg pubsub.BatchRegistrar, origin string) (*Server, error) {
+	if reg == nil {
+		return nil, errors.New("transport: nil registration backend")
+	}
 	return &Server{
-		pub:          pub,
-		retain:       DefaultRetention,
-		heartbeat:    defaultHeartbeat,
-		writeTimeout: defaultWriteTimeout,
-		streaming:    true,
-		docs:         make(map[string]bool),
-		streams:      make(map[*streamConn]struct{}),
-		hbStop:       make(chan struct{}),
+		reg:       reg,
+		hub:       fanout.NewHub(),
+		heartbeat: defaultHeartbeat,
+		streaming: true,
+		conns:     make(map[net.Conn]struct{}),
+		origin:    origin,
 	}, nil
 }
 
 // SetRetention bounds how many recent epochs the server keeps (default
 // DefaultRetention, minimum 1). Call before Listen.
-func (s *Server) SetRetention(k int) {
-	if k < 1 {
-		k = 1
-	}
-	s.retain = k
-}
+func (s *Server) SetRetention(k int) { s.hub.SetRetention(k) }
 
 // SetHeartbeatInterval tunes the stream heartbeat cadence (default 30s;
 // 0 disables heartbeats). Call before Listen.
@@ -152,15 +143,39 @@ func (s *Server) SetHeartbeatInterval(d time.Duration) { s.heartbeat = d }
 
 // SetWriteTimeout tunes the per-frame write deadline after which a stream
 // consumer is considered dead (default 10s). Call before Listen.
-func (s *Server) SetWriteTimeout(d time.Duration) {
-	if d > 0 {
-		s.writeTimeout = d
-	}
-}
+func (s *Server) SetWriteTimeout(d time.Duration) { s.hub.SetWriteTimeout(d) }
+
+// SetQueueDepth bounds each stream connection's outbound frame queue
+// (default fanout.DefaultQueueDepth, minimum 1). Relays facing thousands of
+// consumers want deeper queues than origin-attached subscribers.
+func (s *Server) SetQueueDepth(d int) { s.hub.SetQueueDepth(d) }
 
 // SetStreaming enables or disables the subscribe stream RPC (default
 // enabled). Call before Listen.
 func (s *Server) SetStreaming(on bool) { s.streaming = on }
+
+// SetOrigin updates the origin address advertised in "info" responses (a
+// relay learns it from its upstream after connecting).
+func (s *Server) SetOrigin(addr string) {
+	s.mu.Lock()
+	s.origin = addr
+	s.mu.Unlock()
+}
+
+// Streams is the number of live subscribe streams.
+func (s *Server) Streams() int { return s.hub.Conns() }
+
+// RingLen is the number of retained epochs.
+func (s *Server) RingLen() int { return s.hub.RingLen() }
+
+// Egress reports cumulative frames and bytes pushed to subscribe streams —
+// the measured cost of this node's fan-out.
+func (s *Server) Egress() (frames, bytes int64) { return s.hub.Egress() }
+
+// Current returns the decoded broadcast of the newest retained epoch for
+// the named document, nil when none is retained. A relay uses it as the
+// application base for incoming upstream deltas.
+func (s *Server) Current(doc string) *pubsub.Broadcast { return s.hub.Current(doc) }
 
 // Listen binds the server to addr (e.g. "127.0.0.1:0") and starts serving in
 // the background. It returns the bound address.
@@ -174,9 +189,8 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	if s.streaming && s.heartbeat > 0 {
-		s.wg.Add(1)
-		go s.heartbeatLoop()
+	if s.streaming {
+		s.hub.StartHeartbeats(s.heartbeat)
 	}
 	return ln.Addr().String(), nil
 }
@@ -188,10 +202,25 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		// Track the conn so Close can unblock a handler idling in Decode
+		// (e.g. a relay's long-lived registration-proxy connection).
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.handle(conn)
 		}()
 	}
@@ -217,7 +246,7 @@ func (s *Server) handle(conn net.Conn) {
 		if req.Kind == "subscribe" && s.streaming {
 			// The connection leaves the request/response protocol and
 			// becomes a one-way frame stream until either side closes it.
-			s.serveStream(conn, &req)
+			s.hub.ServeConn(conn, req.Doc, req.LastEpoch, req.LastGen)
 			return
 		}
 		resp := s.dispatch(&req)
@@ -230,72 +259,46 @@ func (s *Server) handle(conn net.Conn) {
 func (s *Server) dispatch(req *request) *response {
 	switch req.Kind {
 	case "info":
+		s.mu.Lock()
+		origin := s.origin
+		s.mu.Unlock()
 		return &response{
-			Conditions: s.pub.Conditions(),
-			Ell:        s.pub.Ell(),
+			Conditions: s.reg.Conditions(),
+			Ell:        s.reg.Ell(),
 			HasBatch:   true,
 			HasWire:    true,
 			HasStream:  s.streaming,
+			Origin:     origin,
 		}
 	case "register":
-		env, err := s.pub.Register(req.Reg)
+		env, err := s.reg.Register(req.Reg)
 		if err != nil {
 			return &response{Err: err.Error()}
 		}
 		return &response{Envelope: env}
 	case "register-batch":
-		results, err := s.pub.RegisterBatch(req.Batch)
+		results, err := s.reg.RegisterBatch(req.Batch)
 		if err != nil {
 			return &response{Err: err.Error()}
 		}
 		return &response{Batch: results}
 	case "fetch":
-		s.mu.Lock()
-		known := req.Doc == "" || s.docs[req.Doc]
-		ent := s.nearestEntry(req.Doc)
-		s.mu.Unlock()
+		known, raw, b := s.hub.Lookup(req.Doc)
 		if !known {
 			return &response{Err: fmt.Sprintf("transport: no broadcast for %q", req.Doc)}
 		}
-		if ent == nil {
+		if raw == nil {
 			return &response{Err: "transport: no broadcast published yet"}
 		}
 		if req.Wire {
-			return &response{Raw: ent.snapshot}
+			return &response{Raw: raw}
 		}
-		return &response{Broadcast: ent.b}
+		return &response{Broadcast: b}
 	case "subscribe":
 		return &response{Err: "transport: streaming disabled on this server"}
 	default:
 		return &response{Err: fmt.Sprintf("transport: unknown request kind %q", req.Kind)}
 	}
-}
-
-// nearestEntry returns the newest retained epoch for the named document, or
-// — when the document rotated out of the bounded ring (or name is "") — the
-// newest retained epoch overall. Callers detect the substitution through
-// Broadcast.DocName. Callers hold s.mu.
-func (s *Server) nearestEntry(name string) *epochEntry {
-	for i := len(s.ring) - 1; i >= 0; i-- {
-		if name == "" || s.ring[i].doc == name {
-			return s.ring[i]
-		}
-	}
-	if len(s.ring) > 0 && name != "" {
-		return s.ring[len(s.ring)-1]
-	}
-	return nil
-}
-
-// findEntry returns the retained epoch entry for (doc, epoch), nil if it
-// rotated out. Callers hold s.mu.
-func (s *Server) findEntry(doc string, epoch uint64) *epochEntry {
-	for i := len(s.ring) - 1; i >= 0; i-- {
-		if s.ring[i].doc == doc && s.ring[i].epoch == epoch {
-			return s.ring[i]
-		}
-	}
-	return nil
 }
 
 // PublishBroadcast makes a broadcast available to clients: it is marshaled
@@ -304,46 +307,23 @@ func (s *Server) findEntry(doc string, epoch uint64) *epochEntry {
 // out to every connected stream — subscribers current at the previous epoch
 // receive only the delta bytes.
 func (s *Server) PublishBroadcast(b *pubsub.Broadcast) error {
+	return s.PublishRaw(b, nil, nil, 0)
+}
+
+// PublishRaw is PublishBroadcast for callers that already hold the exact
+// wire frames — a relay retains and re-serves the bytes it received
+// upstream rather than re-marshaling. rawSnapshot and rawDelta are optional
+// (nil = marshal/diff locally); deltaBase names rawDelta's base epoch.
+func (s *Server) PublishRaw(b *pubsub.Broadcast, rawSnapshot, rawDelta []byte, deltaBase uint64) error {
 	if b == nil {
 		return errors.New("transport: nil broadcast")
 	}
-	ent := &epochEntry{epoch: b.Epoch, doc: b.DocName, b: b, snapshot: wire.MarshalSnapshotFrame(b)}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.docs[b.DocName] = true
-	if prev := s.nearestEntry(b.DocName); prev != nil && prev.doc == b.DocName && prev.epoch < b.Epoch {
-		if d, err := pubsub.Diff(prev.b, b); err == nil {
-			ent.delta = wire.MarshalDeltaFrame(d)
-			ent.prevEpoch = prev.epoch
-		}
-	}
-	s.ring = append(s.ring, ent)
-	if len(s.ring) > s.retain {
-		// Drop the oldest; the slice is small (retain entries), so the copy
-		// is cheap and the backing array does not pin evicted broadcasts.
-		s.ring = append(s.ring[:0:0], s.ring[len(s.ring)-s.retain:]...)
-	}
-	for sc := range s.streams {
-		if sc.doc != "" && sc.doc != b.DocName {
-			continue
-		}
-		payload := ent.snapshot
-		if last, ok := sc.epochs[b.DocName]; ok {
-			if last == b.Epoch {
-				continue
-			}
-			if ent.delta != nil && last == ent.prevEpoch {
-				payload = ent.delta
-			}
-		}
-		sc.epochs[b.DocName] = b.Epoch
-		s.offer(sc, payload)
-	}
+	s.hub.Publish(b, rawSnapshot, rawDelta, deltaBase)
 	return nil
 }
 
-// Close stops the listener and waits for in-flight handlers.
+// Close stops the listener, shuts every stream and waits for in-flight
+// handlers.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -352,22 +332,22 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
-	close(s.hbStop)
-	for sc := range s.streams {
-		delete(s.streams, sc)
-		sc.shutdown()
+	for conn := range s.conns {
+		delete(s.conns, conn)
+		conn.Close()
 	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	s.hub.Close()
 	s.wg.Wait()
 	return err
 }
 
-// Client is the subscriber-side connection to a publisher server. It
-// implements pubsub.Registrar.
+// Client is the subscriber-side connection to a publisher server (or a
+// relay re-serving one). It implements pubsub.Registrar.
 type Client struct {
 	addr string
 
@@ -381,6 +361,7 @@ type Client struct {
 	hasBatch  bool
 	hasWire   bool
 	hasStream bool
+	origin    string
 	haveIn    bool
 }
 
@@ -433,6 +414,7 @@ func (c *Client) ensureInfo() error {
 	c.hasBatch = resp.HasBatch
 	c.hasWire = resp.HasWire
 	c.hasStream = resp.HasStream
+	c.origin = resp.Origin
 	c.haveIn = true
 	c.mu.Unlock()
 	return nil
@@ -455,6 +437,18 @@ func (c *Client) Conditions() []policy.Condition {
 		return nil
 	}
 	return append([]policy.Condition(nil), c.conds...)
+}
+
+// Origin reports the authoritative publisher address advertised by the
+// server, "" when the dialed server is itself the origin (or predates the
+// relay tier). Useful to detect that a connection landed on a relay.
+func (c *Client) Origin() string {
+	if err := c.ensureInfo(); err != nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.origin
 }
 
 // Register implements pubsub.Registrar.

@@ -42,6 +42,7 @@ import (
 	"ppcd/internal/pedersen"
 	"ppcd/internal/policy"
 	"ppcd/internal/pubsub"
+	"ppcd/internal/relay"
 	"ppcd/internal/schnorr"
 	"ppcd/internal/store"
 	"ppcd/internal/transport"
@@ -187,6 +188,24 @@ func NewServer(pub *Publisher) (*Server, error) { return transport.NewServer(pub
 // Dial connects a subscriber-side client to a publisher server.
 func Dial(addr string, params *CommitmentParams) (*Client, error) {
 	return transport.Dial(addr, params)
+}
+
+// Relay is a stateless dissemination edge: it subscribes upstream (to the
+// origin or to another relay), retains the raw wire frames in its own
+// bounded epoch ring, and re-serves them to downstream subscribers while
+// proxying registrations to the origin. Relays hold no key material and
+// chain into trees, making the origin's egress O(direct children) instead
+// of O(total subscribers).
+type Relay = relay.Relay
+
+// RelayOptions tunes a relay (retention, queue depth, heartbeat cadence,
+// upstream reconnect behaviour).
+type RelayOptions = relay.Options
+
+// NewRelay builds a relay for the given upstream address; opts may be nil
+// for defaults. Call Listen to bind its downstream side.
+func NewRelay(upstream string, params *CommitmentParams, opts *RelayOptions) (*Relay, error) {
+	return relay.New(upstream, params, opts)
 }
 
 // StateStore is the publisher's durable-state subsystem: an AEAD-encrypted
