@@ -64,7 +64,9 @@ func main() {
 		register  = flag.Bool("register", false, "measure the oblivious registration path (token verify, envelope compose, batch register), emit JSON")
 		conds     = flag.Int("conds", 4, "-register: conditions per subscriber (alternating EQ and GE)")
 		ell       = flag.Int("ell", 8, "-register: bit-length bound for inequality OCBE")
-		recover   = flag.Bool("recover", false, "measure durable-state recovery: warm and crash restarts from the encrypted snapshot + WAL, emit JSON")
+		recover   = flag.Bool("recover", false, "measure segmented durable-state behaviour: O(churn) snapshot bytes, pipelined WAL commit rate, cold/crash/warm recovery; emit JSON")
+		rows      = flag.Int("rows", 0, "-recover: table rows (0 = use -subs)")
+		churn     = flag.Int("churn", 8, "-recover: leavers revoked before the post-churn snapshot")
 		scale     = flag.Bool("scale", false, "measure the million-row regime: columnar build, cold solve storm, open-loop churn replay, worker sweep; emit JSON (use -subs for rows)")
 		fanout    = flag.Bool("fanout", false, "measure the relay fan-out tier: origin -> relay chain -> K streaming consumers under churn; emit JSON")
 		fanConns  = flag.String("fanout-conns", "100,1000", "-fanout: comma-separated downstream connection counts to sweep")
@@ -89,7 +91,11 @@ func main() {
 		return
 	}
 	if *recover {
-		if err := runRecoverBench(*subs, *policies, *groups); err != nil {
+		n := *rows
+		if n == 0 {
+			n = *subs
+		}
+		if err := runRecoverBench(n, *policies, *shardSize, *churn); err != nil {
 			log.Fatal(err)
 		}
 		return

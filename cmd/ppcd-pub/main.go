@@ -9,8 +9,10 @@
 // sticky group assignments, the epoch counter and its incarnation generation
 // from an encrypted snapshot plus write-ahead log, every
 // registration/revocation/publish is WAL-appended (fsync) before it takes
-// effect, and fresh snapshots are written on -snapshot-every, on SIGTERM/
-// SIGINT and on quit. A warm restart therefore performs zero ACV re-solves
+// effect, and fresh snapshots are written on -snapshot-every, after
+// -snapshot-wal-records of WAL growth, on SIGTERM/SIGINT and on quit.
+// Snapshots are segmented and incremental: post-churn ones rewrite only the
+// dirty segments. A warm restart therefore performs zero ACV re-solves
 // on its first publish, and reconnecting ppcd-sub stream clients catch up
 // with a delta instead of a snapshot. The state is sealed under the operator
 // key in -state-key (hex, auto-generated on first run; guard that file).
@@ -69,6 +71,7 @@ func main() {
 		stateDir   = flag.String("state-dir", "", "durable-state directory: encrypted snapshot + WAL, auto-recovered on start")
 		stateKey   = flag.String("state-key", "", "operator key file, hex (default <state-dir>/key.hex; created if absent)")
 		snapEvery  = flag.Duration("snapshot-every", 5*time.Minute, "interval between compacted state snapshots (0 disables the ticker)")
+		snapWAL    = flag.Int("snapshot-wal-records", 0, "also snapshot whenever this many WAL records accumulate since the last one (0 disables; bounds replay work after a crash under bursty churn)")
 	)
 	flag.Parse()
 
@@ -138,11 +141,16 @@ func main() {
 			log.Printf("fresh state directory %s", *stateDir)
 		}
 		pub.SetJournal(st)
-		// Snapshot immediately: the incarnation generation becomes durable
-		// before any subscriber sees it, so even a crash before the first
-		// interval snapshot restarts warm.
-		if err := st.Snapshot(pub); err != nil {
-			log.Fatalf("initial snapshot: %v", err)
+		// A fresh directory snapshots immediately: the incarnation generation
+		// is freshly random and must become durable before any subscriber
+		// sees it, so even a crash before the first interval snapshot
+		// restarts warm. A restored store skips this — its generation came
+		// from the snapshot just recovered, and rewriting a million-row state
+		// on every boot is exactly what segmented snapshots avoid.
+		if !rec.Restored {
+			if err := st.Snapshot(pub); err != nil {
+				log.Fatalf("initial snapshot: %v", err)
+			}
 		}
 	}
 
@@ -192,6 +200,23 @@ func main() {
 			for range t.C {
 				if err := st.Snapshot(pub); err != nil {
 					log.Printf("snapshot: %v", err)
+				}
+			}
+		}()
+	}
+	if st != nil && *snapWAL > 0 {
+		// WAL-growth trigger: a churn burst between interval ticks is bounded
+		// to -snapshot-wal-records of replay, and the post-churn snapshot is
+		// incremental so it costs O(churn), not O(state).
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for range t.C {
+				if st.WALRecordsSinceSnapshot() < *snapWAL {
+					continue
+				}
+				if err := st.Snapshot(pub); err != nil {
+					log.Printf("snapshot (wal growth): %v", err)
 				}
 			}
 		}()

@@ -63,6 +63,39 @@ func (s *solveScheduler) submit(fn func(*solveScratch)) {
 	}
 }
 
+// Parallel runs fn(0..n-1) across a bounded spawn-on-demand worker pool —
+// the same shape as the engine's solve scheduler (tasks drain a shared FIFO,
+// idle pools hold zero goroutines) exposed for coarse data-parallel work
+// outside the engine: internal/store fans snapshot-segment unseal+decode
+// across it during recovery. workers ≤ 1 (or n ≤ 1) degrades to a plain
+// loop. Parallel returns when every call has completed; fn must not block on
+// other indices.
+func Parallel(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	sched := newSolveScheduler(workers)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		sched.submit(func(*solveScratch) {
+			defer wg.Done()
+			fn(i)
+		})
+	}
+	wg.Wait()
+}
+
 func (s *solveScheduler) work() {
 	sc := scratchPool.Get().(*solveScratch)
 	defer scratchPool.Put(sc)

@@ -168,7 +168,7 @@ func (p *Publisher) Publish(doc *document.Document) (*Broadcast, error) {
 	// restored counter must stay ahead of every epoch subscribers have seen
 	// under this generation, or a restarted publisher could re-number. Nobody
 	// observed the bump yet, so a journal failure rolls it back cleanly.
-	if err := p.journalAppend(StateEvent{Kind: StateEventPublish, Doc: doc.Name, Epoch: p.epoch}); err != nil {
+	if err := p.journalPublish(StateEvent{Kind: StateEventPublish, Doc: doc.Name, Epoch: p.epoch}); err != nil {
 		p.epoch--
 		return nil, err
 	}

@@ -47,6 +47,36 @@ type cssTable struct {
 	pendAdd []int32 // slots added since the last compact (unsorted)
 	dead    int     // dead slots not yet compacted away
 	freed   []int32 // reusable slots (zeroed, absent from sorted and pendAdd)
+
+	// dirty is a per-slot bitmap of rows mutated since the last segmented
+	// export stole it (statev2_segments.go). Live slots never move — compact
+	// only recycles dead slots — so a slot index is a stable address for
+	// "this row changed" across arbitrary churn, which is what lets a
+	// snapshot rewrite only the slot-range segments that actually changed.
+	// Row creation, every cell write, deletion and group-assignment changes
+	// all mark here, under the registry write lock.
+	dirty []uint64
+}
+
+// markDirty records that slot s's row (cells, presence or group assignment)
+// changed. Callers hold the registry write lock.
+func (t *cssTable) markDirty(s int32) {
+	w := int(s) >> 6
+	for w >= len(t.dirty) {
+		t.dirty = append(t.dirty, 0)
+	}
+	t.dirty[w] |= 1 << (uint(s) & 63)
+}
+
+// stealDirty hands the dirty bitmap to a segmented export and resets it:
+// mutations landing after the steal accumulate toward the NEXT snapshot
+// (they may also be visible to the current export's later row reads, which
+// over-covers harmlessly — WAL replay is idempotent). Callers hold the
+// registry write lock.
+func (t *cssTable) stealDirty() []uint64 {
+	d := t.dirty
+	t.dirty = nil
+	return d
 }
 
 func newCSSTable(conds []string) *cssTable {
@@ -80,6 +110,7 @@ func (t *cssTable) ensureRow(nym string) int32 {
 	t.slotOf[nym] = s
 	t.pendAdd = append(t.pendAdd, s)
 	t.live++
+	t.markDirty(s)
 	return s
 }
 
@@ -98,6 +129,7 @@ func (t *cssTable) deleteRow(nym string) bool {
 	delete(t.slotOf, nym)
 	t.live--
 	t.dead++
+	t.markDirty(s)
 	return true
 }
 

@@ -173,7 +173,12 @@ func (r *registry) applyChurn(gs *groupState, a *policy.ACP, ver uint64, hints m
 	}
 
 	// Departures first, so their slots are refillable by this batch's
-	// arrivals — the same order the full regroup uses.
+	// arrivals — the same order the full regroup uses. Assignment changes
+	// re-dirty the owning table row: the segmented state export stores each
+	// row's group IDs alongside its cells, so a row whose assignment moved
+	// must land in the next snapshot's dirty segments even if its cells were
+	// exported (and its dirty bit cleared) between the mutation and this
+	// grouped assembly.
 	for _, nym := range leavers {
 		gid := gs.assign[nym]
 		delete(gs.assign, nym)
@@ -181,6 +186,9 @@ func (r *registry) applyChurn(gs *groupState, a *policy.ACP, ver uint64, hints m
 		gs.counts[gid]--
 		gs.members[gid] = removeSorted(gs.members[gid], nym)
 		dirty[gid] = true
+		if s, ok := r.tab.slotOf[nym]; ok {
+			r.tab.markDirty(s)
+		}
 	}
 	sort.Strings(joiners)
 	for _, nym := range joiners {
@@ -196,6 +204,9 @@ func (r *registry) applyChurn(gs *groupState, a *policy.ACP, ver uint64, hints m
 		gs.counts[gid]++
 		gs.members[gid] = insertSorted(gs.members[gid], nym)
 		dirty[gid] = true
+		if s, ok := r.tab.slotOf[nym]; ok {
+			r.tab.markDirty(s)
+		}
 	}
 
 	if len(dirty) > 0 {
@@ -283,6 +294,7 @@ func (r *registry) fullRegroup(gs *groupState, a *policy.ACP) {
 	// Assign newcomers to the least-full group with spare capacity (lowest
 	// group number on ties, so refills are deterministic), opening a new
 	// group once all are full. nyms arrive sorted.
+	var newcomers []string
 	for _, nym := range nyms {
 		if _, ok := gs.assign[nym]; ok {
 			continue
@@ -296,9 +308,22 @@ func (r *registry) fullRegroup(gs *groupState, a *policy.ACP) {
 		gs.assign[nym] = gid
 		tracker.move(gid, trackOcc(counts[gid], r.groupSize), trackOcc(counts[gid]+1, r.groupSize))
 		counts[gid]++
+		newcomers = append(newcomers, nym)
 	}
 	gs.counts = counts
 	gs.tracker = tracker
+	if len(newcomers) > 0 {
+		// Fresh assignments re-dirty their rows so the next segmented
+		// snapshot exports the new group IDs (see applyChurn). A row deleted
+		// since the scan already marked itself on deletion.
+		r.mu.Lock()
+		for _, nym := range newcomers {
+			if s, ok := r.tab.slotOf[nym]; ok {
+				r.tab.markDirty(s)
+			}
+		}
+		r.mu.Unlock()
+	}
 
 	// Per-group member lists and row blocks, in sorted-nym order.
 	byGid := make([][]int, len(counts))

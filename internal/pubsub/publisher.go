@@ -220,13 +220,14 @@ func (p *Publisher) Register(req *RegistrationRequest) (*ocbe.Envelope, error) {
 	cells := map[string]core.CSS{req.CondID: css}
 	// Write-ahead: the cells must be durable before they become visible in T
 	// (a crash after the subscriber received its envelope but before the
-	// journal entry would silently lose the registration).
-	p.mutMu.Lock()
-	defer p.mutMu.Unlock()
-	if err := p.journalAppend(StateEvent{Kind: StateEventRegister, Nym: req.Token.Nym, Cells: cells}); err != nil {
+	// journal entry would silently lose the registration). Under a pipelined
+	// journal concurrent registrations share one group flush.
+	err = p.commitMutation(nil,
+		func() { p.reg.setCells(req.Token.Nym, cells) },
+		StateEvent{Kind: StateEventRegister, Nym: req.Token.Nym, Cells: cells})
+	if err != nil {
 		return nil, err
 	}
-	p.reg.setCells(req.Token.Nym, cells)
 	return env, nil
 }
 
@@ -403,34 +404,61 @@ func (p *Publisher) RegisterBatch(reqs []*RegistrationRequest) ([]BatchResult, e
 		sort.Strings(nyms) // deterministic journal order
 		failed := make(map[string]error)
 
-		p.mutMu.Lock()
 		p.jmu.RLock()
 		j := p.journal
 		p.jmu.RUnlock()
-		if bj, ok := j.(BatchJournal); ok {
+		if cj, ok := j.(CommitJournal); ok {
+			// Pipelined group commit: the whole batch enters the journal
+			// order as one unit and shares a flush with any concurrent
+			// mutators. The batch commits or fails atomically (matching the
+			// AppendBatch semantics below).
 			evs := make([]StateEvent, len(nyms))
 			for i, nym := range nyms {
 				evs[i] = StateEvent{Kind: StateEventRegister, Nym: nym, Cells: cellsByNym[nym]}
 			}
-			if err := bj.AppendBatch(evs); err != nil {
+			p.mutMu.Lock()
+			t, err := cj.Begin(evs, func() {
+				for _, nym := range nyms {
+					p.reg.setCells(nym, cellsByNym[nym])
+				}
+			})
+			p.mutMu.Unlock()
+			if err == nil {
+				err = t.Wait()
+			}
+			if err != nil {
 				err = fmt.Errorf("pubsub: journaling state event: %w", err)
 				for _, nym := range nyms {
 					failed[nym] = err
 				}
 			}
 		} else {
-			for _, nym := range nyms {
-				if err := p.journalAppend(StateEvent{Kind: StateEventRegister, Nym: nym, Cells: cellsByNym[nym]}); err != nil {
-					failed[nym] = err
+			p.mutMu.Lock()
+			if bj, ok := j.(BatchJournal); ok {
+				evs := make([]StateEvent, len(nyms))
+				for i, nym := range nyms {
+					evs[i] = StateEvent{Kind: StateEventRegister, Nym: nym, Cells: cellsByNym[nym]}
+				}
+				if err := bj.AppendBatch(evs); err != nil {
+					err = fmt.Errorf("pubsub: journaling state event: %w", err)
+					for _, nym := range nyms {
+						failed[nym] = err
+					}
+				}
+			} else {
+				for _, nym := range nyms {
+					if err := p.journalAppend(StateEvent{Kind: StateEventRegister, Nym: nym, Cells: cellsByNym[nym]}); err != nil {
+						failed[nym] = err
+					}
 				}
 			}
-		}
-		for _, nym := range nyms {
-			if failed[nym] == nil {
-				p.reg.setCells(nym, cellsByNym[nym])
+			for _, nym := range nyms {
+				if failed[nym] == nil {
+					p.reg.setCells(nym, cellsByNym[nym])
+				}
 			}
+			p.mutMu.Unlock()
 		}
-		p.mutMu.Unlock()
 
 		for i, req := range reqs {
 			if results[i].Envelope == nil {
@@ -449,38 +477,49 @@ func (p *Publisher) RegisterBatch(reqs []*RegistrationRequest) ([]BatchResult, e
 // Revocation"): its row disappears from T and the next Publish rekeys every
 // affected configuration.
 func (p *Publisher) RevokeSubscription(nym string) error {
-	// mutMu makes existence check + journal + apply one atomic step: journal
-	// order equals apply order, so crash replay can never resurrect a row a
-	// racing registration committed on the other side of this revocation.
-	p.mutMu.Lock()
-	defer p.mutMu.Unlock()
-	// Journal only revocations that can take effect (an unknown pseudonym is
-	// the caller's error, not a state change).
-	if !p.reg.has(nym, "") {
-		return fmt.Errorf("pubsub: unknown subscriber %q", nym)
-	}
-	if err := p.journalAppend(StateEvent{Kind: StateEventRevokeSubscription, Nym: nym}); err != nil {
+	// commitMutation makes existence check + journal + apply one ordered
+	// step: journal order equals apply order, so crash replay can never
+	// resurrect a row a racing registration committed on the other side of
+	// this revocation.
+	var applyErr error
+	err := p.commitMutation(
+		func() error {
+			// Journal only revocations that can take effect (an unknown
+			// pseudonym is the caller's error, not a state change).
+			if !p.reg.has(nym, "") {
+				return fmt.Errorf("pubsub: unknown subscriber %q", nym)
+			}
+			return nil
+		},
+		func() { applyErr = p.reg.revokeSubscription(nym) },
+		StateEvent{Kind: StateEventRevokeSubscription, Nym: nym})
+	if err != nil {
 		return err
 	}
-	return p.reg.revokeSubscription(nym)
+	return applyErr
 }
 
 // RevokeCredential removes a single CSS cell (paper "Credential
 // Revocation"), enabling fine-tuned user management. Removing a pseudonym's
 // last cell removes the row itself.
 func (p *Publisher) RevokeCredential(nym, condID string) error {
-	p.mutMu.Lock()
-	defer p.mutMu.Unlock()
-	if !p.reg.has(nym, condID) {
-		if !p.reg.has(nym, "") {
-			return fmt.Errorf("pubsub: unknown subscriber %q", nym)
-		}
-		return fmt.Errorf("pubsub: subscriber %q has no CSS for %q", nym, condID)
-	}
-	if err := p.journalAppend(StateEvent{Kind: StateEventRevokeCredential, Nym: nym, Cond: condID}); err != nil {
+	var applyErr error
+	err := p.commitMutation(
+		func() error {
+			if !p.reg.has(nym, condID) {
+				if !p.reg.has(nym, "") {
+					return fmt.Errorf("pubsub: unknown subscriber %q", nym)
+				}
+				return fmt.Errorf("pubsub: subscriber %q has no CSS for %q", nym, condID)
+			}
+			return nil
+		},
+		func() { applyErr = p.reg.revokeCredential(nym, condID) },
+		StateEvent{Kind: StateEventRevokeCredential, Nym: nym, Cond: condID})
+	if err != nil {
 		return err
 	}
-	return p.reg.revokeCredential(nym, condID)
+	return applyErr
 }
 
 // SubscriberCount returns the number of registered pseudonyms.

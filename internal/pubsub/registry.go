@@ -31,6 +31,12 @@ import (
 type registry struct {
 	mu  sync.RWMutex
 	tab *cssTable
+	// tabGen counts wholesale table replacements (restore). A segmented
+	// export base (statev2_segments.go) captured against an older tabGen is
+	// invalid: slot assignment is nondeterministic across a restore, so
+	// carrying "clean" slot-range segments forward would resurrect rows at
+	// their pre-restore slots.
+	tabGen uint64
 	// memVer is the membership version per policy ID.
 	memVer map[string]uint64
 	// byCond maps a condition ID to the IDs of policies containing it.
@@ -153,7 +159,8 @@ func (r *registry) setCells(nym string, cells map[string]core.CSS) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	row := r.tab.row(r.tab.ensureRow(nym))
+	s := r.tab.ensureRow(nym)
+	row := r.tab.row(s)
 	for condID, css := range cells {
 		ci, ok := r.tab.condIdx[condID]
 		if !ok {
@@ -163,6 +170,7 @@ func (r *registry) setCells(nym string, cells map[string]core.CSS) {
 		r.bump(condID)
 		r.hint(nym, condID)
 	}
+	r.tab.markDirty(s)
 	r.maybeCompact()
 }
 
@@ -205,6 +213,7 @@ func (r *registry) revokeCredential(nym, condID string) error {
 	row[ci] = 0
 	r.bump(condID)
 	r.hint(nym, condID)
+	r.tab.markDirty(s)
 	empty := true
 	for _, v := range row {
 		if v != 0 {
@@ -444,6 +453,7 @@ func (r *registry) restore(st registryState) {
 	}
 	tab.compact()
 	r.tab = tab
+	r.tabGen++ // slot layout changed wholesale; segmented bases are void
 	for id := range r.memVer {
 		r.memVer[id] = st.memVer[id]
 	}
@@ -482,6 +492,9 @@ func (r *registry) replaceDiff(table map[string]map[string]core.CSS) {
 	touch := func(nym, cond string) {
 		changed[cond] = true
 		r.hint(nym, cond)
+		if s, ok := r.tab.slotOf[nym]; ok {
+			r.tab.markDirty(s) // brand-new rows are marked by ensureRow below
+		}
 	}
 	// Diff existing rows (including removals) against the incoming table.
 	for s, nym := range r.tab.nyms {
@@ -543,7 +556,8 @@ func (r *registry) setCellsDiff(nym string, cells map[string]core.CSS) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	row := r.tab.row(r.tab.ensureRow(nym))
+	s := r.tab.ensureRow(nym)
+	row := r.tab.row(s)
 	for condID, css := range cells {
 		ci, ok := r.tab.condIdx[condID]
 		if !ok || row[ci] == css {
@@ -552,6 +566,7 @@ func (r *registry) setCellsDiff(nym string, cells map[string]core.CSS) {
 		row[ci] = css
 		r.bump(condID)
 		r.hint(nym, condID)
+		r.tab.markDirty(s)
 	}
 	r.maybeCompact()
 }

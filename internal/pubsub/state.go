@@ -201,6 +201,31 @@ type SnapshotJournal interface {
 	Snapshot(*Publisher) error
 }
 
+// CommitTicket is the pending half of one pipelined commit: Wait blocks
+// until the commit's events are durable AND applied in-memory (nil), or the
+// flush failed (non-nil; the events were neither persisted nor applied, as
+// if the mutation never happened).
+type CommitTicket interface {
+	Wait() error
+}
+
+// CommitJournal is an optional Journal extension for pipelined group commit.
+// Begin assigns the events their place in the journal order and enqueues
+// them for a coalesced flush, returning immediately — the caller then drops
+// the mutation lock and blocks on the ticket, so concurrent mutators share
+// one write+fsync instead of serializing a flush each.
+//
+// Contract: Begin is called under the publisher's mutation lock for table
+// mutations (journal order = apply order stays intact); apply runs exactly
+// once per successful commit, in journal-sequence order, after the events
+// are durable and before any of their tickets resolve — preserving the
+// write-ahead discipline with visibility deferred to durability. On a flush
+// failure apply never runs. internal/store implements it.
+type CommitJournal interface {
+	Journal
+	Begin(evs []StateEvent, apply func()) (CommitTicket, error)
+}
+
 // SetJournal installs (or, with nil, removes) the publisher's durable
 // journal. Install it before serving traffic; mutations occurring before the
 // journal is attached are only captured by the next full snapshot.
@@ -217,14 +242,17 @@ func (p *Publisher) Journal() Journal {
 	return p.journal
 }
 
-// JournalBarrier runs fn at a moment when no table mutation sits between
-// its journal append and its in-memory apply (both happen under the same
-// internal lock). Snapshotters use it to capture the journal sequence their
-// export will cover: every event at or below a sequence read inside the
-// barrier is guaranteed to be reflected by a subsequent export, so skipping
-// those records on recovery can never drop a mutation. (Publish epoch bumps
-// don't need the barrier: the counter is advanced before the event is
-// journaled and read under the same lock the export takes.)
+// JournalBarrier runs fn at a moment when no new table mutation can enter
+// the journal order (the mutation lock is held across fn). Snapshotters use
+// it to capture the journal sequence their export will cover: a pipelined
+// journal (CommitJournal) first drains its in-flight commits inside fn —
+// applies run before acks, so after the drain every table mutation at or
+// below the captured sequence is reflected in memory — then reads the
+// sequence. Skipping those records on recovery can then never drop a
+// mutation. (Publish epoch bumps don't need the barrier: the counter is
+// advanced before the event is journaled and read under the same lock the
+// export takes, so an unflushed publish at or below the captured sequence is
+// still covered.)
 func (p *Publisher) JournalBarrier(fn func()) {
 	p.mutMu.Lock()
 	defer p.mutMu.Unlock()
@@ -236,6 +264,82 @@ func (p *Publisher) journalAppend(ev StateEvent) error {
 	j := p.journal
 	p.jmu.RUnlock()
 	if j == nil {
+		return nil
+	}
+	if err := j.Append(ev); err != nil {
+		return fmt.Errorf("pubsub: journaling state event: %w", err)
+	}
+	return nil
+}
+
+// commitMutation write-ahead-commits evs and runs apply. Against a
+// CommitJournal the append is pipelined: the events enter the journal order
+// under the mutation lock, the lock is released, and the caller blocks only
+// on the shared group flush — so concurrent mutators coalesce into one
+// write+fsync. Against a plain Journal (or none) the whole commit runs
+// synchronously under the mutation lock, exactly as before.
+//
+// check runs under the mutation lock before anything is journaled; a non-nil
+// return aborts the mutation. apply's in-memory effect becomes visible only
+// once the events are durable (write-ahead), and journal order always equals
+// apply order.
+func (p *Publisher) commitMutation(check func() error, apply func(), evs ...StateEvent) error {
+	p.jmu.RLock()
+	j := p.journal
+	p.jmu.RUnlock()
+	if cj, ok := j.(CommitJournal); ok {
+		p.mutMu.Lock()
+		if check != nil {
+			if err := check(); err != nil {
+				p.mutMu.Unlock()
+				return err
+			}
+		}
+		t, err := cj.Begin(evs, apply)
+		p.mutMu.Unlock()
+		if err == nil {
+			err = t.Wait()
+		}
+		if err != nil {
+			return fmt.Errorf("pubsub: journaling state event: %w", err)
+		}
+		return nil
+	}
+	p.mutMu.Lock()
+	defer p.mutMu.Unlock()
+	if check != nil {
+		if err := check(); err != nil {
+			return err
+		}
+	}
+	for _, ev := range evs {
+		if err := p.journalAppend(ev); err != nil {
+			return err
+		}
+	}
+	apply()
+	return nil
+}
+
+// journalPublish journals a publish epoch bump. Unlike table mutations it
+// needs no mutation-lock ordering — the epoch counter is advanced in memory
+// before the event is journaled and replay is a max() — so against a
+// CommitJournal it simply joins whatever group flush is forming.
+func (p *Publisher) journalPublish(ev StateEvent) error {
+	p.jmu.RLock()
+	j := p.journal
+	p.jmu.RUnlock()
+	if j == nil {
+		return nil
+	}
+	if cj, ok := j.(CommitJournal); ok {
+		t, err := cj.Begin([]StateEvent{ev}, func() {})
+		if err == nil {
+			err = t.Wait()
+		}
+		if err != nil {
+			return fmt.Errorf("pubsub: journaling state event: %w", err)
+		}
 		return nil
 	}
 	if err := j.Append(ev); err != nil {

@@ -1,12 +1,11 @@
 package pubsub
 
 import (
-	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 
+	"ppcd/internal/codec"
 	"ppcd/internal/core"
 	"ppcd/internal/ff64"
 	"ppcd/internal/linalg"
@@ -57,105 +56,94 @@ var (
 	errStateOversize  = errors.New("pubsub: state length field exceeds limits")
 )
 
-type stateWriter struct {
-	buf bytes.Buffer
+// stateErr maps the shared codec sentinels (internal/codec, where the
+// bounded-decode primitives live) onto this package's pinned state errors.
+func stateErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, codec.ErrTruncated):
+		return errStateTruncated
+	case errors.Is(err, codec.ErrOversize):
+		return errStateOversize
+	}
+	return err
 }
 
-func (w *stateWriter) u8(v byte) { w.buf.WriteByte(v) }
-func (w *stateWriter) u32(v int) {
-	var b [4]byte
-	binary.BigEndian.PutUint32(b[:], uint32(v))
-	w.buf.Write(b[:])
+// stateWriter and stateReader adapt the shared internal/codec primitives to
+// the v2 state format's limits: every u32 is clamped to maxStateBytes, every
+// count to maxStateCount, and header-sized allocations are charged against a
+// codec.Budget that parallel segment decodes share.
+type stateWriter struct {
+	w codec.Writer
 }
-func (w *stateWriter) u64(v uint64) {
-	var b [8]byte
-	binary.BigEndian.PutUint64(b[:], v)
-	w.buf.Write(b[:])
-}
-func (w *stateWriter) bytes(p []byte) { w.u32(len(p)); w.buf.Write(p) }
-func (w *stateWriter) str(s string)   { w.u32(len(s)); w.buf.WriteString(s) }
+
+func (w *stateWriter) u8(v byte)      { w.w.U8(v) }
+func (w *stateWriter) u32(v int)      { w.w.U32(v) }
+func (w *stateWriter) u64(v uint64)   { w.w.U64(v) }
+func (w *stateWriter) bytes(p []byte) { w.w.Bytes(p) }
+func (w *stateWriter) str(s string)   { w.w.Str(s) }
+func (w *stateWriter) raw(p []byte)   { w.w.Raw(p) }
+func (w *stateWriter) out() []byte    { return w.w.Out() }
 
 type stateReader struct {
-	data []byte
-	off  int
-	// hdrBudget is the remaining cumulative header allowance.
-	hdrBudget int
+	r *codec.Reader
+}
+
+// newStateReader wraps data with the shared allocation budget (nil-safe:
+// a nil budget is unlimited — only tests use that).
+func newStateReader(data []byte, budget *codec.Budget) *stateReader {
+	return &stateReader{r: codec.NewReader(data, budget)}
 }
 
 func (r *stateReader) u8() (byte, error) {
-	if r.off+1 > len(r.data) {
-		return 0, errStateTruncated
-	}
-	v := r.data[r.off]
-	r.off++
-	return v, nil
+	v, err := r.r.U8()
+	return v, stateErr(err)
 }
 
 func (r *stateReader) u32() (int, error) {
-	if r.off+4 > len(r.data) {
-		return 0, errStateTruncated
-	}
-	v := binary.BigEndian.Uint32(r.data[r.off:])
-	r.off += 4
-	if v > maxStateBytes {
-		return 0, errStateOversize
-	}
-	return int(v), nil
+	v, err := r.r.Len(maxStateBytes)
+	return v, stateErr(err)
 }
 
 // count reads a u32 clamped to the generic element-count limit.
 func (r *stateReader) count() (int, error) {
-	n, err := r.u32()
-	if err != nil {
-		return 0, err
-	}
-	if n > maxStateCount {
-		return 0, errStateOversize
-	}
-	return n, nil
+	v, err := r.r.Len(maxStateCount)
+	return v, stateErr(err)
 }
 
 func (r *stateReader) u64() (uint64, error) {
-	if r.off+8 > len(r.data) {
-		return 0, errStateTruncated
-	}
-	v := binary.BigEndian.Uint64(r.data[r.off:])
-	r.off += 8
-	return v, nil
+	v, err := r.r.U64()
+	return v, stateErr(err)
 }
 
 func (r *stateReader) bytes() ([]byte, error) {
-	n, err := r.u32()
-	if err != nil {
-		return nil, err
-	}
-	if r.off+n > len(r.data) {
-		return nil, errStateTruncated
-	}
-	out := append([]byte(nil), r.data[r.off:r.off+n]...)
-	r.off += n
-	return out, nil
+	v, err := r.r.Bytes(maxStateBytes)
+	return v, stateErr(err)
 }
 
 func (r *stateReader) str(maxLen int) (string, error) {
-	n, err := r.u32()
-	if err != nil {
-		return "", err
+	s, err := r.r.Str(maxLen)
+	return s, stateErr(err)
+}
+
+// take returns the next n input bytes (borrowed; callers copy what they keep).
+func (r *stateReader) take(n int) ([]byte, error) {
+	b, err := r.r.Take(n)
+	return b, stateErr(err)
+}
+
+// charge draws n bytes from the shared allocation budget.
+func (r *stateReader) charge(n int) error {
+	if err := r.r.Charge(n); err != nil {
+		return errStateOversize
 	}
-	if n > maxLen {
-		return "", errStateOversize
-	}
-	if r.off+n > len(r.data) {
-		return "", errStateTruncated
-	}
-	s := string(r.data[r.off : r.off+n])
-	r.off += n
-	return s, nil
+	return nil
 }
 
 func (r *stateReader) done() error {
-	if r.off != len(r.data) {
-		return fmt.Errorf("pubsub: state has %d trailing bytes", len(r.data)-r.off)
+	if n := r.r.Remaining(); n != 0 {
+		return fmt.Errorf("pubsub: state has %d trailing bytes", n)
 	}
 	return nil
 }
@@ -212,10 +200,9 @@ func readStateHeader(r *stateReader) (*core.Header, error) {
 		zs[i] = z
 	}
 	h := &core.Header{X: x, Zs: zs}
-	if h.Size() > r.hdrBudget {
-		return nil, errStateOversize
+	if err := r.charge(h.Size()); err != nil {
+		return nil, err
 	}
-	r.hdrBudget -= h.Size()
 	return h, nil
 }
 
@@ -247,7 +234,7 @@ func (p *Publisher) exportStateV2() ([]byte, error) {
 	p.pubMu.Unlock()
 
 	w := &stateWriter{}
-	w.buf.Write(stateMagicV2)
+	w.raw(stateMagicV2)
 	w.u64(epoch)
 	w.u64(gen)
 
@@ -338,10 +325,10 @@ func (p *Publisher) exportStateV2() ([]byte, error) {
 		for _, sd := range subdocs {
 			w.str(sd)
 			d := lb.digests[sd]
-			w.buf.Write(d[:])
+			w.raw(d[:])
 		}
 	}
-	return w.buf.Bytes(), nil
+	return w.out(), nil
 }
 
 func writeStateBroadcast(w *stateWriter, b *Broadcast, cfgByHdr map[*core.Header]string, grpIDByPtr map[*core.GroupedHeader]string) {
@@ -402,7 +389,7 @@ func writeStateBroadcast(w *stateWriter, b *Broadcast, cfgByHdr map[*core.Header
 }
 
 func (p *Publisher) importStateV2(data []byte) error {
-	r := &stateReader{data: data[len(stateMagicV2):], hdrBudget: maxStateHeaderBudget}
+	r := newStateReader(data[len(stateMagicV2):], codec.NewBudget(maxStateHeaderBudget))
 
 	epoch, err := r.u64()
 	if err != nil {
@@ -509,10 +496,9 @@ func (p *Publisher) importStateV2(data []byte) error {
 		// after revocations, so groups may exceed members) — charge it
 		// against the shared budget so a crafted blob cannot amplify a few
 		// bytes into gigabytes of retained slices.
-		if 8*groups > r.hdrBudget {
-			return errStateOversize
+		if err := r.charge(8 * groups); err != nil {
+			return err
 		}
-		r.hdrBudget -= 8 * groups
 		members, err := r.count()
 		if err != nil {
 			return err
@@ -683,12 +669,12 @@ func (p *Publisher) importStateV2(data []byte) error {
 			if err != nil {
 				return err
 			}
-			if r.off+32 > len(r.data) {
-				return errStateTruncated
+			raw, err := r.take(32)
+			if err != nil {
+				return err
 			}
 			var d [32]byte
-			copy(d[:], r.data[r.off:])
-			r.off += 32
+			copy(d[:], raw)
 			digests[sd] = d
 		}
 		last[name] = &lastBroadcast{b: b, digests: digests}
@@ -697,26 +683,53 @@ func (p *Publisher) importStateV2(data []byte) error {
 		return err
 	}
 
-	// Everything decoded and validated; install. The grouped cache entries
-	// carry the pre-resolved header objects, so the engine shares them with
-	// the restored diff bases (pointer identity = delta-small publishes).
-	for i := range grouped {
-		grouped[i].Hdr = restoredGrp[grouped[i].ID]
+	return p.installState(&decodedState{
+		epoch: epoch, gen: gen,
+		table: table, memVer: memVer,
+		grpAssign: grpAssign, grpCounts: grpCounts,
+		cfgs: cfgs, shards: shards, grouped: grouped,
+		restoredGrp: restoredGrp, last: last, dropped: dropped,
+	})
+}
+
+// decodedState is a fully decoded durable state ready to install — the
+// convergence point of the monolithic v2 blob and the segmented import.
+type decodedState struct {
+	epoch, gen  uint64
+	table       map[string]map[string]core.CSS
+	memVer      map[string]uint64
+	grpUniverse map[string]int // segmented import only: per-policy group-universe length
+	grpAssign   map[string]map[string]int
+	grpCounts   map[string][]int
+	cfgs        []core.CachedConfig
+	shards      []core.CachedShard
+	grouped     []core.CachedGrouped
+	restoredGrp map[string]*core.GroupedHeader
+	last        map[string]*lastBroadcast
+	dropped     bool
+}
+
+// installState installs a decoded state into the publisher. The grouped
+// cache entries carry the pre-resolved header objects, so the engine shares
+// them with the restored diff bases (pointer identity = delta-small
+// publishes).
+func (p *Publisher) installState(st *decodedState) error {
+	for i := range st.grouped {
+		st.grouped[i].Hdr = st.restoredGrp[st.grouped[i].ID]
 	}
-	if err := p.keys.engine.RestoreCache(cfgs, shards, grouped); err != nil {
+	if err := p.keys.engine.RestoreCache(st.cfgs, st.shards, st.grouped); err != nil {
 		return err
 	}
-	st := registryState{table: table, memVer: memVer, grpAssign: grpAssign, grpCounts: grpCounts}
-	p.reg.restore(st)
-	if dropped {
+	p.reg.restore(registryState{table: st.table, memVer: st.memVer, grpAssign: st.grpAssign, grpCounts: st.grpCounts})
+	if st.dropped {
 		// The policy set changed since export: restored caches may encode
 		// memberships that no longer hold. Dirty everything.
 		p.reg.bumpAll()
 	}
 	p.pubMu.Lock()
-	p.epoch = epoch
-	p.gen = gen
-	p.lastPub = last
+	p.epoch = st.epoch
+	p.gen = st.gen
+	p.lastPub = st.last
 	p.pubMu.Unlock()
 	return nil
 }

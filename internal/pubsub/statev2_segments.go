@@ -1,0 +1,953 @@
+package pubsub
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+
+	"ppcd/internal/codec"
+	"ppcd/internal/core"
+	"ppcd/internal/ff64"
+)
+
+// Segmented state (v2s): the same durable publisher state as the monolithic
+// v2 blob, split into independently sealable segments so a snapshot after
+// churn rewrites only what changed and recovery decodes in parallel:
+//
+//   - TABLE segments cover contiguous columnar slot ranges of table T
+//     (columnar.go). Live slots never move (compact only recycles dead
+//     slots), so the per-slot dirty bitmap the registry maintains maps
+//     straight onto "which segments must be rewritten". Each row carries its
+//     cells AND its per-policy sticky group IDs — assignment changes re-dirty
+//     the row (grouping.go) — so a restored assignment is exact, not
+//     re-derived.
+//   - CACHE segments partition the engine's exported cache entries into
+//     hash buckets by entry ID. Each bucket has an identity digest (over
+//     ID, content signature, key material — all of which change on any
+//     re-solve); an unchanged digest means the on-disk bucket is still
+//     byte-equivalent in meaning and is carried forward unencoded.
+//   - One META segment holds everything small: epoch, generation, membership
+//     versions, per-policy group-universe lengths, and the per-document diff
+//     bases (whose header references resolve into the cache segments).
+//
+// Segment payloads are plaintext here — internal/store seals each one and
+// binds the set together under a manifest. Payload shape is NOT required to
+// be deterministic across exports (the store records content digests at
+// write time); only the monolithic v2 blob keeps that pin.
+
+// DefaultSegmentSlots is the default table-slot span of one table segment.
+// At ~100 B/row a segment is a few hundred KB: small enough that single-row
+// churn stays cheap, large enough that a million-row table needs only a few
+// hundred files.
+const DefaultSegmentSlots = 4096
+
+// segPayloadVersion versions every segment payload independently of the
+// store's framing.
+const segPayloadVersion = 1
+
+// SegmentGeometry is the shape of one segmented export.
+type SegmentGeometry struct {
+	SegSlots  int // table slots per table segment
+	TableSegs int
+	CacheSegs int
+}
+
+// SegmentBase identifies the previous DURABLY INSTALLED segmented snapshot.
+// The store passes it back into ExportStateSegments so the export can skip
+// clean segments; after any failed install the store must discard it (the
+// dirty bits consumed by the failed export are gone, so only a full export
+// is sound).
+type SegmentBase struct {
+	Geometry     SegmentGeometry
+	TabGen       uint64
+	CacheDigests [][32]byte
+}
+
+// SegmentExport is one segmented state export. Table and Cache hold only the
+// segments that must be (re)written — all of them when Full. CacheDigests
+// always covers every bucket (the store records them in the manifest for the
+// next export's base).
+type SegmentExport struct {
+	Geometry     SegmentGeometry
+	TabGen       uint64
+	Full         bool
+	Meta         []byte
+	Table        map[int][]byte
+	Cache        map[int][]byte
+	CacheDigests [][32]byte
+}
+
+// ExportStateSegments exports the publisher state as segments, rewriting
+// only segments dirtied since base (nil base, a geometry change, or a
+// wholesale table replacement since base forces a full export). Consuming
+// the registry's dirty bitmap is destructive: the caller owns persisting
+// every returned segment or falling back to a full export next time.
+//
+// The returned payloads are SECRET plaintext, like ExportState's blob.
+func (p *Publisher) ExportStateSegments(segSlots int, base *SegmentBase) (*SegmentExport, error) {
+	if segSlots <= 0 {
+		segSlots = DefaultSegmentSlots
+	}
+	r := p.reg
+
+	cfgs, shards, grouped := p.keys.engine.ExportCache()
+	sort.Slice(cfgs, func(i, j int) bool { return cfgs[i].ID < cfgs[j].ID })
+	sort.Slice(shards, func(i, j int) bool { return shards[i].ID < shards[j].ID })
+	sort.Slice(grouped, func(i, j int) bool { return grouped[i].ID < grouped[j].ID })
+
+	// grpMu held across the whole export: assignments, group-universe
+	// lengths and the rows they describe are read as one consistent unit
+	// (lock order grpMu → mu → pubMu, consistent with every other path).
+	r.grpMu.Lock()
+	defer r.grpMu.Unlock()
+
+	// Steal the dirty bitmap and capture geometry under the write lock.
+	// Mutations landing after the steal re-accumulate for the next snapshot;
+	// the WAL records they journal sit above the store's captured sequence,
+	// so replay covers them regardless of whether this export's later row
+	// reads happened to observe them.
+	r.mu.Lock()
+	tabGen := r.tabGen
+	slotsLen := len(r.tab.nyms)
+	dirtyBits := r.tab.stealDirty()
+	r.mu.Unlock()
+
+	tableSegs := (slotsLen + segSlots - 1) / segSlots
+	full := base == nil ||
+		base.TabGen != tabGen ||
+		base.Geometry.SegSlots != segSlots ||
+		base.Geometry.TableSegs > tableSegs ||
+		base.Geometry.CacheSegs <= 0
+	// Cache bucket geometry is independent of the table carry: when the cache
+	// has grown enough to deserve more buckets, re-bucket it inside this
+	// otherwise-incremental export (every bucket rewritten once — the base
+	// digests are not comparable across a re-partition) rather than pinning
+	// the base's count forever. A snapshot taken before the first publish
+	// would otherwise lock a near-empty cache's 8 coarse buckets in place and
+	// make every later churn snapshot rewrite the whole cache. Shrink keeps
+	// the base count: extra small buckets are harmless, and growing only
+	// monotonically prevents re-partition flapping around a threshold.
+	cacheSegs := cacheBucketCount(len(cfgs) + len(shards) + len(grouped))
+	rebucket := full
+	if !full {
+		if cacheSegs <= base.Geometry.CacheSegs {
+			cacheSegs = base.Geometry.CacheSegs
+		} else {
+			rebucket = true
+		}
+	}
+
+	exp := &SegmentExport{
+		Geometry: SegmentGeometry{SegSlots: segSlots, TableSegs: tableSegs, CacheSegs: cacheSegs},
+		TabGen:   tabGen,
+		Full:     full,
+		Table:    make(map[int][]byte),
+		Cache:    make(map[int][]byte),
+	}
+
+	// Dirty table segments: every stolen bit's segment, plus any segment
+	// range that did not exist at the base (appended slots mark themselves,
+	// so this is belt-and-braces for the geometry edge).
+	dirtySegs := make(map[int]bool)
+	if full {
+		for i := 0; i < tableSegs; i++ {
+			dirtySegs[i] = true
+		}
+	} else {
+		for w, mask := range dirtyBits {
+			for mask != 0 {
+				slot := w*64 + bits.TrailingZeros64(mask)
+				mask &= mask - 1
+				if slot < slotsLen {
+					dirtySegs[slot/segSlots] = true
+				}
+			}
+		}
+		for i := base.Geometry.TableSegs; i < tableSegs; i++ {
+			dirtySegs[i] = true
+		}
+	}
+
+	polIDs := make([]string, 0, len(r.grp))
+	for id := range r.grp {
+		polIDs = append(polIDs, id)
+	}
+	sort.Strings(polIDs)
+
+	r.mu.RLock()
+	for seg := range dirtySegs {
+		lo := seg * segSlots
+		hi := lo + segSlots
+		if n := len(r.tab.nyms); hi > n {
+			hi = n
+		}
+		exp.Table[seg] = r.encodeTableSegment(lo, hi, polIDs)
+	}
+	r.mu.RUnlock()
+
+	// Cache buckets: partition deterministically by entry ID, digest each
+	// bucket's identity, and re-encode only buckets whose digest moved.
+	cfgB, shardB, grpB := partitionCacheEntries(cacheSegs, cfgs, shards, grouped)
+	exp.CacheDigests = make([][32]byte, cacheSegs)
+	for b := 0; b < cacheSegs; b++ {
+		exp.CacheDigests[b] = cacheBucketDigest(cfgs, shards, grouped, cfgB[b], shardB[b], grpB[b])
+		if !rebucket && b < len(base.CacheDigests) && base.CacheDigests[b] == exp.CacheDigests[b] {
+			continue
+		}
+		exp.Cache[b] = encodeCacheBucket(cfgs, shards, grouped, cfgB[b], shardB[b], grpB[b])
+	}
+
+	exp.Meta = p.encodeMetaSegment(cfgs, grouped, polIDs)
+	return exp, nil
+}
+
+// cacheBucketCount picks a power-of-two bucket count targeting ~16 entries
+// per bucket, clamped to [8, 1024]. Cached shard builds are kilobytes each,
+// so a K-shard churn rewrite costs ~K buckets × 16 entries — a sliver of the
+// cache even at a million rows — while 1024 files stays filesystem-friendly.
+func cacheBucketCount(entries int) int {
+	b := 8
+	for b < 1024 && b*16 < entries {
+		b <<= 1
+	}
+	return b
+}
+
+// cacheBucketOf maps one entry ID (tagged by kind so the three cache levels
+// hash independently) to its bucket.
+func cacheBucketOf(kind byte, id string, nbuckets int) int {
+	h := fnv.New64a()
+	h.Write([]byte{kind})
+	h.Write([]byte(id))
+	return int(h.Sum64() & uint64(nbuckets-1))
+}
+
+func partitionCacheEntries(nbuckets int, cfgs []core.CachedConfig, shards []core.CachedShard, grouped []core.CachedGrouped) (cfgB, shardB, grpB [][]int) {
+	cfgB = make([][]int, nbuckets)
+	shardB = make([][]int, nbuckets)
+	grpB = make([][]int, nbuckets)
+	for i := range cfgs {
+		b := cacheBucketOf('C', cfgs[i].ID, nbuckets)
+		cfgB[b] = append(cfgB[b], i)
+	}
+	for i := range shards {
+		b := cacheBucketOf('S', shards[i].ID, nbuckets)
+		shardB[b] = append(shardB[b], i)
+	}
+	for i := range grouped {
+		b := cacheBucketOf('G', grouped[i].ID, nbuckets)
+		grpB[b] = append(grpB[b], i)
+	}
+	return
+}
+
+// cacheBucketDigest computes one bucket's identity digest. The tuple hashed
+// per entry — ID, content signature, key material, rekey nonce, wraps and
+// shard references — pins a specific solved build: signatures are content
+// digests of the membership and keys/nonces are drawn fresh on every solve,
+// so any re-solve (even one reproducing the same signature after a cache
+// reset) moves the digest. Ungrouped configuration headers and inline shard
+// fallbacks are hashed in full — they are few. Shard sub-headers are pinned
+// by (Sig, Key) instead of content, which is what keeps this digest pass
+// O(entries), not O(state bytes). Digests cover SECRET key material; the
+// store persists them only inside the sealed manifest.
+func cacheBucketDigest(cfgs []core.CachedConfig, shards []core.CachedShard, grouped []core.CachedGrouped, cfgIdx, shardIdx, grpIdx []int) [32]byte {
+	h := sha256.New()
+	var num [8]byte
+	ws := func(s string) {
+		binary.BigEndian.PutUint64(num[:], uint64(len(s)))
+		h.Write(num[:])
+		h.Write([]byte(s))
+	}
+	wu := func(v uint64) {
+		binary.BigEndian.PutUint64(num[:], v)
+		h.Write(num[:])
+	}
+	whdr := func(hd *core.Header) {
+		wu(uint64(len(hd.X)))
+		for _, e := range hd.X {
+			wu(uint64(e))
+		}
+		wu(uint64(len(hd.Zs)))
+		for _, z := range hd.Zs {
+			wu(uint64(len(z)))
+			h.Write(z)
+		}
+	}
+	for _, i := range cfgIdx {
+		c := &cfgs[i]
+		h.Write([]byte{'C'})
+		ws(c.ID)
+		ws(c.Sig)
+		wu(uint64(c.Key))
+		whdr(c.Hdr)
+	}
+	for _, i := range shardIdx {
+		s := &shards[i]
+		h.Write([]byte{'S'})
+		ws(s.ID)
+		ws(s.Sig)
+		wu(uint64(s.Key))
+	}
+	for _, i := range grpIdx {
+		g := &grouped[i]
+		h.Write([]byte{'G'})
+		ws(g.ID)
+		ws(g.Sig)
+		wu(uint64(g.Key))
+		wu(uint64(len(g.RekeyNonce)))
+		h.Write(g.RekeyNonce)
+		wu(uint64(len(g.Shards)))
+		for _, sh := range g.Shards {
+			wu(uint64(sh.Wrap))
+			if sh.ShardID != "" {
+				h.Write([]byte{'r'})
+				ws(sh.ShardID)
+			} else {
+				h.Write([]byte{'i'})
+				whdr(sh.Hdr)
+			}
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// encodeTableSegment encodes the live rows of slots [lo, hi): cells against
+// a per-segment condition dictionary, sticky group IDs against a per-segment
+// policy dictionary. Callers hold grpMu and at least the registry read lock.
+func (r *registry) encodeTableSegment(lo, hi int, polIDs []string) []byte {
+	w := &stateWriter{}
+	w.u8(segPayloadVersion)
+
+	type rowEnc struct {
+		nym     string
+		cells   [][2]uint64 // dict index, css
+		assigns [][2]int    // policy dict index, gid
+	}
+	var (
+		rows     []rowEnc
+		condDict []string
+		condIdx  = make(map[int]int) // global column → dict index
+		polDict  []string
+		polIdx   = make(map[string]int)
+	)
+	for s := lo; s < hi; s++ {
+		nym := r.tab.nyms[s]
+		if nym == "" {
+			continue
+		}
+		re := rowEnc{nym: nym}
+		for ci, v := range r.tab.row(int32(s)) {
+			if v == 0 {
+				continue
+			}
+			di, ok := condIdx[ci]
+			if !ok {
+				di = len(condDict)
+				condIdx[ci] = di
+				condDict = append(condDict, r.tab.conds[ci])
+			}
+			re.cells = append(re.cells, [2]uint64{uint64(di), uint64(v)})
+		}
+		for _, pid := range polIDs {
+			gid, ok := r.grp[pid].assign[nym]
+			if !ok {
+				continue
+			}
+			pi, ok := polIdx[pid]
+			if !ok {
+				pi = len(polDict)
+				polIdx[pid] = pi
+				polDict = append(polDict, pid)
+			}
+			re.assigns = append(re.assigns, [2]int{pi, gid})
+		}
+		rows = append(rows, re)
+	}
+
+	w.u32(len(condDict))
+	for _, c := range condDict {
+		w.str(c)
+	}
+	w.u32(len(polDict))
+	for _, pid := range polDict {
+		w.str(pid)
+	}
+	w.u32(len(rows))
+	for _, re := range rows {
+		w.str(re.nym)
+		w.u32(len(re.cells))
+		for _, c := range re.cells {
+			w.u32(int(c[0]))
+			w.u64(c[1])
+		}
+		w.u32(len(re.assigns))
+		for _, a := range re.assigns {
+			w.u32(a[0])
+			w.u32(a[1])
+		}
+	}
+	return w.out()
+}
+
+// encodeCacheBucket encodes one bucket's cache entries, using the same
+// per-entry encodings as the monolithic v2 blob. Grouped shard references
+// may point at shards in OTHER buckets; resolution happens after all buckets
+// decode.
+func encodeCacheBucket(cfgs []core.CachedConfig, shards []core.CachedShard, grouped []core.CachedGrouped, cfgIdx, shardIdx, grpIdx []int) []byte {
+	w := &stateWriter{}
+	w.u8(segPayloadVersion)
+	w.u32(len(cfgIdx))
+	for _, i := range cfgIdx {
+		c := &cfgs[i]
+		w.str(c.ID)
+		w.str(c.Sig)
+		writeStateHeader(w, c.Hdr)
+		w.u64(uint64(c.Key))
+	}
+	w.u32(len(shardIdx))
+	for _, i := range shardIdx {
+		s := &shards[i]
+		w.str(s.ID)
+		w.str(s.Sig)
+		writeStateHeader(w, s.Hdr)
+		w.u64(uint64(s.Key))
+	}
+	w.u32(len(grpIdx))
+	for _, i := range grpIdx {
+		g := &grouped[i]
+		w.str(g.ID)
+		w.str(g.Sig)
+		w.bytes(g.RekeyNonce)
+		w.u32(len(g.Shards))
+		for _, sh := range g.Shards {
+			if sh.ShardID != "" {
+				w.u8(0)
+				w.str(sh.ShardID)
+			} else {
+				w.u8(1)
+				writeStateHeader(w, sh.Hdr)
+			}
+			w.u64(uint64(sh.Wrap))
+		}
+		w.u64(uint64(g.Key))
+	}
+	return w.out()
+}
+
+// encodeMetaSegment encodes the small always-rewritten remainder: epoch,
+// generation, membership versions, per-policy group-universe lengths and the
+// per-document diff bases. Callers hold grpMu.
+func (p *Publisher) encodeMetaSegment(cfgs []core.CachedConfig, grouped []core.CachedGrouped, polIDs []string) []byte {
+	r := p.reg
+	cfgByHdr := make(map[*core.Header]string, len(cfgs))
+	for i := range cfgs {
+		cfgByHdr[cfgs[i].Hdr] = cfgs[i].ID
+	}
+	grpIDByPtr := make(map[*core.GroupedHeader]string, len(grouped))
+	for i := range grouped {
+		grpIDByPtr[grouped[i].Hdr] = grouped[i].ID
+	}
+
+	w := &stateWriter{}
+	w.u8(segPayloadVersion)
+
+	p.pubMu.Lock()
+	epoch, gen := p.epoch, p.gen
+	last := make(map[string]*lastBroadcast, len(p.lastPub))
+	for name, lb := range p.lastPub {
+		last[name] = lb
+	}
+	p.pubMu.Unlock()
+	w.u64(epoch)
+	w.u64(gen)
+
+	r.mu.RLock()
+	ids := sortedKeys(r.memVer)
+	w.u32(len(ids))
+	for _, id := range ids {
+		w.str(id)
+		w.u64(r.memVer[id])
+	}
+	r.mu.RUnlock()
+
+	w.u32(len(polIDs))
+	for _, pid := range polIDs {
+		w.str(pid)
+		w.u32(len(r.grp[pid].counts))
+	}
+
+	docs := sortedKeys(last)
+	w.u32(len(docs))
+	for _, name := range docs {
+		lb := last[name]
+		w.str(name)
+		writeStateBroadcast(w, lb.b, cfgByHdr, grpIDByPtr)
+		subdocs := sortedKeys(lb.digests)
+		w.u32(len(subdocs))
+		for _, sd := range subdocs {
+			w.str(sd)
+			d := lb.digests[sd]
+			w.raw(d[:])
+		}
+	}
+	return w.out()
+}
+
+// --- import ----------------------------------------------------------------
+
+// decodedTableSeg is one decoded table segment.
+type decodedTableSeg struct {
+	rows    []decodedRow
+	err     error
+	segment int
+}
+
+type decodedRow struct {
+	nym     string
+	cells   map[string]core.CSS
+	assigns map[string]int
+	dropped bool
+}
+
+// decodedCacheSeg is one decoded cache bucket.
+type decodedCacheSeg struct {
+	cfgs    []core.CachedConfig
+	shards  []core.CachedShard
+	grouped []core.CachedGrouped
+	err     error
+}
+
+// ImportStateSegments restores a publisher from a full set of decoded
+// segment payloads (every table segment and cache bucket the manifest lists,
+// in index order, plus the meta segment). Table and cache segments decode in
+// parallel across up to workers goroutines — they are independent — while
+// validation that spans segments (duplicate pseudonyms, assignment bounds)
+// and the final install run serially. All decodes share one allocation
+// budget, so the parallel path enforces the same global bound as the
+// monolithic import.
+func (p *Publisher) ImportStateSegments(meta []byte, table, cache [][]byte, workers int) error {
+	total := len(meta)
+	for _, seg := range table {
+		total += len(seg)
+	}
+	for _, seg := range cache {
+		total += len(seg)
+	}
+	if total > maxStateBytes {
+		return fmt.Errorf("pubsub: state of %d bytes exceeds the %d limit", total, maxStateBytes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	budget := codec.NewBudget(maxStateHeaderBudget)
+
+	tabSegs := make([]decodedTableSeg, len(table))
+	cacheSegs := make([]decodedCacheSeg, len(cache))
+	core.Parallel(workers, len(table)+len(cache), func(i int) {
+		if i < len(table) {
+			tabSegs[i] = decodeTableSegment(p, table[i], budget)
+			tabSegs[i].segment = i
+		} else {
+			cacheSegs[i-len(table)] = decodeCacheSegment(cache[i-len(table)], budget)
+		}
+	})
+	for i := range tabSegs {
+		if tabSegs[i].err != nil {
+			return fmt.Errorf("pubsub: table segment %d: %w", i, tabSegs[i].err)
+		}
+	}
+	for i := range cacheSegs {
+		if cacheSegs[i].err != nil {
+			return fmt.Errorf("pubsub: cache segment %d: %w", i, cacheSegs[i].err)
+		}
+	}
+
+	var cfgs []core.CachedConfig
+	var shards []core.CachedShard
+	var grouped []core.CachedGrouped
+	for i := range cacheSegs {
+		cfgs = append(cfgs, cacheSegs[i].cfgs...)
+		shards = append(shards, cacheSegs[i].shards...)
+		grouped = append(grouped, cacheSegs[i].grouped...)
+	}
+	cfgHdrByID := make(map[string]*core.Header, len(cfgs))
+	for i := range cfgs {
+		cfgHdrByID[cfgs[i].ID] = cfgs[i].Hdr
+	}
+	restoredGrp, err := restoreGroupedHeaders(shards, grouped)
+	if err != nil {
+		return err
+	}
+
+	st, err := p.decodeMetaSegment(meta, budget, cfgHdrByID, restoredGrp)
+	if err != nil {
+		return fmt.Errorf("pubsub: meta segment: %w", err)
+	}
+	st.cfgs, st.shards, st.grouped, st.restoredGrp = cfgs, shards, grouped, restoredGrp
+
+	// Merge table segments: duplicate pseudonyms across segments are a
+	// manifest-level inconsistency (a slot lives in exactly one segment),
+	// and assignments must land inside the meta-declared group universe.
+	st.table = make(map[string]map[string]core.CSS)
+	st.grpAssign = make(map[string]map[string]int)
+	st.grpCounts = make(map[string][]int)
+	for id, n := range st.grpUniverse {
+		st.grpAssign[id] = make(map[string]int)
+		st.grpCounts[id] = make([]int, n)
+	}
+	for i := range tabSegs {
+		for _, row := range tabSegs[i].rows {
+			if row.dropped {
+				st.dropped = true
+			}
+			if row.cells == nil {
+				continue
+			}
+			if _, dup := st.table[row.nym]; dup {
+				return fmt.Errorf("pubsub: state contains duplicate pseudonym %q", row.nym)
+			}
+			st.table[row.nym] = row.cells
+			for pid, gid := range row.assigns {
+				groups, ok := st.grpUniverse[pid]
+				if !ok {
+					return fmt.Errorf("pubsub: state assigns %q in unknown policy %q", row.nym, pid)
+				}
+				if gid >= groups {
+					return fmt.Errorf("pubsub: state assigns %q to group %d of %d", row.nym, gid, groups)
+				}
+				st.grpAssign[pid][row.nym] = gid
+				st.grpCounts[pid][gid]++
+			}
+		}
+	}
+	return p.installState(st)
+}
+
+func decodeTableSegment(p *Publisher, data []byte, budget *codec.Budget) decodedTableSeg {
+	r := newStateReader(data, budget)
+	var out decodedTableSeg
+	fail := func(err error) decodedTableSeg { out.err = err; return out }
+	ver, err := r.u8()
+	if err != nil {
+		return fail(err)
+	}
+	if ver != segPayloadVersion {
+		return fail(fmt.Errorf("unsupported segment version %d", ver))
+	}
+	nd, err := r.count()
+	if err != nil {
+		return fail(err)
+	}
+	conds := make([]string, nd)
+	for i := range conds {
+		if conds[i], err = r.str(maxStateCondLen); err != nil {
+			return fail(err)
+		}
+	}
+	np, err := r.count()
+	if err != nil {
+		return fail(err)
+	}
+	pols := make([]string, np)
+	for i := range pols {
+		if pols[i], err = r.str(maxStateCondLen); err != nil {
+			return fail(err)
+		}
+	}
+	n, err := r.count()
+	if err != nil {
+		return fail(err)
+	}
+	// Rows retain count-driven map allocations; charge them like header
+	// material so a crafted segment set cannot amplify.
+	if err := r.charge(16 * n); err != nil {
+		return fail(err)
+	}
+	out.rows = make([]decodedRow, 0, n)
+	for i := 0; i < n; i++ {
+		var row decodedRow
+		if row.nym, err = r.str(maxStateNymLen); err != nil {
+			return fail(err)
+		}
+		if err := validateStateNym(row.nym); err != nil {
+			return fail(err)
+		}
+		nc, err := r.count()
+		if err != nil {
+			return fail(err)
+		}
+		if nc > maxStateRowCells {
+			return fail(errStateOversize)
+		}
+		cells := make(map[string]core.CSS, nc)
+		for j := 0; j < nc; j++ {
+			di, err := r.u32()
+			if err != nil {
+				return fail(err)
+			}
+			css, err := r.u64()
+			if err != nil {
+				return fail(err)
+			}
+			if di >= len(conds) {
+				return fail(fmt.Errorf("cell references dictionary entry %d of %d", di, len(conds)))
+			}
+			if css == 0 || css >= ff64.Modulus {
+				return fail(fmt.Errorf("invalid CSS for (%q, %q)", row.nym, conds[di]))
+			}
+			if _, known := p.condByID[conds[di]]; !known {
+				row.dropped = true
+				continue
+			}
+			cells[conds[di]] = core.CSS(css)
+		}
+		na, err := r.count()
+		if err != nil {
+			return fail(err)
+		}
+		if na > np {
+			return fail(errStateOversize)
+		}
+		assigns := make(map[string]int, na)
+		for j := 0; j < na; j++ {
+			pi, err := r.u32()
+			if err != nil {
+				return fail(err)
+			}
+			gid, err := r.u32()
+			if err != nil {
+				return fail(err)
+			}
+			if pi >= len(pols) {
+				return fail(fmt.Errorf("assignment references dictionary entry %d of %d", pi, len(pols)))
+			}
+			if _, dup := assigns[pols[pi]]; dup {
+				return fail(fmt.Errorf("state assigns %q twice in policy %q", row.nym, pols[pi]))
+			}
+			assigns[pols[pi]] = gid
+		}
+		if len(cells) == 0 {
+			row.dropped = true
+		} else {
+			row.cells = cells
+			row.assigns = assigns
+		}
+		out.rows = append(out.rows, row)
+	}
+	out.err = r.done()
+	return out
+}
+
+func decodeCacheSegment(data []byte, budget *codec.Budget) decodedCacheSeg {
+	r := newStateReader(data, budget)
+	var out decodedCacheSeg
+	fail := func(err error) decodedCacheSeg { out.err = err; return out }
+	ver, err := r.u8()
+	if err != nil {
+		return fail(err)
+	}
+	if ver != segPayloadVersion {
+		return fail(fmt.Errorf("unsupported segment version %d", ver))
+	}
+	n, err := r.count()
+	if err != nil {
+		return fail(err)
+	}
+	for i := 0; i < n; i++ {
+		var c core.CachedConfig
+		if c.ID, err = r.str(maxStateSigLen); err != nil {
+			return fail(err)
+		}
+		if c.Sig, err = r.str(maxStateSigLen); err != nil {
+			return fail(err)
+		}
+		if c.Hdr, err = readStateHeader(r); err != nil {
+			return fail(err)
+		}
+		if c.Key, err = r.elem(); err != nil {
+			return fail(err)
+		}
+		out.cfgs = append(out.cfgs, c)
+	}
+	if n, err = r.count(); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < n; i++ {
+		var s core.CachedShard
+		if s.ID, err = r.str(maxStateSigLen); err != nil {
+			return fail(err)
+		}
+		if s.Sig, err = r.str(maxStateSigLen); err != nil {
+			return fail(err)
+		}
+		if s.Hdr, err = readStateHeader(r); err != nil {
+			return fail(err)
+		}
+		if s.Key, err = r.elem(); err != nil {
+			return fail(err)
+		}
+		out.shards = append(out.shards, s)
+	}
+	if n, err = r.count(); err != nil {
+		return fail(err)
+	}
+	for i := 0; i < n; i++ {
+		var g core.CachedGrouped
+		if g.ID, err = r.str(maxStateSigLen); err != nil {
+			return fail(err)
+		}
+		if g.Sig, err = r.str(maxStateSigLen); err != nil {
+			return fail(err)
+		}
+		if g.RekeyNonce, err = r.bytes(); err != nil {
+			return fail(err)
+		}
+		if len(g.RekeyNonce) != core.NonceSize {
+			return fail(fmt.Errorf("rekey nonce of %d bytes, want %d", len(g.RekeyNonce), core.NonceSize))
+		}
+		ns, err := r.count()
+		if err != nil {
+			return fail(err)
+		}
+		g.Shards = make([]core.CachedGroupedShard, ns)
+		for j := 0; j < ns; j++ {
+			kind, err := r.u8()
+			if err != nil {
+				return fail(err)
+			}
+			var sh core.CachedGroupedShard
+			switch kind {
+			case 0:
+				if sh.ShardID, err = r.str(maxStateSigLen); err != nil {
+					return fail(err)
+				}
+			case 1:
+				if sh.Hdr, err = readStateHeader(r); err != nil {
+					return fail(err)
+				}
+			default:
+				return fail(fmt.Errorf("bad state shard kind %d", kind))
+			}
+			if sh.Wrap, err = r.elem(); err != nil {
+				return fail(err)
+			}
+			g.Shards[j] = sh
+		}
+		if g.Key, err = r.elem(); err != nil {
+			return fail(err)
+		}
+		out.grouped = append(out.grouped, g)
+	}
+	out.err = r.done()
+	return out
+}
+
+func (p *Publisher) decodeMetaSegment(data []byte, budget *codec.Budget, cfgHdrByID map[string]*core.Header, restoredGrp map[string]*core.GroupedHeader) (*decodedState, error) {
+	r := newStateReader(data, budget)
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != segPayloadVersion {
+		return nil, fmt.Errorf("unsupported segment version %d", ver)
+	}
+	st := &decodedState{}
+	if st.epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if st.gen, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if st.gen == 0 {
+		return nil, fmt.Errorf("state has zero generation")
+	}
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	st.memVer = make(map[string]uint64, n)
+	for i := 0; i < n; i++ {
+		id, err := r.str(maxStateCondLen)
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.u64()
+		if err != nil {
+			return nil, err
+		}
+		st.memVer[id] = v
+	}
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	st.grpUniverse = make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		id, err := r.str(maxStateCondLen)
+		if err != nil {
+			return nil, err
+		}
+		groups, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		// Group-count lists allocate 8*groups retained bytes not bounded by
+		// the input length (empty groups keep their numbers) — charge them,
+		// exactly like the monolithic import.
+		if err := r.charge(8 * groups); err != nil {
+			return nil, err
+		}
+		st.grpUniverse[id] = groups
+	}
+	if n, err = r.count(); err != nil {
+		return nil, err
+	}
+	st.last = make(map[string]*lastBroadcast, n)
+	for i := 0; i < n; i++ {
+		name, err := r.str(maxStateCondLen)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := st.last[name]; dup {
+			return nil, fmt.Errorf("state contains duplicate document %q", name)
+		}
+		b, err := readStateBroadcast(r, cfgHdrByID, restoredGrp)
+		if err != nil {
+			return nil, err
+		}
+		if b.DocName != name {
+			return nil, fmt.Errorf("state diff base keyed %q holds document %q", name, b.DocName)
+		}
+		if b.Gen != st.gen {
+			return nil, fmt.Errorf("state diff base %q carries foreign generation", name)
+		}
+		nd, err := r.count()
+		if err != nil {
+			return nil, err
+		}
+		digests := make(map[string][32]byte, nd)
+		for j := 0; j < nd; j++ {
+			sd, err := r.str(maxStateCondLen)
+			if err != nil {
+				return nil, err
+			}
+			raw, err := r.take(32)
+			if err != nil {
+				return nil, err
+			}
+			var d [32]byte
+			copy(d[:], raw)
+			digests[sd] = d
+		}
+		st.last[name] = &lastBroadcast{b: b, digests: digests}
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

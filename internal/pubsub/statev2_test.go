@@ -285,7 +285,7 @@ func TestStateV2Hardening(t *testing.T) {
 
 	// Out-of-range CSS, on a hand-built minimal state.
 	w := &stateWriter{}
-	w.buf.Write(stateMagicV2)
+	w.raw(stateMagicV2)
 	w.u64(1)            // epoch
 	w.u64(7)            // gen
 	w.u32(1)            // one nym
@@ -293,13 +293,13 @@ func TestStateV2Hardening(t *testing.T) {
 	w.u32(1)            // one cell
 	w.str("attr0 >= 1") // condition
 	w.u64(0)            // CSS zero: invalid
-	if err := fresh().ImportState(w.buf.Bytes()); err == nil {
+	if err := fresh().ImportState(w.out()); err == nil {
 		t.Error("zero CSS imported")
 	}
 
 	// Duplicate pseudonyms.
 	w = &stateWriter{}
-	w.buf.Write(stateMagicV2)
+	w.raw(stateMagicV2)
 	w.u64(1)
 	w.u64(7)
 	w.u32(2)
@@ -309,27 +309,27 @@ func TestStateV2Hardening(t *testing.T) {
 		w.str("attr0 >= 1")
 		w.u64(5)
 	}
-	if err := fresh().ImportState(w.buf.Bytes()); err == nil {
+	if err := fresh().ImportState(w.out()); err == nil {
 		t.Error("duplicate pseudonym imported")
 	}
 
 	// Zero generation (would disable the restart-detection stamp).
 	w = &stateWriter{}
-	w.buf.Write(stateMagicV2)
+	w.raw(stateMagicV2)
 	w.u64(1)
 	w.u64(0)
-	if err := fresh().ImportState(w.buf.Bytes()); err == nil {
+	if err := fresh().ImportState(w.out()); err == nil {
 		t.Error("zero generation imported")
 	}
 
 	// Oversized element count: must be rejected by the clamp before any
 	// allocation of that size is attempted.
 	w = &stateWriter{}
-	w.buf.Write(stateMagicV2)
+	w.raw(stateMagicV2)
 	w.u64(1)
 	w.u64(7)
 	w.u32(1 << 30) // nym count far beyond maxStateCount
-	if err := fresh().ImportState(w.buf.Bytes()); err == nil {
+	if err := fresh().ImportState(w.out()); err == nil {
 		t.Error("oversized count imported")
 	}
 
@@ -466,7 +466,7 @@ func TestAdmissionEnforcesStateCaps(t *testing.T) {
 // maximum-group policies must hit the shared budget, not the OOM killer.
 func TestStateV2GroupCountBudget(t *testing.T) {
 	w := &stateWriter{}
-	w.buf.Write(stateMagicV2)
+	w.raw(stateMagicV2)
 	w.u64(1)            // epoch
 	w.u64(7)            // gen
 	w.u32(0)            // no table rows
@@ -479,7 +479,91 @@ func TestStateV2GroupCountBudget(t *testing.T) {
 		w.u32(0)             // members
 	}
 	env := newDeltaEnv(t, 1, 2)
-	if err := env.pub.ImportState(w.buf.Bytes()); err == nil {
+	if err := env.pub.ImportState(w.out()); err == nil {
 		t.Fatal("state demanding gigabytes of group lists imported")
+	}
+}
+
+// TestSegmentExportCacheRebucket pins the cache-geometry escape hatch: a base
+// snapshot pinned at too few cache buckets (typically one taken before the
+// first publish, when the cache was empty) must not chain that coarse
+// partition forever. The next incremental export re-buckets the cache to the
+// count its entry population deserves — rewriting every bucket once — while
+// the table still carries its clean segments. Shrink keeps the base count so
+// the partition never flaps around a growth threshold.
+func TestSegmentExportCacheRebucket(t *testing.T) {
+	env := newDeltaEnv(t, 2, 3)
+	for i := 0; i < 6; i++ {
+		env.join(t, 1+i%2)
+	}
+	if _, err := env.pub.Publish(env.doc); err != nil {
+		t.Fatal(err)
+	}
+
+	full, err := env.pub.ExportStateSegments(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Full {
+		t.Fatal("nil base did not force a full export")
+	}
+	want := full.Geometry.CacheSegs
+	if want < 2 {
+		t.Fatalf("cache bucket floor %d leaves nothing to re-bucket", want)
+	}
+
+	// Base pinned below the deserved bucket count: incremental, re-bucketed.
+	pinned := &SegmentBase{
+		Geometry: SegmentGeometry{
+			SegSlots:  full.Geometry.SegSlots,
+			TableSegs: full.Geometry.TableSegs,
+			CacheSegs: want / 2,
+		},
+		TabGen:       full.TabGen,
+		CacheDigests: make([][32]byte, want/2),
+	}
+	exp, err := env.pub.ExportStateSegments(full.Geometry.SegSlots, pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Full {
+		t.Fatal("cache re-bucket escalated to a full export")
+	}
+	if exp.Geometry.CacheSegs != want {
+		t.Fatalf("re-bucketed to %d cache buckets, want %d", exp.Geometry.CacheSegs, want)
+	}
+	if len(exp.Cache) != want {
+		t.Fatalf("re-bucket rewrote %d of %d cache buckets", len(exp.Cache), want)
+	}
+	if len(exp.Table) != 0 {
+		t.Fatalf("re-bucket dirtied %d clean table segments", len(exp.Table))
+	}
+
+	// Matching base: everything clean carries.
+	carry := &SegmentBase{Geometry: exp.Geometry, TabGen: exp.TabGen, CacheDigests: exp.CacheDigests}
+	quiet, err := env.pub.ExportStateSegments(full.Geometry.SegSlots, carry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet.Full || len(quiet.Cache) != 0 || len(quiet.Table) != 0 {
+		t.Fatalf("quiet export rewrote table=%d cache=%d full=%v", len(quiet.Table), len(quiet.Cache), quiet.Full)
+	}
+
+	// Base pinned above the deserved count: the partition is kept, not shrunk.
+	wide := &SegmentBase{
+		Geometry: SegmentGeometry{
+			SegSlots:  full.Geometry.SegSlots,
+			TableSegs: full.Geometry.TableSegs,
+			CacheSegs: want * 2,
+		},
+		TabGen:       full.TabGen,
+		CacheDigests: make([][32]byte, want*2),
+	}
+	kept, err := env.pub.ExportStateSegments(full.Geometry.SegSlots, wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept.Full || kept.Geometry.CacheSegs != want*2 {
+		t.Fatalf("shrink changed the partition: full=%v cacheSegs=%d, want %d kept", kept.Full, kept.Geometry.CacheSegs, want*2)
 	}
 }

@@ -1,6 +1,6 @@
 // Package store is the publisher's durable-state subsystem: an append-only
 // write-ahead log of registration/revocation/publish events plus periodically
-// compacted full-state snapshots, both encrypted at rest with AEAD
+// compacted segmented snapshots, everything encrypted at rest with AEAD
 // (internal/sym, AES-256-GCM) under an operator key.
 //
 // The paper requires table T to be protected (§V-B) and makes rekeying a pure
@@ -13,10 +13,34 @@
 //
 // On-disk layout inside the state directory (created mode 0700):
 //
-//	snapshot.ppcd   "PPCDSN1" ‖ AEAD( seq:u64 ‖ publisher state v2 blob )
-//	wal.ppcd        "PPCDWL1" ‖ records…
+//	manifest.ppcd      "PPCDMF1" ‖ AEAD( manifest body )
+//	seg-<k><i>-<r>.ppcd "PPCDSG1" ‖ AEAD( kind:u8 ‖ index:u32 ‖ payload )
+//	wal.ppcd           "PPCDWL1" ‖ records…
+//	snapshot.ppcd      legacy single-blob snapshot (read-side compatibility)
 //
-// where each WAL record is
+// A snapshot is SEGMENTED: the publisher state splits into one meta segment
+// (kind 'm'), table segments (kind 't') covering contiguous columnar slot
+// ranges, and cache segments (kind 'c') holding hash-bucketed engine cache
+// entries. The manifest binds the set: for every segment file it records the
+// name, size and SHA-256 of the sealed bytes, plus the WAL sequence the
+// snapshot covers. Installing a snapshot is one atomic manifest rename;
+// segment files are never overwritten (each rewrite gets a fresh random name
+// suffix), so a crash at ANY point of the write protocol leaves the previous
+// manifest and every file it references intact:
+//
+//	crash window                    next Open sees
+//	─────────────────────────────   ─────────────────────────────────────────
+//	mid/after segment writes        old manifest + orphan seg files → GC'd
+//	mid manifest tmp write          old manifest + manifest.ppcd.tmp → removed
+//	after rename, before WAL trunc  new manifest + stale WAL prefix → skipped
+//	                                by sequence on replay
+//
+// The payoff over the previous single-blob snapshot: a snapshot after churn
+// rewrites only the segments whose rows or cache buckets changed (O(churn)
+// bytes, not O(state)), and recovery unseals and decodes segments in
+// parallel across a worker pool.
+//
+// Each WAL record is
 //
 //	len:u32 ‖ crc32(sealed):u32 ‖ sealed
 //	sealed = AEAD( seq:u64 ‖ event )
@@ -52,10 +76,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
-	"sort"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -66,7 +89,8 @@ import (
 )
 
 const (
-	snapshotName = "snapshot.ppcd"
+	snapshotName = "snapshot.ppcd" // legacy single-blob snapshot
+	manifestName = "manifest.ppcd"
 	walName      = "wal.ppcd"
 	lockName     = "lock"
 
@@ -83,6 +107,8 @@ const (
 var (
 	snapMagic = []byte("PPCDSN1")
 	walMagic  = []byte("PPCDWL1")
+	manMagic  = []byte("PPCDMF1")
+	segMagic  = []byte("PPCDSG1")
 )
 
 // Errors reported by Open.
@@ -99,6 +125,9 @@ type RecoveryStats struct {
 	// SnapshotBytes is the decrypted size of the restored snapshot (0 if
 	// recovery was WAL-only).
 	SnapshotBytes int
+	// Segments counts the snapshot segment files restored (0 for a legacy
+	// single-blob snapshot).
+	Segments int
 	// Replayed counts WAL events applied on top of the snapshot.
 	Replayed int
 	// SkippedRecords counts WAL records already covered by the snapshot
@@ -108,12 +137,29 @@ type RecoveryStats struct {
 	TruncatedTail bool
 }
 
+// SnapshotStats describes the most recent Snapshot call's write work — the
+// O(churn) evidence: a post-churn snapshot writes DirtySegments ≪
+// TotalSegments and BytesWritten ≪ the full state size.
+type SnapshotStats struct {
+	// BytesWritten counts sealed bytes written (segments + manifest).
+	BytesWritten int64
+	// DirtySegments counts segment files written by this snapshot.
+	DirtySegments int
+	// TotalSegments counts segment files the manifest references.
+	TotalSegments int
+	// Full is true when the snapshot could not be incremental (first
+	// snapshot, geometry change, or a prior failed install).
+	Full bool
+}
+
 // Store is one open state directory. All methods are safe for concurrent
-// use; Append implements pubsub.Journal, and the batch/snapshot extensions
-// below are what RegisterBatch group commit and ImportState durability key
-// off — the conformance checks keep signature drift a compile error.
+// use; Append implements pubsub.Journal, and the batch/commit/snapshot
+// extensions below are what RegisterBatch group commit, the pipelined
+// mutator path and ImportState durability key off — the conformance checks
+// keep signature drift a compile error.
 var (
 	_ pubsub.BatchJournal    = (*Store)(nil)
+	_ pubsub.CommitJournal   = (*Store)(nil)
 	_ pubsub.SnapshotJournal = (*Store)(nil)
 )
 
@@ -122,20 +168,46 @@ type Store struct {
 	key [sym.KeySize]byte
 
 	// snapMu serializes whole Snapshot calls (the interval ticker and a
-	// shutdown can race; both write the same temp file). It is never taken
-	// by Append, so journaling proceeds during an export.
-	snapMu sync.Mutex
+	// shutdown can race; both write the same manifest temp file). It is
+	// never taken by the append path, so journaling proceeds during an
+	// export.
+	snapMu     sync.Mutex
+	segSlots   int // table slots per snapshot segment (0 = pubsub default)
+	recWorkers int // parallel segment decode fan-out for Recover
 
-	mu      sync.Mutex
-	lock    *os.File // flock-held for the store's lifetime
-	wal     *os.File
-	walSize int64 // offset of the last durably complete record's end
-	seq     uint64
-	broken  bool // a failed append could not be rolled back; log unusable
-	closed  bool
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on acked/queue/flushing transitions
+	lock *os.File   // flock-held for the store's lifetime
+	wal  *os.File
+	// walSize is the offset of the last durably complete record's end.
+	walSize int64
+	// seq is the last sequence number handed out; acked is the last sequence
+	// whose commit resolved (flushed+applied, or failed). queue holds sealed
+	// commits awaiting the flusher (wal.go).
+	seq        uint64
+	acked      uint64
+	queue      []*walCommit
+	flushing   bool
+	broken     bool // a flush failed; log unusable until a snapshot compacts
+	closed     bool
+	walRecords int // events admitted since the last snapshot's coverage
+
+	// base/man describe the last durably installed segmented snapshot: the
+	// publisher-side base for the next incremental export, and the manifest
+	// whose entries clean segments are carried over from. base is nil
+	// whenever only a full export is sound (fresh store, legacy snapshot,
+	// restart, or a failed install after dirty bits were consumed).
+	base     *pubsub.SegmentBase
+	man      *manifest
+	lastSnap SnapshotStats
+
+	// crashPoint, when set by tests, is consulted at named stages of the
+	// snapshot write protocol; returning true aborts the snapshot exactly
+	// there, leaving the directory as a SIGKILL at that instant would.
+	crashPoint func(stage string) bool
 
 	// Loaded by Open, consumed by the single Recover call.
-	snapState []byte
+	snapState []byte // legacy single-blob state
 	pending   []pubsub.StateEvent
 	stats     RecoveryStats
 }
@@ -148,7 +220,8 @@ func Open(dir string, key [sym.KeySize]byte) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, key: key}
+	s := &Store{dir: dir, key: key, recWorkers: runtime.GOMAXPROCS(0)}
+	s.cond = sync.NewCond(&s.mu)
 
 	// Exclusive directory lock: two live processes sharing one state
 	// directory (a supervisor restarting while the old instance hangs)
@@ -165,11 +238,29 @@ func Open(dir string, key [sym.KeySize]byte) (*Store, error) {
 	}
 	s.lock = lock
 
-	snapSeq, err := s.loadSnapshot()
+	// A crash mid-snapshot can leave a manifest temp file; it was never
+	// installed, so it is dead weight.
+	os.Remove(filepath.Join(dir, manifestName+".tmp"))
+
+	snapSeq, err := s.loadManifest()
 	if err != nil {
 		s.lock.Close()
 		return nil, err
 	}
+	if s.man == nil {
+		// No segmented snapshot: fall back to the legacy single-blob format
+		// (a directory last written by an earlier version). The next
+		// Snapshot migrates it: it writes the segmented layout and removes
+		// the blob.
+		if snapSeq, err = s.loadSnapshot(); err != nil {
+			s.lock.Close()
+			return nil, err
+		}
+	}
+	// Segment files not referenced by the (possibly absent) manifest are
+	// leftovers of an interrupted snapshot — unreachable by construction.
+	s.gcSegments()
+
 	if err := s.openWAL(snapSeq); err != nil {
 		s.lock.Close()
 		return nil, err
@@ -177,13 +268,14 @@ func Open(dir string, key [sym.KeySize]byte) (*Store, error) {
 	if s.seq < snapSeq {
 		s.seq = snapSeq
 	}
-	s.stats.Restored = s.snapState != nil || len(s.pending) > 0
+	s.acked = s.seq
+	s.stats.Restored = s.man != nil || s.snapState != nil || len(s.pending) > 0
 	s.stats.SnapshotBytes = len(s.snapState)
 	return s, nil
 }
 
-// loadSnapshot reads and unseals snapshot.ppcd, returning its sequence
-// number (0 when absent).
+// loadSnapshot reads and unseals the legacy snapshot.ppcd, returning its
+// sequence number (0 when absent).
 func (s *Store) loadSnapshot() (uint64, error) {
 	raw, err := os.ReadFile(filepath.Join(s.dir, snapshotName))
 	if errors.Is(err, os.ErrNotExist) {
@@ -207,165 +299,46 @@ func (s *Store) loadSnapshot() (uint64, error) {
 	return seq, nil
 }
 
-// openWAL opens wal.ppcd, scans it, retains the events newer than snapSeq
-// for Recover, truncates a torn tail, and leaves the handle positioned for
-// appends.
-func (s *Store) openWAL(snapSeq uint64) error {
-	path := filepath.Join(s.dir, walName)
-	raw, err := os.ReadFile(path)
-	fresh := errors.Is(err, os.ErrNotExist)
-	if err != nil && !fresh {
-		return fmt.Errorf("store: %w", err)
-	}
-	if fresh || len(raw) == 0 {
-		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
-		if err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		if _, err := f.Write(walMagic); err != nil {
-			f.Close()
-			return fmt.Errorf("store: %w", err)
-		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("store: %w", err)
-		}
-		s.wal = f
-		s.walSize = int64(len(walMagic))
-		return nil
-	}
-	if !bytes.HasPrefix(raw, walMagic) {
-		return fmt.Errorf("%w: bad WAL magic", ErrCorrupt)
-	}
-
-	off := len(walMagic)
-	goodEnd := off
-	var firstSeq, lastSeq uint64
-	haveSeq := false
-	for off < len(raw) {
-		rec, n, err := parseRecord(raw[off:], s.key)
-		if err != nil {
-			// A crash can also persist the file's extended size without its
-			// data blocks, leaving an all-zero tail: crc32("") is 0, so a
-			// zeroed length/CRC header passes the checksum and would
-			// misclassify as corruption. Whatever the parse failure, a
-			// remainder of pure zeros is a torn tail, not an attack — no
-			// honest record is all zeros (sealed bodies are AEAD output).
-			if errors.Is(err, errTorn) || allZero(raw[off:]) {
-				s.stats.TruncatedTail = true
-				break // truncate at goodEnd
-			}
-			return err
-		}
-		if haveSeq && rec.seq != lastSeq+1 {
-			return fmt.Errorf("%w: WAL sequence jumps %d → %d (record removed?)", ErrCorrupt, lastSeq, rec.seq)
-		}
-		if !haveSeq {
-			firstSeq = rec.seq
-		}
-		lastSeq, haveSeq = rec.seq, true
-		if rec.seq > snapSeq {
-			s.pending = append(s.pending, rec.ev)
-		} else {
-			s.stats.SkippedRecords++
-		}
-		off += n
-		goodEnd = off
-	}
-
-	// Continuity must also hold at the head: the log's first record has to
-	// connect to the snapshot's covered sequence, or records were excised
-	// from the front (silently losing their mutations on replay).
-	if haveSeq && firstSeq > snapSeq+1 {
-		return fmt.Errorf("%w: WAL starts at sequence %d but the snapshot covers only %d (records removed?)",
-			ErrCorrupt, firstSeq, snapSeq)
-	}
-	if goodEnd < len(raw) {
-		if err := os.Truncate(path, int64(goodEnd)); err != nil {
-			return fmt.Errorf("store: truncating torn WAL tail: %w", err)
-		}
-	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0o600)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := f.Seek(int64(goodEnd), 0); err != nil {
-		f.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	s.wal = f
-	s.walSize = int64(goodEnd)
-	if haveSeq {
-		s.seq = lastSeq
-	}
-	return nil
+// SetSegmentSlots overrides the table-slot span of one snapshot segment
+// (pubsub.DefaultSegmentSlots when 0). Call before the first Snapshot;
+// changing the span later simply forces that snapshot to be full.
+func (s *Store) SetSegmentSlots(n int) {
+	s.mu.Lock()
+	s.segSlots = n
+	s.mu.Unlock()
 }
 
-// allZero reports whether every byte of b is zero (the signature of a file
-// whose size was persisted before its data blocks — a torn tail).
-func allZero(b []byte) bool {
-	for _, v := range b {
-		if v != 0 {
-			return false
-		}
+// SetRecoveryWorkers bounds the parallel segment unseal+decode fan-out used
+// by Recover (default GOMAXPROCS). Call before Recover.
+func (s *Store) SetRecoveryWorkers(n int) {
+	if n < 1 {
+		n = 1
 	}
-	return true
+	s.mu.Lock()
+	s.recWorkers = n
+	s.mu.Unlock()
 }
 
-// errTorn distinguishes an incomplete tail record (crash mid-append;
-// recoverable by truncation) from corruption.
-var errTorn = errors.New("store: torn WAL tail")
-
-type walRecord struct {
-	seq uint64
-	ev  pubsub.StateEvent
+// LastSnapshotStats returns the write work of the most recent Snapshot call.
+func (s *Store) LastSnapshotStats() SnapshotStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSnap
 }
 
-// parseRecord decodes one record from the head of buf, returning its total
-// encoded length. A record that runs past the buffer is torn; a complete
-// record failing CRC or AEAD is corrupt — unless nothing follows it, where a
-// block-granular torn write is still possible and it is treated as torn.
-func parseRecord(buf []byte, key [sym.KeySize]byte) (walRecord, int, error) {
-	if len(buf) < 8 {
-		return walRecord{}, 0, errTorn
-	}
-	n := binary.BigEndian.Uint32(buf)
-	if n > maxWALRecord {
-		return walRecord{}, 0, fmt.Errorf("%w: WAL record of %d bytes exceeds limits", ErrCorrupt, n)
-	}
-	if len(buf) < 8+int(n) {
-		return walRecord{}, 0, errTorn
-	}
-	sum := binary.BigEndian.Uint32(buf[4:])
-	sealed := buf[8 : 8+n]
-	last := len(buf) == 8+int(n)
-	if crc32.ChecksumIEEE(sealed) != sum {
-		if last {
-			return walRecord{}, 0, errTorn
-		}
-		return walRecord{}, 0, fmt.Errorf("%w: WAL record checksum mismatch", ErrCorrupt)
-	}
-	// A CRC match proves the sealed bytes are exactly what Append wrote, so
-	// an AEAD failure here can never be a torn write — it is the wrong
-	// operator key or deliberate tampering, and it fails loudly even at the
-	// tail (a wrong key must not silently truncate a snapshot-less log).
-	plain, err := sym.Decrypt(key, sealed)
-	if err != nil {
-		return walRecord{}, 0, fmt.Errorf("%w: WAL record does not authenticate", ErrCorrupt)
-	}
-	if len(plain) < 8 {
-		return walRecord{}, 0, fmt.Errorf("%w: WAL record too short", ErrCorrupt)
-	}
-	ev, err := decodeEvent(plain[8:])
-	if err != nil {
-		return walRecord{}, 0, err
-	}
-	return walRecord{seq: binary.BigEndian.Uint64(plain), ev: ev}, 8 + int(n), nil
+// WALRecordsSinceSnapshot returns the number of events admitted to the WAL
+// since the last snapshot's coverage point — the growth signal a
+// WAL-triggered snapshot policy keys off.
+func (s *Store) WALRecordsSinceSnapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecords
 }
 
 // Recover applies the loaded snapshot and WAL tail to a publisher. It may be
 // called once, before the store is installed as the publisher's journal;
-// the loaded state is released afterwards.
+// the loaded state is released afterwards. Segmented snapshots are unsealed
+// and decoded in parallel across the recovery worker pool.
 func (s *Store) Recover(p *pubsub.Publisher) (RecoveryStats, error) {
 	// Enforce the Recover-before-SetJournal lifecycle: were this store
 	// already installed, ImportState's durability hook would snapshot —
@@ -375,11 +348,19 @@ func (s *Store) Recover(p *pubsub.Publisher) (RecoveryStats, error) {
 		return s.stats, errors.New("store: Recover must run before SetJournal installs this store")
 	}
 	s.mu.Lock()
-	snap, pending, stats := s.snapState, s.pending, s.stats
+	snap, man, pending, workers := s.snapState, s.man, s.pending, s.recWorkers
 	s.snapState, s.pending = nil, nil
 	s.mu.Unlock()
 
-	if snap != nil {
+	stats := s.stats
+	switch {
+	case man != nil:
+		n, err := s.recoverSegments(p, man, workers)
+		stats.SnapshotBytes, stats.Segments = n, len(man.files)
+		if err != nil {
+			return stats, err
+		}
+	case snap != nil:
 		if err := p.ImportState(snap); err != nil {
 			return stats, fmt.Errorf("store: restoring snapshot: %w", err)
 		}
@@ -390,182 +371,54 @@ func (s *Store) Recover(p *pubsub.Publisher) (RecoveryStats, error) {
 		}
 		stats.Replayed++
 	}
+	s.mu.Lock()
+	s.stats = stats
+	s.mu.Unlock()
 	return stats, nil
 }
 
-// Append seals one event and makes it durable (fsync) before returning; it
-// implements pubsub.Journal, so a failed append fails the publisher
-// operation that produced the event.
-func (s *Store) Append(ev pubsub.StateEvent) error {
-	return s.AppendBatch([]pubsub.StateEvent{ev})
+// recoverSegments restores a segmented snapshot: every referenced segment
+// file is read, digest-checked, unsealed and (inside the publisher) decoded
+// in parallel. Returns the total decrypted payload size.
+func (s *Store) recoverSegments(p *pubsub.Publisher, man *manifest, workers int) (int, error) {
+	payloads := make([][]byte, len(man.files))
+	errs := make([]error, len(man.files))
+	core.Parallel(workers, len(man.files), func(i int) {
+		payloads[i], errs[i] = s.openSegmentFile(man.files[i])
+	})
+	total := 0
+	var meta []byte
+	table := make([][]byte, man.tableSegs)
+	cache := make([][]byte, man.cacheSegs)
+	for i, f := range man.files {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += len(payloads[i])
+		switch f.kind {
+		case segKindMeta:
+			meta = payloads[i]
+		case segKindTable:
+			table[f.index] = payloads[i]
+		case segKindCache:
+			cache[f.index] = payloads[i]
+		}
+	}
+	if err := p.ImportStateSegments(meta, table, cache, workers); err != nil {
+		return total, fmt.Errorf("store: restoring snapshot: %w", err)
+	}
+	return total, nil
 }
 
-// AppendBatch seals many events into consecutive records and makes them
-// durable with a single write + fsync (group commit); it implements
-// pubsub.BatchJournal, collapsing a registration batch's per-pseudonym
-// flushes into one. The batch is atomic: either every record is durable or
-// the file is rolled back to its previous end.
-func (s *Store) AppendBatch(evs []pubsub.StateEvent) error {
-	if len(evs) == 0 {
-		return nil
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return errors.New("store: closed")
-	}
-	if s.broken {
-		return errors.New("store: WAL unusable after an unrecoverable append failure")
-	}
-	var recs []byte
-	for i, ev := range evs {
-		plain := make([]byte, 8, 64)
-		binary.BigEndian.PutUint64(plain, s.seq+uint64(i)+1)
-		plain = appendEvent(plain, ev)
-		sealed, err := sym.Encrypt(s.key, plain)
-		if err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		// Recovery refuses records above maxWALRecord as corrupt, so an
-		// event that would encode past it must be rejected HERE — failing
-		// the triggering operation — never written and fsynced into a log
-		// that can no longer be opened.
-		if len(sealed) > maxWALRecord {
-			return fmt.Errorf("store: event of %d sealed bytes exceeds the %d WAL record limit", len(sealed), maxWALRecord)
-		}
-		var hdr [8]byte
-		binary.BigEndian.PutUint32(hdr[:], uint32(len(sealed)))
-		binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(sealed))
-		recs = append(recs, hdr[:]...)
-		recs = append(recs, sealed...)
-	}
-	_, werr := s.wal.Write(recs)
-	if werr == nil {
-		werr = s.wal.Sync()
-	}
-	if werr != nil {
-		// Roll the file back to the last durably complete record: leftover
-		// partial bytes (ENOSPC mid-write) or complete records whose
-		// sequences were never claimed (Sync failure) would otherwise make
-		// the NEXT successful append produce a log that recovery must refuse
-		// (mid-file torn record, or a duplicated sequence number).
-		if terr := s.wal.Truncate(s.walSize); terr != nil {
-			s.broken = true
-			return fmt.Errorf("store: appending WAL: %v; rollback failed, log disabled: %w", werr, terr)
-		}
-		if _, serr := s.wal.Seek(s.walSize, 0); serr != nil {
-			s.broken = true
-			return fmt.Errorf("store: appending WAL: %v; rollback failed, log disabled: %w", werr, serr)
-		}
-		return fmt.Errorf("store: appending WAL: %w", werr)
-	}
-	s.walSize += int64(len(recs))
-	s.seq += uint64(len(evs))
-	return nil
-}
-
-// Seq returns the sequence number of the last appended event.
+// Seq returns the sequence number of the last admitted event.
 func (s *Store) Seq() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.seq
 }
 
-// Snapshot exports the publisher's full state, seals it, and atomically
-// replaces the snapshot file; the WAL is then compacted if no event raced
-// the export (otherwise it is left in place — its stale prefix is skipped by
-// sequence number on the next recovery, and a later quiet snapshot compacts
-// it).
-func (s *Store) Snapshot(p *pubsub.Publisher) error {
-	// One snapshot at a time: concurrent calls (interval ticker vs shutdown)
-	// would interleave writes on the shared temp file and install a mangled
-	// blob. Append never takes snapMu, so journaling is not blocked.
-	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
-
-	// The sequence captured BEFORE the export is the only sound cover claim:
-	// events appended during ExportState may or may not be included, so they
-	// must be replayed — replay is idempotent over a state that already
-	// contains them, and the sequence filter cuts a clean prefix. The
-	// capture happens inside the publisher's journal barrier: without it, a
-	// mutation could sit appended-but-not-yet-applied, the export would miss
-	// it, and the snapshot would still claim its sequence — losing the event
-	// on the next recovery.
-	var seqBefore uint64
-	var closed bool
-	p.JournalBarrier(func() {
-		s.mu.Lock()
-		seqBefore, closed = s.seq, s.closed
-		s.mu.Unlock()
-	})
-	if closed {
-		return errors.New("store: closed")
-	}
-
-	blob, err := p.ExportState()
-	if err != nil {
-		return fmt.Errorf("store: exporting state: %w", err)
-	}
-	plain := make([]byte, 8, 8+len(blob))
-	binary.BigEndian.PutUint64(plain, seqBefore)
-	plain = append(plain, blob...)
-	sealed, err := sym.Encrypt(s.key, plain)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-
-	path := filepath.Join(s.dir, snapshotName)
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := f.Write(snapMagic); err == nil {
-		_, err = f.Write(sealed)
-	}
-	if err == nil {
-		err = f.Sync()
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: writing snapshot: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("store: installing snapshot: %w", err)
-	}
-	syncDir(s.dir)
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil
-	}
-	if s.seq == seqBefore {
-		// Quiet since the export: every WAL record is covered by the new
-		// snapshot, so the log restarts empty. This also repairs a log
-		// disabled by a failed append rollback — the truncation removes the
-		// trailing garbage along with everything else.
-		if err := s.wal.Truncate(int64(len(walMagic))); err != nil {
-			return fmt.Errorf("store: compacting WAL: %w", err)
-		}
-		if _, err := s.wal.Seek(int64(len(walMagic)), 0); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		if err := s.wal.Sync(); err != nil {
-			return fmt.Errorf("store: %w", err)
-		}
-		s.walSize = int64(len(walMagic))
-		s.broken = false
-	}
-	return nil
-}
-
-// Close syncs and closes the WAL. It does not snapshot; callers wanting a
-// final compaction call Snapshot first.
+// Close drains the commit pipeline, then syncs and closes the WAL. It does
+// not snapshot; callers wanting a final compaction call Snapshot first.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -573,6 +426,11 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	// The flusher finishes whatever was admitted before the close; new
+	// commits are refused above. Wait for it so the fd stays valid under it.
+	for s.flushing {
+		s.cond.Wait()
+	}
 	err := s.wal.Sync()
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
@@ -590,152 +448,6 @@ func syncDir(dir string) {
 		d.Sync()
 		d.Close()
 	}
-}
-
-// --- event codec -----------------------------------------------------------
-
-func appendU32(b []byte, v uint32) []byte {
-	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
-}
-
-func appendU64(b []byte, v uint64) []byte {
-	return appendU32(appendU32(b, uint32(v>>32)), uint32(v))
-}
-
-func appendStr(b []byte, s string) []byte {
-	return append(appendU32(b, uint32(len(s))), s...)
-}
-
-// appendEvent encodes one event (the plaintext body sealed into a record).
-func appendEvent(b []byte, ev pubsub.StateEvent) []byte {
-	b = append(b, byte(ev.Kind))
-	switch ev.Kind {
-	case pubsub.StateEventRegister:
-		b = appendStr(b, ev.Nym)
-		conds := make([]string, 0, len(ev.Cells))
-		for c := range ev.Cells {
-			conds = append(conds, c)
-		}
-		sort.Strings(conds)
-		b = appendU32(b, uint32(len(conds)))
-		for _, c := range conds {
-			b = appendStr(b, c)
-			b = appendU64(b, uint64(ev.Cells[c]))
-		}
-	case pubsub.StateEventRevokeSubscription:
-		b = appendStr(b, ev.Nym)
-	case pubsub.StateEventRevokeCredential:
-		b = appendStr(b, ev.Nym)
-		b = appendStr(b, ev.Cond)
-	case pubsub.StateEventPublish:
-		b = appendStr(b, ev.Doc)
-		b = appendU64(b, ev.Epoch)
-	}
-	return b
-}
-
-type eventReader struct{ buf []byte }
-
-func (r *eventReader) u8() (byte, error) {
-	if len(r.buf) < 1 {
-		return 0, fmt.Errorf("%w: truncated event", ErrCorrupt)
-	}
-	v := r.buf[0]
-	r.buf = r.buf[1:]
-	return v, nil
-}
-
-func (r *eventReader) u32() (uint32, error) {
-	if len(r.buf) < 4 {
-		return 0, fmt.Errorf("%w: truncated event", ErrCorrupt)
-	}
-	v := binary.BigEndian.Uint32(r.buf)
-	r.buf = r.buf[4:]
-	return v, nil
-}
-
-func (r *eventReader) u64() (uint64, error) {
-	if len(r.buf) < 8 {
-		return 0, fmt.Errorf("%w: truncated event", ErrCorrupt)
-	}
-	v := binary.BigEndian.Uint64(r.buf)
-	r.buf = r.buf[8:]
-	return v, nil
-}
-
-func (r *eventReader) str() (string, error) {
-	n, err := r.u32()
-	if err != nil {
-		return "", err
-	}
-	if n > maxEventString || int(n) > len(r.buf) {
-		return "", fmt.Errorf("%w: event string of %d bytes exceeds limits", ErrCorrupt, n)
-	}
-	s := string(r.buf[:n])
-	r.buf = r.buf[n:]
-	return s, nil
-}
-
-// decodeEvent decodes one sealed record body. Only shape is validated here;
-// the publisher applies semantic validation (CSS range, nym caps, policy
-// membership) when the event is replayed.
-func decodeEvent(buf []byte) (pubsub.StateEvent, error) {
-	r := &eventReader{buf: buf}
-	var ev pubsub.StateEvent
-	kind, err := r.u8()
-	if err != nil {
-		return ev, err
-	}
-	ev.Kind = pubsub.StateEventKind(kind)
-	switch ev.Kind {
-	case pubsub.StateEventRegister:
-		if ev.Nym, err = r.str(); err != nil {
-			return ev, err
-		}
-		n, err := r.u32()
-		if err != nil {
-			return ev, err
-		}
-		if n > maxEventCells {
-			return ev, fmt.Errorf("%w: event with %d cells exceeds limits", ErrCorrupt, n)
-		}
-		ev.Cells = make(map[string]core.CSS, n)
-		for i := uint32(0); i < n; i++ {
-			cond, err := r.str()
-			if err != nil {
-				return ev, err
-			}
-			css, err := r.u64()
-			if err != nil {
-				return ev, err
-			}
-			ev.Cells[cond] = core.CSS(css)
-		}
-	case pubsub.StateEventRevokeSubscription:
-		if ev.Nym, err = r.str(); err != nil {
-			return ev, err
-		}
-	case pubsub.StateEventRevokeCredential:
-		if ev.Nym, err = r.str(); err != nil {
-			return ev, err
-		}
-		if ev.Cond, err = r.str(); err != nil {
-			return ev, err
-		}
-	case pubsub.StateEventPublish:
-		if ev.Doc, err = r.str(); err != nil {
-			return ev, err
-		}
-		if ev.Epoch, err = r.u64(); err != nil {
-			return ev, err
-		}
-	default:
-		return ev, fmt.Errorf("%w: unknown event kind %d", ErrCorrupt, kind)
-	}
-	if len(r.buf) != 0 {
-		return ev, fmt.Errorf("%w: event has trailing bytes", ErrCorrupt)
-	}
-	return ev, nil
 }
 
 // --- operator key handling -------------------------------------------------

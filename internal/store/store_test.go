@@ -24,6 +24,32 @@ import (
 
 func testKey() [sym.KeySize]byte { return DeriveKey([]byte("store-test")) }
 
+// readSnapshotFiles captures the installed segmented snapshot — the manifest
+// plus every segment file — as name → bytes, so tests can replay it into
+// simulated crash directories.
+func readSnapshotFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if name == manifestName || (strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".ppcd")) {
+			b, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[name] = b
+		}
+	}
+	if _, ok := out[manifestName]; !ok {
+		t.Fatalf("no %s in %s", manifestName, dir)
+	}
+	return out
+}
+
 // testSystem is a real end-to-end fixture: a grouped publisher journaling to
 // a store, the identity manager, and OCBE-registered subscribers.
 type testSystem struct {
@@ -286,10 +312,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snapBytes, err := os.ReadFile(filepath.Join(dir, snapshotName))
-	if err != nil {
-		t.Fatal(err)
-	}
+	snapFiles := readSnapshotFiles(t, dir)
 
 	rng := rand.New(rand.NewSource(7))
 	cuts := []int{len(walMagic), len(walBytes)} // empty tail and intact WAL
@@ -298,8 +321,10 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	}
 	for _, cut := range cuts {
 		crashDir := t.TempDir()
-		if err := os.WriteFile(filepath.Join(crashDir, snapshotName), snapBytes, 0o600); err != nil {
-			t.Fatal(err)
+		for name, b := range snapFiles {
+			if err := os.WriteFile(filepath.Join(crashDir, name), b, 0o600); err != nil {
+				t.Fatal(err)
+			}
 		}
 		if err := os.WriteFile(filepath.Join(crashDir, walName), walBytes[:cut], 0o600); err != nil {
 			t.Fatal(err)

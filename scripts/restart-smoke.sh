@@ -6,6 +6,12 @@
 #   up with a DELTA (never a re-snapshot) and the first post-restart publish
 #   re-solves nothing.
 #
+# A third phase hard-crashes the publisher (SIGKILL, no final snapshot) and
+# plants the wreckage of a snapshot interrupted between segment writes —
+# orphan seg-*.ppcd files and a manifest.ppcd.tmp — before restarting: the
+# manifest swap is atomic, so the previous manifest + WAL tail must still
+# recover cleanly and the debris must be garbage-collected.
+#
 # Run from the repository root; CI invokes it after the unit suites.
 set -euo pipefail
 
@@ -33,6 +39,7 @@ adult | age >= 18 | news.xml | body
 POL
 printf '<news><body>first edition</body></news>' > news1.xml
 printf '<news><body>second edition</body></news>' > news2.xml
+printf '<news><body>third edition</body></news>' > news3.xml
 
 wait_for() { # <shell predicate> <timeout seconds>
 	local t=0
@@ -50,7 +57,7 @@ wait_for() { # <shell predicate> <timeout seconds>
 start_pub() { # <logfile> <command fifo>
 	mkfifo "$2"
 	"$BIN/ppcd-pub" -addr "$ADDR" -policies policies.txt -idmgr-key "$KEY" \
-		-state-dir state -group-size 2 -snapshot-every 1h <"$2" >"$1" 2>&1 &
+		-state-dir state -group-size 2 -snapshot-every 1h -snapshot-wal-records 10000 <"$2" >"$1" 2>&1 &
 	PUB_PID=$!
 	exec {FIFO_FD}>"$2" # keep a writer open so the publisher's stdin stays live
 	wait_for "grep -q 'serving registrations' $1" 30
@@ -90,5 +97,46 @@ if [ "$(grep -c 'applied snapshot' sub.log)" != 1 ]; then
 fi
 # And the restored caches made the post-restart publish a zero-rekey one.
 grep -q '(0 rekeyed' pub2.log
+
+# Hard crash: SIGKILL — the epoch-2 publish lives only in the WAL (fsynced
+# before it took effect), no final snapshot is written.
+kill -KILL "$PUB_PID"
+wait "$PUB_PID" || true
+exec {FIFO_FD}>&-
+test -f state/manifest.ppcd # the SIGTERM shutdown left a segmented snapshot
+
+# Plant the wreckage of a snapshot that died between segment writes: sealed-
+# looking orphan segment files the manifest never came to reference, plus a
+# torn manifest.ppcd.tmp that never got renamed. The manifest swap is atomic,
+# so none of this may confuse recovery — and all of it must be swept.
+printf 'torn segment write' > state/seg-t0-00000000deadbeef.ppcd
+printf 'torn segment write' > state/seg-c0-00000000deadbeef.ppcd
+printf 'torn manifest write' > state/manifest.ppcd.tmp
+
+start_pub pub3.log cmds3
+grep -q 'recovered 1 subscribers' pub3.log
+# The epoch-2 publish came back off the WAL tail, not the snapshot.
+grep -Eq '[1-9][0-9]* WAL events replayed' pub3.log
+# The interrupted-snapshot debris is gone; the manifest survived the crash.
+test ! -e state/manifest.ppcd.tmp
+test ! -e state/seg-t0-00000000deadbeef.ppcd
+test ! -e state/seg-c0-00000000deadbeef.ppcd
+test -f state/manifest.ppcd
+
+cp news3.xml news.xml
+echo "publish news.xml body" >&"$FIFO_FD"
+wait_for "grep -q 'third edition' plain/body.dec 2>/dev/null" 40
+# Epoch numbering continued across the hard crash, and the next publish
+# reaches the surviving client as a delta again. The crash itself costs the
+# client one re-snapshot — the epoch-2 diff base died unsnapshotted with the
+# process (the WAL holds the event, not the broadcast) — so the full run
+# shows exactly two: the cold subscribe and the hard-crash recovery.
+grep -q 'epoch 3 of "news.xml": applied delta' sub.log
+if [ "$(grep -c 'applied snapshot' sub.log)" != 2 ]; then
+	echo "unexpected snapshot count across the hard crash:" >&2
+	cat sub.log >&2
+	exit 1
+fi
+grep -q '(0 rekeyed' pub3.log
 
 echo "restart smoke OK"
