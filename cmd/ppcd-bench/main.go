@@ -289,6 +289,13 @@ type registerReport struct {
 	BatchRegisterNs int64   `json:"batch_register_ns"`
 	Envelopes       int     `json:"envelopes"`
 	EnvelopesPerSec float64 `json:"envelopes_per_sec"`
+	// LanesUsed / BatchInversions: lane-kernel telemetry accumulated over
+	// the whole run — how many scalar multiplications went through the
+	// lock-step engine and how many Montgomery batch inversions served
+	// them. Both are zero when the commitment group has no lane engine
+	// (schnorr), so CI asserts on them only for the jacobian group.
+	LanesUsed       uint64 `json:"lanes_used"`
+	BatchInversions uint64 `json:"batch_inversions"`
 }
 
 // runRegisterBench measures the registration crypto path: subscribers hold
@@ -334,6 +341,7 @@ func runRegisterBench(groupName string, subs, conds, ell int) error {
 	var rep registerReport
 	rep.Group, rep.Subs, rep.Conds, rep.Ell = groupName, subs, conds, ell
 	order := params.Order()
+	lanes0, inv0 := g2.LaneStats()
 
 	// Sub side: issue tokens and prepare OCBE requests (timed per condition).
 	batches := make([][]*pubsub.RegistrationRequest, subs)
@@ -419,6 +427,9 @@ func runRegisterBench(groupName string, subs, conds, ell int) error {
 	rep.BatchRegisterNs = elapsed.Nanoseconds()
 	rep.Envelopes = subs * conds
 	rep.EnvelopesPerSec = float64(rep.Envelopes) / elapsed.Seconds()
+	lanes1, inv1 := g2.LaneStats()
+	rep.LanesUsed = lanes1 - lanes0
+	rep.BatchInversions = inv1 - inv0
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

@@ -311,6 +311,44 @@ func (f *Field) Inv(a Elem) (Elem, error) {
 	return f.expLimb(a, f.pm2), nil
 }
 
+// InvBatch inverts every element of xs in place using Montgomery's trick:
+// one Fermat inversion plus 3(n−1) multiplications, instead of n full
+// inversions (each ~127 squarings). If any element is zero the batch is
+// rejected with ErrNoInverse and xs is left unmodified — callers relying on
+// the batch must not observe a half-inverted slice.
+func (f *Field) InvBatch(xs []Elem) error {
+	for i := range xs {
+		if xs[i].IsZero() {
+			return ErrNoInverse
+		}
+	}
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	// Prefix products pre[i] = x_0·…·x_i; one inversion of pre[n−1]; then
+	// walk back peeling one factor per step.
+	var stack [64]Elem
+	pre := stack[:0]
+	if n <= len(stack) {
+		pre = stack[:n]
+	} else {
+		pre = make([]Elem, n)
+	}
+	pre[0] = xs[0]
+	for i := 1; i < n; i++ {
+		pre[i] = f.Mul(pre[i-1], xs[i])
+	}
+	inv := f.expLimb(pre[n-1], f.pm2)
+	for i := n - 1; i >= 1; i-- {
+		pi := f.Mul(inv, pre[i-1])
+		inv = f.Mul(inv, xs[i])
+		xs[i] = pi
+	}
+	xs[0] = inv
+	return nil
+}
+
 // ErrNoSqrt is returned by Sqrt for quadratic non-residues.
 var ErrNoSqrt = errors.New("ff128: element is not a quadratic residue")
 

@@ -1,0 +1,83 @@
+package ff128
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	"testing"
+)
+
+// TestInvBatchDifferential pins InvBatch to per-element Inv across batch
+// sizes spanning the stack buffer, its boundary and the heap spill.
+func TestInvBatchDifferential(t *testing.T) {
+	for _, p := range testModuli(t) {
+		f := MustField(p)
+		for _, n := range []int{0, 1, 2, 3, 7, 63, 64, 65, 130} {
+			xs := make([]Elem, n)
+			want := make([]Elem, n)
+			for i := range xs {
+				for {
+					v, err := rand.Int(rand.Reader, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if v.Sign() != 0 {
+						xs[i] = f.FromBig(v)
+						break
+					}
+				}
+				w, err := f.Inv(xs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[i] = w
+			}
+			if err := f.InvBatch(xs); err != nil {
+				t.Fatalf("p=%v n=%d: InvBatch: %v", p, n, err)
+			}
+			for i := range xs {
+				if !xs[i].Equal(want[i]) {
+					t.Fatalf("p=%v n=%d: InvBatch[%d] != Inv", p, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestInvBatchZeroLane checks that a zero element rejects the whole batch
+// without poisoning it: ErrNoInverse, and every element left untouched.
+func TestInvBatchZeroLane(t *testing.T) {
+	p := testModuli(t)[0]
+	f := MustField(p)
+	for _, zeroAt := range []int{0, 3, 7} {
+		xs := make([]Elem, 8)
+		orig := make([]Elem, 8)
+		for i := range xs {
+			xs[i] = f.FromBig(big.NewInt(int64(i + 2)))
+		}
+		xs[zeroAt] = Elem{}
+		copy(orig, xs)
+		if err := f.InvBatch(xs); !errors.Is(err, ErrNoInverse) {
+			t.Fatalf("zero at %d: got err %v, want ErrNoInverse", zeroAt, err)
+		}
+		for i := range xs {
+			if !xs[i].Equal(orig[i]) {
+				t.Fatalf("zero at %d: element %d mutated by rejected batch", zeroAt, i)
+			}
+		}
+	}
+}
+
+func BenchmarkInvBatch64(b *testing.B) {
+	f := MustField(paperQ)
+	xs := make([]Elem, 64)
+	for i := range xs {
+		xs[i] = f.FromBig(big.NewInt(int64(i + 2)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.InvBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -94,6 +94,73 @@ func TestOCBECrossPath(t *testing.T) {
 	}
 }
 
+// TestOCBEComposeBatchCrossPath pins the pooled compose path: a batch of
+// mixed EQ/GE envelopes composed through the lane-batched kernel must open
+// on the reference engine, and a batch composed on the reference engine
+// must open on the lane engine.
+func TestOCBEComposeBatchCrossPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference-path jacobian arithmetic is slow; skipped in -short mode")
+	}
+	fast := MustPaperCurve()
+	slow := fast.withoutFast()
+	pFast, err := pedersen.Setup(fast, []byte("ocbe-crosspath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSlow, err := pedersen.Setup(slow, []byte("ocbe-crosspath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ell = 5
+	msg := []byte("css-payload")
+	combos := []struct {
+		name             string
+		sender, receiver *pedersen.Params
+	}{
+		{"fast-to-slow", pFast, pSlow},
+		{"slow-to-fast", pSlow, pFast},
+	}
+	for _, combo := range combos {
+		t.Run(combo.name, func(t *testing.T) {
+			x := big.NewInt(13)
+			_, r, err := combo.receiver.CommitRandom(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recv := ocbe.NewReceiver(combo.receiver, x, r)
+			preds := []ocbe.Predicate{
+				{Op: ocbe.EQ, X0: big.NewInt(13)},
+				{Op: ocbe.GE, X0: big.NewInt(9)},
+				{Op: ocbe.LE, X0: big.NewInt(20)},
+			}
+			items := make([]ocbe.ComposeItem, len(preds))
+			wits := make([]*ocbe.Witness, len(preds))
+			for i, pred := range preds {
+				wit, req, err := recv.Prepare(pred, ell)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wits[i] = wit
+				items[i] = ocbe.ComposeItem{Pred: pred, Ell: ell, Req: req, Msg: msg}
+			}
+			envs, errs := ocbe.ComposeBatch(combo.sender, items)
+			for i := range envs {
+				if errs[i] != nil {
+					t.Fatalf("item %d: %v", i, errs[i])
+				}
+				got, err := recv.Open(envs[i], wits[i])
+				if err != nil {
+					t.Fatalf("item %d (%v): open: %v", i, preds[i], err)
+				}
+				if !bytes.Equal(got, msg) {
+					t.Errorf("item %d: payload mismatch across paths", i)
+				}
+			}
+		})
+	}
+}
+
 func marshalBases(p *pedersen.Params) []byte {
 	g, h := p.Bases()
 	return append(p.G.Marshal(g), p.G.Marshal(h)...)

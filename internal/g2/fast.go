@@ -287,9 +287,12 @@ func (fc *fastCurve) neg(d fdiv) fdiv {
 	return fdiv{u: d.u, v: fpNeg(fc.fld, d.v)}
 }
 
-// add is Cantor composition + reduction, the exact algorithm of
-// (*Curve).cantorAdd ported to fixed-width arithmetic.
-func (fc *fastCurve) add(d1, d2 fdiv) fdiv {
+// addCantor is Cantor composition + reduction, the exact algorithm of
+// (*Curve).cantorAdd ported to fixed-width arithmetic. It pays ~5 field
+// inversions per call (inside fpXGCD / fpDivMod / fpMonic) and serves as
+// the fallback for the non-generic shapes the one-inversion path in
+// lane.go does not cover — and as its in-package differential reference.
+func (fc *fastCurve) addCantor(d1, d2 fdiv) fdiv {
 	if fc.isIdentity(d1) {
 		return d2
 	}

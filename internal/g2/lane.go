@@ -1,0 +1,460 @@
+package g2
+
+// lane.go is the lane-parallel exponentiation engine. It advances L
+// independent scalar multiplications in lock-step — every lane doubles on
+// the same schedule, lanes add their wNAF table entry when their digit is
+// non-zero — and amortizes the dominant cost of a Cantor group operation,
+// the field inversion, across lanes with Montgomery's batch-inversion
+// trick (ff128.InvBatch: one Fermat inversion + 3(L−1) multiplications).
+//
+// To make that possible the composition itself is restructured into a
+// deferred-inversion form. A generic genus-2 addition (both inputs with
+// monic degree-2 u, coprime; or a generic doubling) is computed
+// fraction-free: the XGCD step is replaced by a pseudo-division that
+// yields E1·u1 + E2·u2 = r with r a non-zero scalar, the composed
+// (U, V'/r) is kept scaled by r, and the reduced u comes out as
+// W = (r²·f − V'²)/U with leading coefficient −V₃² (V₃ = V'.c[3]). The
+// only two inverses the lane needs — 1/r and 1/V₃ — are recovered from a
+// single inverted product z = r·V₃, so a generic lane costs exactly one
+// slot in the batch inversion. Non-generic shapes (degree-<2 inputs,
+// non-coprime u's, V₃ = 0, i.e. a result of degree < 2) fall back to the
+// full Cantor path addCantor, which also serves as the differential
+// reference.
+//
+// The scalar entry point add() reuses the same two phases around a single
+// ff128.Inv, which cuts the ~5 inversions of addCantor to one and speeds
+// up every existing caller (exp, the fixed-base tables) for free.
+
+import (
+	"math/big"
+	"runtime"
+	"sync/atomic"
+
+	"ppcd/internal/core"
+	"ppcd/internal/ff128"
+	"ppcd/internal/group"
+)
+
+// laneLanes / laneInvBatches are cheap global telemetry for the lane
+// kernel: total lanes processed by LaneExp and total batched inversions
+// performed. ppcd-bench -register surfaces them so CI can assert the lane
+// path was actually exercised.
+var (
+	laneLanes      atomic.Uint64
+	laneInvBatches atomic.Uint64
+)
+
+// LaneStats reports the total lanes processed by LaneExp and the total
+// batch inversions performed by the lane kernel since process start.
+func LaneStats() (lanes, invBatches uint64) {
+	return laneLanes.Load(), laneInvBatches.Load()
+}
+
+// laneKind classifies one lane of a combine step after phase 1.
+type laneKind uint8
+
+const (
+	laneDirect   laneKind = iota // result known without field arithmetic
+	laneGeneric                  // deferred form: needs one inverted scalar
+	laneFallback                 // non-generic shape: full Cantor path
+)
+
+// laneOp carries one lane's state between the two phases of a combine
+// step. Phase 1 reads both operands completely (so the destination slice
+// may alias either input), phase 2 only consumes this struct plus the
+// batch-inverted z.
+type laneOp struct {
+	kind laneKind
+	out  fdiv // laneDirect: the final result
+	a, b fdiv // laneFallback: operand copies
+	w    fpoly // scaled reduced u: (r²·f − V'²)/U, leading coeff −V₃²
+	vp   fpoly // scaled composed v: V' = num mod U; the true v' is V'/r
+	r    ff128.Elem
+	v3   ff128.Elem
+	z    ff128.Elem // r·V₃ — the single element this lane inverts
+}
+
+// phase1 classifies a + b and, for the generic shapes, computes everything
+// up to (but not including) the field inversion. Operands are taken by
+// value, so callers may overwrite them before phase2.
+func (fc *fastCurve) phase1(op *laneOp, a, b fdiv) {
+	f := fc.fld
+	if fc.isIdentity(a) {
+		op.kind, op.out = laneDirect, b
+		return
+	}
+	if fc.isIdentity(b) {
+		op.kind, op.out = laneDirect, a
+		return
+	}
+	if a.u.deg != 2 || b.u.deg != 2 {
+		op.kind, op.a, op.b = laneFallback, a, b
+		return
+	}
+	a1, a0 := a.u.c[1], a.u.c[0]
+	b1, b0 := b.u.c[1], b.u.c[0]
+	lam := f.Sub(a1, b1) // t1 = u1 − u2 = lam·x + t0 (both u monic)
+	t0 := f.Sub(a0, b0)
+
+	var e1, e2 fpoly // E1·u1 + E2·u2 = r
+	var r ff128.Elem
+	if lam.IsZero() && t0.IsZero() {
+		// u1 == u2: inverse pair, doubling, or a shared-root pair.
+		vSum := fpAdd(f, a.v, b.v)
+		if vSum.isZero() {
+			op.kind, op.out = laneDirect, fc.identity()
+			return
+		}
+		vDiff := fpSub(f, a.v, b.v)
+		if !vDiff.isZero() {
+			// v1 ≠ ±v2 over the same u: mixed-sign roots, full Cantor.
+			op.kind, op.a, op.b = laneFallback, a, b
+			return
+		}
+		// Doubling. Pseudo-XGCD of u and w = 2v: C1·u + C2·w = r.
+		w := vSum
+		if w.deg == 0 {
+			r = w.c[0]
+			e1 = fpZero()
+			e2 = fpOne(f)
+		} else {
+			mu, mu0 := w.c[1], w.c[0]
+			q0 := f.Sub(f.Mul(mu, a1), mu0)
+			r = f.Sub(f.Mul(f.Mul(mu, mu), a0), f.Mul(mu0, q0))
+			if r.IsZero() {
+				// gcd(u, 2v) ≠ 1: a ramification point divides u.
+				op.kind, op.a, op.b = laneFallback, a, b
+				return
+			}
+			e1.deg = 0
+			e1.c[0] = f.Mul(mu, mu)
+			e2.deg = 1
+			e2.c[0] = f.Neg(q0)
+			e2.c[1] = f.Neg(mu)
+		}
+		// num = C1·u·v + C2·(v² + f), the r-scaled composition numerator.
+		num := fpMul(f, e2, fpAdd(f, fpMul(f, a.v, a.v), fc.f))
+		if !e1.isZero() {
+			num = fpAdd(f, num, fpMul(f, fpMul(f, e1, a.u), a.v))
+		}
+		fc.phase1Finish(op, a, b, fpMul(f, a.u, a.u), num, r)
+		return
+	}
+	if lam.IsZero() {
+		// u1 − u2 is the non-zero constant t0.
+		r = t0
+		e1 = fpOne(f)
+		e2.deg = 0
+		e2.c[0] = f.Neg(f.One())
+	} else {
+		// deg t1 = 1: pseudo-division λ²·u2 = q·t1 + r with q = λ·x + q0.
+		q0 := f.Sub(f.Mul(lam, b1), t0)
+		r = f.Sub(f.Mul(f.Mul(lam, lam), b0), f.Mul(t0, q0))
+		if r.IsZero() {
+			// u1 and u2 share a root: non-coprime, full Cantor.
+			op.kind, op.a, op.b = laneFallback, a, b
+			return
+		}
+		// E1 = −q, E2 = q + λ².
+		e1.deg = 1
+		e1.c[0] = f.Neg(q0)
+		e1.c[1] = f.Neg(lam)
+		e2.deg = 1
+		e2.c[0] = f.Add(q0, f.Mul(lam, lam))
+		e2.c[1] = lam
+	}
+	num := fpAdd(f,
+		fpMul(f, fpMul(f, e1, a.u), b.v),
+		fpMul(f, fpMul(f, e2, b.u), a.v))
+	fc.phase1Finish(op, a, b, fpMul(f, a.u, b.u), num, r)
+}
+
+// phase1Finish shares the tail of both generic shapes: reduce the scaled
+// composition (U, num/r) once, producing W (the r²-scaled reduced u) and
+// V' — all divisions here are by the monic U, so no inversions happen.
+func (fc *fastCurve) phase1Finish(op *laneOp, a, b fdiv, u, num fpoly, r ff128.Elem) {
+	f := fc.fld
+	vp := fpMod(f, num, u)
+	var v3 ff128.Elem
+	if vp.deg == 3 {
+		v3 = vp.c[3]
+	}
+	if v3.IsZero() {
+		// The reduced divisor has degree < 2 — rare, let Cantor handle it.
+		op.kind, op.a, op.b = laneFallback, a, b
+		return
+	}
+	rhs := fpSub(f, fpMulScalar(f, fc.f, f.Mul(r, r)), fpMul(f, vp, vp))
+	op.w = fpDivExact(f, rhs, u)
+	op.vp = vp
+	op.r = r
+	op.v3 = v3
+	op.z = f.Mul(r, v3)
+	op.kind = laneGeneric
+}
+
+// phase2 finishes a generic lane given zinv = 1/(r·V₃): it recovers 1/r
+// and 1/V₃ from the single inverse, normalizes W to the monic output u and
+// unscales −V' mod u to the output v. No further inversions.
+func (fc *fastCurve) phase2(op *laneOp, zinv ff128.Elem) fdiv {
+	f := fc.fld
+	rInv := f.Mul(zinv, op.v3)
+	v3inv := f.Mul(zinv, op.r)
+	leadInv := f.Neg(f.Mul(v3inv, v3inv)) // 1/lead(W) = −1/V₃²
+	u := fpMulScalar(f, op.w, leadInv)    // monic: W.c[2]·leadInv = 1 exactly
+	v := fpMulScalar(f, fpMod(f, op.vp, u), f.Neg(rInv))
+	return fdiv{u: u, v: v}
+}
+
+// add is the scalar group operation behind exp and the fixed-base tables:
+// the same two phases as the lane kernel around a single ff128.Inv, which
+// replaces the ~5 inversions of the full Cantor path for generic inputs.
+func (fc *fastCurve) add(d1, d2 fdiv) fdiv {
+	var op laneOp
+	fc.phase1(&op, d1, d2)
+	switch op.kind {
+	case laneDirect:
+		return op.out
+	case laneFallback:
+		return fc.addCantor(d1, d2)
+	}
+	zinv, err := fc.fld.Inv(op.z)
+	if err != nil {
+		return fc.addCantor(d1, d2) // unreachable: z = r·V₃, both non-zero
+	}
+	return fc.phase2(&op, zinv)
+}
+
+// laneCombine computes dst[i] = a[i] + b[i] for every lane with one batch
+// inversion covering all generic lanes. dst may alias a and/or b: phase 1
+// copies everything it needs before any write. ops and zs are caller
+// scratch (len(ops) ≥ len(dst), cap(zs) ≥ len(dst)) so the per-position
+// calls inside laneExp do not allocate.
+func (fc *fastCurve) laneCombine(dst, a, b []fdiv, ops []laneOp, zs []ff128.Elem) {
+	zs = zs[:0]
+	for i := range dst {
+		fc.phase1(&ops[i], a[i], b[i])
+		if ops[i].kind == laneGeneric {
+			zs = append(zs, ops[i].z)
+		}
+	}
+	if len(zs) > 0 {
+		if err := fc.fld.InvBatch(zs); err != nil {
+			// Unreachable (every z = r·V₃ is non-zero), but never trust a
+			// rejected batch: degrade those lanes to the scalar path.
+			for i := range dst {
+				if ops[i].kind == laneGeneric {
+					ops[i].kind = laneFallback
+					ops[i].a, ops[i].b = a[i], b[i]
+				}
+			}
+		} else {
+			laneInvBatches.Add(1)
+		}
+	}
+	k := 0
+	for i := range dst {
+		switch ops[i].kind {
+		case laneDirect:
+			dst[i] = ops[i].out
+		case laneGeneric:
+			dst[i] = fc.phase2(&ops[i], zs[k])
+			k++
+		case laneFallback:
+			dst[i] = fc.addCantor(ops[i].a, ops[i].b)
+		}
+	}
+}
+
+// laneChunkSize caps the lanes advanced by one lock-step loop. Chunks keep
+// the per-position scratch cache-resident and give core.Parallel units to
+// fan out across cores when a cross-envelope batch brings hundreds of
+// lanes. 64 lanes already amortize the batch inversion to ~2 muls/lane.
+const laneChunkSize = 64
+
+// laneExp computes out[i] = ks[i]·bases[i] (or ks[0]·bases[i] when a
+// single scalar drives every lane) in lock-step. Digit schedules are
+// deduped by *big.Int identity, so the compose path's shared y is
+// decomposed once; if every base is the same divisor (the open path's η)
+// one odd-multiples table is shared by all lanes.
+func (fc *fastCurve) laneExp(bases []fdiv, ks []*big.Int) []fdiv {
+	n := len(bases)
+	out := make([]fdiv, n)
+	if n == 0 {
+		return out
+	}
+	digitsFor := make([][]int8, n)
+	memo := make(map[*big.Int][]int8, 1)
+	for i := 0; i < n; i++ {
+		k := ks[0]
+		if len(ks) > 1 {
+			k = ks[i]
+		}
+		dg, ok := memo[k]
+		if !ok {
+			kk := new(big.Int).Mod(k, fc.order)
+			if kk.Sign() > 0 {
+				dg = wnafDigits(kk, wnafWidth)
+			}
+			memo[k] = dg
+		}
+		digitsFor[i] = dg
+	}
+	var sharedTab *[8]fdiv
+	if n > 1 {
+		same := true
+		for i := 1; i < n && same; i++ {
+			same = fdivEqual(bases[0], bases[i])
+		}
+		if same {
+			var tab [8]fdiv
+			tab[0] = bases[0]
+			d2 := fc.add(bases[0], bases[0])
+			for j := 1; j < len(tab); j++ {
+				tab[j] = fc.add(tab[j-1], d2)
+			}
+			sharedTab = &tab
+		}
+	}
+	chunks := (n + laneChunkSize - 1) / laneChunkSize
+	if workers := runtime.GOMAXPROCS(0); chunks > 1 && workers > 1 {
+		core.Parallel(workers, chunks, func(ci int) {
+			lo := ci * laneChunkSize
+			hi := min(lo+laneChunkSize, n)
+			fc.laneExpChunk(out[lo:hi], bases[lo:hi], digitsFor[lo:hi], sharedTab)
+		})
+	} else {
+		fc.laneExpChunk(out, bases, digitsFor, sharedTab)
+	}
+	return out
+}
+
+// laneExpChunk runs the lock-step double-and-add loop for one chunk of
+// lanes. Two lane-combines per wNAF position — one doubling pass over
+// every lane, one addition pass when any lane has a non-zero digit — so
+// the whole chunk pays two batch inversions per position instead of two
+// Fermat inversions per lane per position.
+func (fc *fastCurve) laneExpChunk(out, bases []fdiv, digitsFor [][]int8, sharedTab *[8]fdiv) {
+	n := len(bases)
+	ops := make([]laneOp, n)
+	zs := make([]ff128.Elem, 0, n)
+	var tabs [][8]fdiv
+	if sharedTab == nil {
+		// Lane-batched odd-multiples tables: 8 combine passes build all n
+		// tables (d, 3d, …, 15d per lane) instead of 8·n scalar adds.
+		tabs = make([][8]fdiv, n)
+		d2 := make([]fdiv, n)
+		fc.laneCombine(d2, bases, bases, ops, zs)
+		prev := make([]fdiv, n)
+		copy(prev, bases)
+		cur := make([]fdiv, n)
+		for i := range tabs {
+			tabs[i][0] = bases[i]
+		}
+		for j := 1; j < 8; j++ {
+			fc.laneCombine(cur, prev, d2, ops, zs)
+			for i := range cur {
+				tabs[i][j] = cur[i]
+			}
+			prev, cur = cur, prev
+		}
+	}
+	maxLen := 0
+	for _, dg := range digitsFor {
+		if len(dg) > maxLen {
+			maxLen = len(dg)
+		}
+	}
+	accs := out
+	for i := range accs {
+		accs[i] = fc.identity()
+	}
+	addends := make([]fdiv, n)
+	ident := fc.identity()
+	for pos := maxLen - 1; pos >= 0; pos-- {
+		fc.laneCombine(accs, accs, accs, ops, zs)
+		any := false
+		for i := 0; i < n; i++ {
+			dg := int8(0)
+			if d := digitsFor[i]; pos < len(d) {
+				dg = d[pos]
+			}
+			switch {
+			case dg > 0:
+				if sharedTab != nil {
+					addends[i] = sharedTab[(dg-1)/2]
+				} else {
+					addends[i] = tabs[i][(dg-1)/2]
+				}
+				any = true
+			case dg < 0:
+				if sharedTab != nil {
+					addends[i] = fc.neg(sharedTab[(-dg-1)/2])
+				} else {
+					addends[i] = fc.neg(tabs[i][(-dg-1)/2])
+				}
+				any = true
+			default:
+				addends[i] = ident
+			}
+		}
+		if any {
+			fc.laneCombine(accs, accs, addends, ops, zs)
+		}
+	}
+}
+
+func fdivEqual(a, b fdiv) bool {
+	if a.u.deg != b.u.deg || a.v.deg != b.v.deg {
+		return false
+	}
+	for i := 0; i <= a.u.deg; i++ {
+		if !a.u.c[i].Equal(b.u.c[i]) {
+			return false
+		}
+	}
+	for i := 0; i <= a.v.deg; i++ {
+		if !a.v.c[i].Equal(b.v.c[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// LaneExp implements group.LaneExpGroup: out[i] = ks[i]·bases[i], with
+// len(ks) == 1 meaning one scalar drives every lane. On the fast engine
+// this runs the lock-step batch-inversion kernel; curves without a fast
+// engine (base field over 2¹²⁷) serve each lane through the reference
+// polyring path, which doubles as the differential oracle in tests.
+func (c *Curve) LaneExp(bases []group.Element, ks []*big.Int) []group.Element {
+	n := len(bases)
+	if len(ks) != 1 && len(ks) != n {
+		panic("g2: LaneExp needs one scalar or one per lane")
+	}
+	out := make([]group.Element, n)
+	if n == 0 {
+		return out
+	}
+	laneLanes.Add(uint64(n))
+	if c.fast == nil {
+		for i := range bases {
+			k := ks[0]
+			if len(ks) > 1 {
+				k = ks[i]
+			}
+			out[i] = c.Exp(bases[i], k)
+		}
+		return out
+	}
+	fb := make([]fdiv, n)
+	for i := range bases {
+		fb[i] = c.toFast(c.div(bases[i]))
+	}
+	res := c.fast.laneExp(fb, ks)
+	for i := range res {
+		out[i] = c.fromFast(res[i])
+	}
+	return out
+}
+
+var _ group.LaneExpGroup = (*Curve)(nil)

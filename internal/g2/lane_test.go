@@ -1,0 +1,170 @@
+package g2
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+
+	"ppcd/internal/group"
+)
+
+// TestLaneExpDifferential pins the lane kernel to the reference engine:
+// random lane counts, random scalars of both residue classes (including
+// negative and zero), per-lane and shared-scalar modes, identity and
+// degree-1 (degenerate) bases. Every lane must marshal byte-identically to
+// the reference result — the property the envelope wire format relies on.
+func TestLaneExpDifferential(t *testing.T) {
+	c := MustPaperCurve()
+	slow := c.withoutFast()
+	rng := mrand.New(mrand.NewSource(7))
+
+	degenerate, err := c.HashToElement([]byte("lane/degenerate-base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := degenerate.(*Divisor); d.u.Deg() != 1 {
+		t.Fatalf("expected a degree-1 divisor from HashToElement, got deg %d", d.u.Deg())
+	}
+
+	for round := 0; round < 8; round++ {
+		n := 1 + rng.Intn(9)
+		shared := round%2 == 0
+		bases := make([]group.Element, n)
+		ks := make([]*big.Int, 0, n)
+		if shared {
+			k, err := rand.Int(rand.Reader, c.Order())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ks = append(ks, k)
+		}
+		for i := 0; i < n; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				bases[i] = c.Identity()
+			case 1:
+				bases[i] = degenerate
+			default:
+				bases[i] = randDivisor(t, slow)
+			}
+			if !shared {
+				k, err := rand.Int(rand.Reader, c.Order())
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch rng.Intn(5) {
+				case 0:
+					k.Neg(k) // negative residue class
+				case 1:
+					k.SetInt64(0)
+				case 2:
+					k.Add(k, c.Order()) // above-order residue class
+				}
+				ks = append(ks, k)
+			}
+		}
+		got := c.LaneExp(bases, ks)
+		if len(got) != n {
+			t.Fatalf("LaneExp returned %d results for %d lanes", len(got), n)
+		}
+		for i := 0; i < n; i++ {
+			k := ks[0]
+			if !shared {
+				k = ks[i]
+			}
+			want := slow.Exp(bases[i], k)
+			if !c.Equal(got[i], want) {
+				t.Fatalf("round %d lane %d: LaneExp=%v want %v (base=%v k=%v shared=%v)",
+					round, i, got[i], want, bases[i], k, shared)
+			}
+			if !bytes.Equal(c.Marshal(got[i]), slow.Marshal(want)) {
+				t.Fatalf("round %d lane %d: lane result marshals differently from reference", round, i)
+			}
+		}
+	}
+}
+
+// TestLaneExpSharedBase exercises the shared-table path (every lane the
+// same base, per-lane scalars) — the shape of the subscriber's openBitwise.
+func TestLaneExpSharedBase(t *testing.T) {
+	c := MustPaperCurve()
+	slow := c.withoutFast()
+	base := randDivisor(t, slow)
+	const n = 7
+	bases := make([]group.Element, n)
+	ks := make([]*big.Int, n)
+	for i := range bases {
+		bases[i] = base
+		k, err := rand.Int(rand.Reader, c.Order())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks[i] = k
+	}
+	got := c.LaneExp(bases, ks)
+	for i := range got {
+		if want := slow.Exp(base, ks[i]); !c.Equal(got[i], want) {
+			t.Fatalf("shared-base lane %d: got %v want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestLaneExpReferenceOracle runs LaneExp on a curve without the fast
+// engine: the polyring path must serve every lane.
+func TestLaneExpReferenceOracle(t *testing.T) {
+	slow := MustPaperCurve().withoutFast()
+	a := randDivisor(t, slow)
+	k, err := rand.Int(rand.Reader, slow.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := slow.LaneExp([]group.Element{a, slow.Identity()}, []*big.Int{k})
+	if !slow.Equal(got[0], slow.Exp(a, k)) || !slow.IsIdentity(got[1]) {
+		t.Fatal("reference-path LaneExp disagrees with Exp")
+	}
+}
+
+// TestLaneStatsCounters checks the lane telemetry moves when the kernel
+// runs — the -register bench and CI assert on these counters.
+func TestLaneStatsCounters(t *testing.T) {
+	c := MustPaperCurve()
+	slow := c.withoutFast()
+	lanes0, inv0 := LaneStats()
+	bases := []group.Element{randDivisor(t, slow), randDivisor(t, slow)}
+	k, err := rand.Int(rand.Reader, c.Order())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.LaneExp(bases, []*big.Int{k})
+	lanes1, inv1 := LaneStats()
+	if lanes1 != lanes0+2 {
+		t.Fatalf("lane counter: got %d want %d", lanes1, lanes0+2)
+	}
+	if inv1 <= inv0 {
+		t.Fatalf("batch-inversion counter did not advance (%d -> %d)", inv0, inv1)
+	}
+}
+
+// TestOneInversionAddDifferential pins the deferred-inversion scalar add
+// directly against the full Cantor path on the fast engine's own fdiv
+// representation, covering the generic add, the doubling branch and the
+// inverse-pair shortcut.
+func TestOneInversionAddDifferential(t *testing.T) {
+	c := MustPaperCurve()
+	slow := c.withoutFast()
+	fc := c.fast
+	for i := 0; i < 40; i++ {
+		a := c.toFast(randDivisor(t, slow))
+		b := c.toFast(randDivisor(t, slow))
+		pairs := [][2]fdiv{{a, b}, {a, a}, {a, fc.neg(a)}, {fc.identity(), b}}
+		for _, pr := range pairs {
+			got := fc.add(pr[0], pr[1])
+			want := fc.addCantor(pr[0], pr[1])
+			if !fdivEqual(got, want) {
+				t.Fatalf("one-inversion add diverges from Cantor:\n a=%v\n b=%v", pr[0], pr[1])
+			}
+		}
+	}
+}

@@ -67,6 +67,22 @@ type FixedBase interface {
 	Exp(k *big.Int) Element
 }
 
+// LaneExpGroup is optionally implemented by groups with a lane-parallel
+// multi-exponentiation kernel: out[i] = ks[i]·bases[i] for every lane,
+// with len(ks) == 1 meaning one shared scalar drives all lanes (the OCBE
+// compose path: every σ-exponentiation of one envelope shares y). Callers
+// discover it by type assertion and fall back to per-element Group.Exp
+// when absent. Implementations must return exactly the elements the
+// per-lane Exp calls would — the lane kernel is a performance path, never
+// a semantic one.
+type LaneExpGroup interface {
+	Group
+
+	// LaneExp returns bases[i]^ks[i] (or bases[i]^ks[0] when len(ks)==1)
+	// for every i. It panics if len(ks) is neither 1 nor len(bases).
+	LaneExp(bases []Element, ks []*big.Int) []Element
+}
+
 // FixedBaseGroup is optionally implemented by groups that support
 // precomputed fixed-base exponentiation (the genus-2 Jacobian's windowed
 // tables). Callers discover it by type assertion and fall back to the

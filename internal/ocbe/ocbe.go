@@ -23,8 +23,8 @@ import (
 	"math/big"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
+	"ppcd/internal/core"
 	"ppcd/internal/group"
 	"ppcd/internal/pedersen"
 	"ppcd/internal/sym"
@@ -328,51 +328,46 @@ func (r *Receiver) bitCommit(s subOp, ell int) (*BitWitness, *BitCommitments, er
 	return &BitWitness{ds: ds, rs: rs}, bc, nil
 }
 
-// parallelFor runs f(0..n-1) across GOMAXPROCS workers and returns the first
-// error. The bitwise OCBE steps are embarrassingly parallel across bit
-// positions; this is where the Sub and Pub spend nearly all their time
-// (Fig. 2 of the paper).
+// parallelFor runs f(0..n-1) across the shared bounded scheduler of
+// internal/core and returns the first error. The bitwise OCBE steps are
+// embarrassingly parallel across bit positions (Fig. 2 of the paper), and
+// RegisterBatch stacks per-envelope parallelism on top of its own pool —
+// routing both through core.Parallel bounds the total goroutine count
+// instead of spawning a fresh fan-out per call.
 func parallelFor(n int, f func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := f(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
 	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
-		mu   sync.Mutex
-		got  error
+		mu  sync.Mutex
+		got error
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := f(i); err != nil {
-					mu.Lock()
-					if got == nil {
-						got = err
-					}
-					mu.Unlock()
-					return
-				}
+	core.Parallel(runtime.GOMAXPROCS(0), n, func(i int) {
+		if err := f(i); err != nil {
+			mu.Lock()
+			if got == nil {
+				got = err
 			}
-		}()
-	}
-	wg.Wait()
+			mu.Unlock()
+		}
+	})
 	return got
+}
+
+// laneSigmas computes bases[i]^{ks[i]} (bases[i]^{ks[0]} when len(ks)==1)
+// through the group's lane-parallel kernel when it has one; groups without
+// one (schnorr) serve each lane through the scalar Exp in parallel.
+func laneSigmas(g group.Group, bases []group.Element, ks []*big.Int) []group.Element {
+	if lg, ok := g.(group.LaneExpGroup); ok {
+		return lg.LaneExp(bases, ks)
+	}
+	out := make([]group.Element, len(bases))
+	parallelFor(len(bases), func(i int) error {
+		k := ks[0]
+		if len(ks) > 1 {
+			k = ks[i]
+		}
+		out[i] = g.Exp(bases[i], k)
+		return nil
+	})
+	return out
 }
 
 // Compose builds the sender's envelope around msg for the given predicate
@@ -417,28 +412,64 @@ func composeSub(params *pedersen.Params, c group.Element, s subOp, ell int, bits
 	return composeBitwise(params, c, s, ell, bits, msg, pred)
 }
 
-// composeEQ implements the sender side of EQ-OCBE: σ = (c·g^{−x0})^y,
-// η = h^y, C = E_{H(σ)}[msg].
-func composeEQ(params *pedersen.Params, c group.Element, x0 *big.Int, msg []byte, pred Predicate) (*Envelope, error) {
+// eqPlan is the deferred-exponentiation form of EQ-OCBE: everything except
+// σ = (c·g^{−x0})^y is done at plan time, so a batch can pool the single σ
+// exponentiation with every other envelope's lanes.
+type eqPlan struct {
+	env  *Envelope
+	base group.Element // c·g^{−x0}
+	y    *big.Int
+	msg  []byte
+}
+
+func planEQ(params *pedersen.Params, c group.Element, x0 *big.Int, msg []byte, pred Predicate) (*eqPlan, error) {
 	g := params.G
 	y, err := randNonZero(g.Order())
 	if err != nil {
 		return nil, err
 	}
-	shifted := params.Shift(c, x0)
-	sigma := g.Exp(shifted, y)
 	eta := params.ExpH(y)
+	env := &Envelope{Op: pred.Op, X0: pred.X0, Eta: g.Marshal(eta)}
+	return &eqPlan{env: env, base: params.Shift(c, x0), y: y, msg: msg}, nil
+}
+
+// finish derives the payload key from σ and seals the message.
+func (p *eqPlan) finish(g group.Group, sigma group.Element) error {
 	key := sym.DeriveKey([]byte("ocbe/eq"), g.Marshal(sigma))
-	ct, err := sym.Encrypt(key, msg)
+	ct, err := sym.Encrypt(key, p.msg)
+	if err != nil {
+		return err
+	}
+	p.env.C = ct
+	return nil
+}
+
+// composeEQ implements the sender side of EQ-OCBE: σ = (c·g^{−x0})^y,
+// η = h^y, C = E_{H(σ)}[msg].
+func composeEQ(params *pedersen.Params, c group.Element, x0 *big.Int, msg []byte, pred Predicate) (*Envelope, error) {
+	p, err := planEQ(params, c, x0, msg, pred)
 	if err != nil {
 		return nil, err
 	}
-	return &Envelope{Op: pred.Op, X0: pred.X0, Eta: g.Marshal(eta), C: ct}, nil
+	if err := p.finish(params.G, params.G.Exp(p.base, p.y)); err != nil {
+		return nil, err
+	}
+	return p.env, nil
 }
 
-// composeBitwise implements the sender side of GE-OCBE (kind 1) and LE-OCBE
-// (kind 2).
-func composeBitwise(params *pedersen.Params, c group.Element, s subOp, ell int, bits *BitCommitments, msg []byte, pred Predicate) (*Envelope, error) {
+// bitwisePlan is the deferred-exponentiation form of one GE/LE-OCBE
+// envelope: the recombination check, pads, payload ciphertext and η are
+// all computed at plan time; what remains are the 2ℓ σ exponentiations
+// [c_0^y, (c_0·g⁻¹)^y, c_1^y, …], all sharing the scalar y — exactly the
+// shape the lane kernel batches.
+type bitwisePlan struct {
+	env   *Envelope
+	pads  []byte          // ℓ·padLen bytes; pad i is pads[i·padLen:(i+1)·padLen]
+	bases []group.Element // 2ℓ lanes: bases[2i] = c_i, bases[2i+1] = c_i·g⁻¹
+	y     *big.Int
+}
+
+func planBitwise(params *pedersen.Params, c group.Element, s subOp, ell int, bits *BitCommitments, msg []byte, pred Predicate) (*bitwisePlan, error) {
 	g := params.G
 	cis := make([]group.Element, ell)
 	for i, enc := range bits.Cs {
@@ -450,37 +481,31 @@ func composeBitwise(params *pedersen.Params, c group.Element, s subOp, ell int, 
 	}
 
 	// Verify recombination: GE: c·g^{−x0} = Π c_i^{2^i};
-	// LE: g^{x0}·c^{−1} = Π c_i^{2^i}.
+	// LE: g^{x0}·c^{−1} = Π c_i^{2^i}. One Horner pass
+	// (…(c_{ℓ−1}² · c_{ℓ−2})² …)² · c_0 costs ℓ−1 doublings + ℓ−1
+	// additions, against the O(ℓ²) doublings of ℓ separate
+	// exponentiations by 2^i.
 	var target group.Element
 	if s.kind == 1 {
 		target = params.Shift(c, s.x0)
 	} else {
 		target = g.Op(params.ExpG(s.x0), g.Inverse(c))
 	}
-	powers := make([]group.Element, ell)
-	parallelFor(ell, func(i int) error {
-		powers[i] = g.Exp(cis[i], new(big.Int).Lsh(big.NewInt(1), uint(i)))
-		return nil
-	})
-	recomb := g.Identity()
-	for _, p := range powers {
-		recomb = g.Op(recomb, p)
+	recomb := cis[ell-1]
+	for i := ell - 2; i >= 0; i-- {
+		recomb = g.Op(g.Op(recomb, recomb), cis[i])
 	}
 	if !g.Equal(recomb, target) {
 		return nil, ErrBadCommitments
 	}
 
-	// Random pads k_i, session key k = H(k_0‖…‖k_{ℓ−1}).
-	pads := make([][]byte, ell)
-	var keyMaterial []byte
-	for i := range pads {
-		pads[i] = make([]byte, padLen)
-		if _, err := rand.Read(pads[i]); err != nil {
-			return nil, fmt.Errorf("ocbe: pad: %w", err)
-		}
-		keyMaterial = append(keyMaterial, pads[i]...)
+	// Random pads k_i — one read, sliced — and the session key
+	// k = H(k_0‖…‖k_{ℓ−1}); the flat buffer is that concatenation.
+	pads := make([]byte, ell*padLen)
+	if _, err := rand.Read(pads); err != nil {
+		return nil, fmt.Errorf("ocbe: pad: %w", err)
 	}
-	key := sym.DeriveKey([]byte("ocbe/bitwise"), keyMaterial)
+	key := sym.DeriveKey([]byte("ocbe/bitwise"), pads)
 	ct, err := sym.Encrypt(key, msg)
 	if err != nil {
 		return nil, err
@@ -494,18 +519,181 @@ func composeBitwise(params *pedersen.Params, c group.Element, s subOp, ell int, 
 	gBase, _ := params.Bases()
 	gInv := g.Inverse(gBase)
 
+	bases := make([]group.Element, 2*ell)
+	for i, ci := range cis {
+		bases[2*i] = ci
+		bases[2*i+1] = g.Op(ci, gInv)
+	}
 	env := &Envelope{Op: pred.Op, X0: pred.X0, Ell: ell, Eta: g.Marshal(eta), C: ct, Bits: make([]BitPair, ell)}
-	parallelFor(ell, func(i int) error {
-		// σ_i^0 = c_i^y,  σ_i^1 = (c_i·g^{−1})^y.
-		s0 := g.Exp(cis[i], y)
-		s1 := g.Exp(g.Op(cis[i], gInv), y)
-		env.Bits[i] = BitPair{
-			C0: xorPad(hashSigma(g, s0), pads[i]),
-			C1: xorPad(hashSigma(g, s1), pads[i]),
+	return &bitwisePlan{env: env, pads: pads, bases: bases, y: y}, nil
+}
+
+// finish fills the pad pairs from the lane results: sigmas[2i] = σ_i^0,
+// sigmas[2i+1] = σ_i^1.
+func (p *bitwisePlan) finish(g group.Group, sigmas []group.Element) {
+	for i := range p.env.Bits {
+		pad := p.pads[i*padLen : (i+1)*padLen]
+		p.env.Bits[i] = BitPair{
+			C0: xorPad(hashSigma(g, sigmas[2*i]), pad),
+			C1: xorPad(hashSigma(g, sigmas[2*i+1]), pad),
+		}
+	}
+}
+
+// composeBitwise implements the sender side of GE-OCBE (kind 1) and LE-OCBE
+// (kind 2): the plan stage up front, then all 2ℓ σ exponentiations as one
+// shared-scalar lane batch.
+func composeBitwise(params *pedersen.Params, c group.Element, s subOp, ell int, bits *BitCommitments, msg []byte, pred Predicate) (*Envelope, error) {
+	p, err := planBitwise(params, c, s, ell, bits, msg, pred)
+	if err != nil {
+		return nil, err
+	}
+	p.finish(params.G, laneSigmas(params.G, p.bases, []*big.Int{p.y}))
+	return p.env, nil
+}
+
+// ComposeItem is one envelope request inside ComposeBatch.
+type ComposeItem struct {
+	Pred Predicate
+	Ell  int
+	Req  *Request
+	Msg  []byte
+}
+
+// subPlan is one sub-envelope's share of a ComposeBatch lane pool: its
+// bases (all driven by the one scalar y), the slice of the pooled results
+// assigned back to it, and the completion consuming them.
+type subPlan struct {
+	bases  []group.Element
+	y      *big.Int
+	sigmas []group.Element
+	fin    func(sigmas []group.Element) error
+}
+
+// ComposeBatch builds one envelope per item, pooling every σ
+// exponentiation — 2ℓ per bitwise sub-envelope, one per EQ envelope —
+// across all items into a single lane-batched multi-exponentiation, so a
+// registration batch of many conditions amortizes field inversions across
+// hundreds of lanes. Failures are per item: errs[i] == nil guarantees
+// envs[i] is a complete envelope, and one bad request never blocks the
+// rest of the batch.
+func ComposeBatch(params *pedersen.Params, items []ComposeItem) (envs []*Envelope, errs []error) {
+	g := params.G
+	envs = make([]*Envelope, len(items))
+	errs = make([]error, len(items))
+	type itemState struct {
+		env  *Envelope
+		subs []*subPlan
+	}
+	states := make([]*itemState, len(items))
+
+	// Stage 1 — plan: unmarshal, recombination checks, pads, payload
+	// encryption and η for every item, parallel across items.
+	plan := func(idx int) error {
+		it := items[idx]
+		c, err := g.Unmarshal(it.Req.Commitment)
+		if err != nil {
+			return fmt.Errorf("ocbe: bad commitment: %w", err)
+		}
+		subs := normalize(it.Pred)
+		if len(it.Req.Bits) != len(subs) {
+			return fmt.Errorf("ocbe: request has %d sub-parts, predicate needs %d", len(it.Req.Bits), len(subs))
+		}
+		st := &itemState{}
+		var subEnvs []*Envelope
+		for i, s := range subs {
+			if s.kind == 0 {
+				ep, err := planEQ(params, c, s.x0, it.Msg, it.Pred)
+				if err != nil {
+					return err
+				}
+				st.subs = append(st.subs, &subPlan{
+					bases: []group.Element{ep.base},
+					y:     ep.y,
+					fin:   func(sig []group.Element) error { return ep.finish(g, sig[0]) },
+				})
+				subEnvs = append(subEnvs, ep.env)
+				continue
+			}
+			if err := checkEll(params, it.Ell); err != nil {
+				return err
+			}
+			bits := it.Req.Bits[i]
+			if bits == nil || len(bits.Cs) != it.Ell {
+				return fmt.Errorf("ocbe: predicate needs %d bit commitments", it.Ell)
+			}
+			bp, err := planBitwise(params, c, s, it.Ell, bits, it.Msg, it.Pred)
+			if err != nil {
+				return err
+			}
+			st.subs = append(st.subs, &subPlan{
+				bases: bp.bases,
+				y:     bp.y,
+				fin:   func(sig []group.Element) error { bp.finish(g, sig); return nil },
+			})
+			subEnvs = append(subEnvs, bp.env)
+		}
+		if len(subEnvs) == 1 {
+			st.env = subEnvs[0]
+		} else {
+			st.env = &Envelope{Op: it.Pred.Op, X0: it.Pred.X0, Ell: it.Ell, Sub: subEnvs}
+		}
+		states[idx] = st
+		return nil
+	}
+	parallelFor(len(items), func(idx int) error {
+		if err := plan(idx); err != nil {
+			errs[idx] = err
 		}
 		return nil
 	})
-	return env, nil
+
+	// Stage 2 — one pooled lane exponentiation across every surviving
+	// item. Lanes of one sub-envelope share a *big.Int, so the lane
+	// kernel decomposes each distinct y once.
+	var bases []group.Element
+	var ks []*big.Int
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		for _, sp := range st.subs {
+			for _, b := range sp.bases {
+				bases = append(bases, b)
+				ks = append(ks, sp.y)
+			}
+		}
+	}
+	if len(bases) > 0 {
+		sigmas := laneSigmas(g, bases, ks)
+		off := 0
+		for _, st := range states {
+			if st == nil {
+				continue
+			}
+			for _, sp := range st.subs {
+				sp.sigmas = sigmas[off : off+len(sp.bases)]
+				off += len(sp.bases)
+			}
+		}
+	}
+
+	// Stage 3 — finish: hash σ's into pad pairs, seal EQ payloads.
+	parallelFor(len(items), func(idx int) error {
+		st := states[idx]
+		if st == nil {
+			return nil
+		}
+		for _, sp := range st.subs {
+			if err := sp.fin(sp.sigmas); err != nil {
+				errs[idx] = err
+				return nil
+			}
+		}
+		envs[idx] = st.env
+		return nil
+	})
+	return envs, errs
 }
 
 func hashSigma(g group.Group, e group.Element) []byte {
@@ -579,29 +767,30 @@ func (r *Receiver) openBitwise(env *Envelope, wit *BitWitness) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ocbe: bad eta: %w", err)
 	}
-	parts := make([][]byte, len(env.Bits))
-	err = parallelFor(len(env.Bits), func(i int) error {
-		var pad []byte
+	// Select each bit's pad first: a non-bit digit means the receiver is on
+	// the false branch and cannot open (paper GE-OCBE Open can only index
+	// j∈{0,1}), so no exponentiations are spent on a doomed envelope.
+	pads := make([][]byte, len(env.Bits))
+	for i := range env.Bits {
 		switch {
 		case wit.ds[i].Sign() == 0:
-			pad = env.Bits[i].C0
+			pads[i] = env.Bits[i].C0
 		case wit.ds[i].Cmp(big.NewInt(1)) == 0:
-			pad = env.Bits[i].C1
+			pads[i] = env.Bits[i].C1
 		default:
-			// Digit is not a bit: the receiver is on the false branch and
-			// cannot open (paper GE-OCBE Open step can only index j∈{0,1}).
-			return ErrOpenFailed
+			return nil, ErrOpenFailed
 		}
-		sigma := g.Exp(eta, wit.rs[i])
-		parts[i] = xorPad(hashSigma(g, sigma), pad)
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	var keyMaterial []byte
-	for _, p := range parts {
-		keyMaterial = append(keyMaterial, p...)
+	// σ'_i = η^{r_i}: one lane batch over the shared base η with per-lane
+	// scalars, so the lane kernel builds a single odd-multiples table.
+	bases := make([]group.Element, len(env.Bits))
+	for i := range bases {
+		bases[i] = eta
+	}
+	sigmas := laneSigmas(g, bases, wit.rs)
+	keyMaterial := make([]byte, 0, len(env.Bits)*padLen)
+	for i := range sigmas {
+		keyMaterial = append(keyMaterial, xorPad(hashSigma(g, sigmas[i]), pads[i])...)
 	}
 	key := sym.DeriveKey([]byte("ocbe/bitwise"), keyMaterial)
 	msg, err := sym.Decrypt(key, env.C)

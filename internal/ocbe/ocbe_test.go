@@ -54,6 +54,64 @@ func runProtocol(t *testing.T, x int64, pred Predicate, msg []byte) ([]byte, err
 	return recv.Open(env, wit)
 }
 
+// TestComposeBatch covers the pooled compose path over the (lane-less)
+// Schnorr group: mixed predicates including the two-branch ≠, round trips
+// for every envelope, and per-item error isolation — one corrupt request
+// must not block the rest of the batch.
+func TestComposeBatch(t *testing.T) {
+	p := params(t)
+	msg := []byte("batched css payload")
+	x := int64(25)
+	_, r, err := p.CommitRandom(big.NewInt(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := NewReceiver(p, big.NewInt(x), r)
+	preds := []Predicate{
+		{Op: EQ, X0: big.NewInt(25)},
+		{Op: GE, X0: big.NewInt(10)},
+		{Op: NE, X0: big.NewInt(11)},
+		{Op: LE, X0: big.NewInt(100)},
+	}
+	items := make([]ComposeItem, 0, len(preds)+1)
+	wits := make([]*Witness, 0, len(preds))
+	for _, pred := range preds {
+		wit, req, err := recv.Prepare(pred, testEll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wits = append(wits, wit)
+		items = append(items, ComposeItem{Pred: pred, Ell: testEll, Req: req, Msg: msg})
+	}
+	// A corrupt item: commitment bytes that do not unmarshal.
+	items = append(items, ComposeItem{
+		Pred: Predicate{Op: EQ, X0: big.NewInt(1)},
+		Ell:  testEll,
+		Req:  &Request{Commitment: []byte{0xff}, Bits: []*BitCommitments{{}}},
+		Msg:  msg,
+	})
+	envs, errs := ComposeBatch(p, items)
+	if len(envs) != len(items) || len(errs) != len(items) {
+		t.Fatalf("shape: %d envs, %d errs for %d items", len(envs), len(errs), len(items))
+	}
+	for i := range preds {
+		if errs[i] != nil {
+			t.Fatalf("item %d (%v): %v", i, preds[i], errs[i])
+		}
+		got, err := recv.Open(envs[i], wits[i])
+		if err != nil {
+			t.Fatalf("item %d (%v): open: %v", i, preds[i], err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Errorf("item %d (%v): payload mismatch", i, preds[i])
+		}
+	}
+	bad := len(items) - 1
+	if errs[bad] == nil || envs[bad] != nil {
+		t.Fatalf("corrupt item: want error and nil envelope, got err=%v env=%v", errs[bad], envs[bad])
+	}
+}
+
 func TestAllOpsSatisfiedAndUnsatisfied(t *testing.T) {
 	msg := []byte("the conditional subscription secret")
 	cases := []struct {

@@ -231,39 +231,47 @@ func (p *Publisher) Register(req *RegistrationRequest) (*ocbe.Envelope, error) {
 	return env, nil
 }
 
-// compose validates one registration request and builds its envelope
-// without touching table T. verifyToken can be skipped when the same token
-// was already verified earlier in a batch.
-func (p *Publisher) compose(req *RegistrationRequest, verifyToken bool) (*ocbe.Envelope, core.CSS, error) {
+// validateRegistration checks everything about one request except the
+// envelope crypto — shape, condition, pseudonym cap, tag, certified
+// commitment and (optionally) the token signature — and draws the fresh
+// CSS for a request that passes. verifyToken can be skipped when the same
+// token was already verified earlier in a batch.
+func (p *Publisher) validateRegistration(req *RegistrationRequest, verifyToken bool) (core.CSS, error) {
 	if req == nil || req.Token == nil || req.OCBE == nil {
-		return nil, 0, errors.New("pubsub: incomplete registration request")
+		return 0, errors.New("pubsub: incomplete registration request")
 	}
 	cond, ok := p.condByID[req.CondID]
 	if !ok {
-		return nil, 0, ErrUnknownCondition
+		return 0, ErrUnknownCondition
 	}
 	// Enforce the durable-state pseudonym cap at admission: a longer nym
 	// would register fine but poison every later state import/WAL replay
 	// (a one-request persistent denial of recovery).
 	if err := validateStateNym(req.Token.Nym); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	if req.Token.Tag != cond.Attr {
-		return nil, 0, ErrTagMismatch
+		return 0, ErrTagMismatch
 	}
 	// The OCBE exchange must run against the IdMgr-certified commitment —
 	// otherwise a subscriber could attach a valid token while running OCBE
 	// on a self-chosen commitment to a satisfying value, bypassing the
 	// access control entirely.
 	if !bytes.Equal(req.OCBE.Commitment, req.Token.Commitment) {
-		return nil, 0, ErrCommitmentMismatch
+		return 0, ErrCommitmentMismatch
 	}
 	if verifyToken {
 		if err := idtoken.Verify(p.params, p.idmgrKey, req.Token); err != nil {
-			return nil, 0, fmt.Errorf("pubsub: token rejected: %w", err)
+			return 0, fmt.Errorf("pubsub: token rejected: %w", err)
 		}
 	}
-	css, err := core.NewCSS()
+	return core.NewCSS()
+}
+
+// compose validates one registration request and builds its envelope
+// without touching table T.
+func (p *Publisher) compose(req *RegistrationRequest, verifyToken bool) (*ocbe.Envelope, core.CSS, error) {
+	css, err := p.validateRegistration(req, verifyToken)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -291,12 +299,12 @@ const MaxRegistrationBatch = 4096
 
 // RegisterBatch handles many registration requests in one call — one round
 // trip on the wire instead of one per condition. Each distinct token is
-// verified once, envelope composition fans out across a bounded worker
-// pool (the workers share the Params' read-only fixed-base exponentiation
-// tables), and all resulting CSS cells are committed to table T under a
-// single write-lock acquisition per pseudonym. Item-level failures are reported in
-// the corresponding BatchResult; the call errs only on an empty or
-// oversized batch.
+// verified once, envelope composition runs through ocbe.ComposeBatch in
+// bounded chunks — pooling every envelope's σ exponentiations into the
+// group's lane-batched multi-exponentiation kernel — and all resulting CSS
+// cells are committed to table T under a single write-lock acquisition per
+// pseudonym. Item-level failures are reported in the corresponding
+// BatchResult; the call errs only on an empty or oversized batch.
 func (p *Publisher) RegisterBatch(reqs []*RegistrationRequest) ([]BatchResult, error) {
 	if len(reqs) == 0 {
 		return nil, errors.New("pubsub: empty registration batch")
@@ -337,43 +345,53 @@ func (p *Publisher) RegisterBatch(reqs []*RegistrationRequest) ([]BatchResult, e
 	}
 	results := make([]BatchResult, len(reqs))
 	outcomes := make([]outcome, len(reqs))
-	// Fixed worker pool (not one goroutine per item): the batch is
-	// network-supplied, so resource use must be bounded by Options.Workers,
-	// not by the batch length.
-	workers := p.opts.Workers
-	if workers > len(reqs) {
-		workers = len(reqs)
+	// Validate every item up front (cheap: map lookups and byte compares;
+	// signatures were checked above) and collect the survivors into one
+	// compose batch, so ocbe.ComposeBatch can pool every envelope's σ
+	// exponentiations into shared lanes instead of composing one envelope
+	// per worker.
+	items := make([]ocbe.ComposeItem, 0, len(reqs))
+	itemIdx := make([]int, 0, len(reqs)) // items[j] composes reqs[itemIdx[j]]
+	cssFor := make([]core.CSS, len(reqs))
+	for i, req := range reqs {
+		if req != nil {
+			results[i].CondID = req.CondID
+		}
+		if err := tokErrs[i]; err != nil {
+			results[i].Err = err.Error()
+			continue
+		}
+		css, err := p.validateRegistration(req, false)
+		if err != nil {
+			results[i].Err = err.Error()
+			continue
+		}
+		cssFor[i] = css
+		items = append(items, ocbe.ComposeItem{
+			Pred: p.predByID[req.CondID],
+			Ell:  p.opts.Ell,
+			Req:  req.OCBE,
+			Msg:  css.Bytes(),
+		})
+		itemIdx = append(itemIdx, i)
 	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				req := reqs[i]
-				if req != nil {
-					results[i].CondID = req.CondID
-				}
-				if err := tokErrs[i]; err != nil {
-					results[i].Err = err.Error()
-					continue
-				}
-				env, css, err := p.compose(req, false)
-				if err != nil {
-					results[i].Err = err.Error()
-					continue
-				}
-				results[i].Envelope = env
-				outcomes[i] = outcome{css: css, ok: true}
+	// Compose in bounded chunks: the batch is network-supplied, so plan
+	// memory must stay proportional to the chunk, not the batch length — a
+	// chunk still pools hundreds of lanes per batch inversion.
+	const composeChunk = 256
+	for lo := 0; lo < len(items); lo += composeChunk {
+		hi := min(lo+composeChunk, len(items))
+		envs, errs := ocbe.ComposeBatch(p.params, items[lo:hi])
+		for j := lo; j < hi; j++ {
+			i := itemIdx[j]
+			if err := errs[j-lo]; err != nil {
+				results[i].Err = fmt.Sprintf("pubsub: composing envelope: %v", err)
+				continue
 			}
-		}()
+			results[i].Envelope = envs[j-lo]
+			outcomes[i] = outcome{css: cssFor[i], ok: true}
+		}
 	}
-	for i := range reqs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
 
 	// Commit all successful cells, grouped by pseudonym, one lock
 	// acquisition each.

@@ -111,7 +111,7 @@ func TestGroupedHeaderRejectsCorruption(t *testing.T) {
 	w.u32(1)
 	writeHeaderBody(&w, g.Shards[0].Hdr)
 	w.u64(uint64(g.Shards[0].Wrap))
-	if _, err := UnmarshalGroupedHeader(w.buf.Bytes()); err == nil {
+	if _, err := UnmarshalGroupedHeader(w.out()); err == nil {
 		t.Error("bad rekey nonce length accepted")
 	}
 
@@ -121,7 +121,7 @@ func TestGroupedHeaderRejectsCorruption(t *testing.T) {
 		w.u8(VersionGrouped)
 		w.bytes(g.RekeyNonce)
 		w.u32(count)
-		if _, err := UnmarshalGroupedHeader(w.buf.Bytes()); err == nil {
+		if _, err := UnmarshalGroupedHeader(w.out()); err == nil {
 			t.Errorf("shard count %d accepted", count)
 		}
 	}
@@ -137,7 +137,7 @@ func TestGroupedHeaderRejectsCorruption(t *testing.T) {
 	}
 	writeHeaderBody(&w2, odd)
 	w2.u64(uint64(g.Shards[0].Wrap))
-	if _, err := UnmarshalGroupedHeader(w2.buf.Bytes()); err == nil {
+	if _, err := UnmarshalGroupedHeader(w2.out()); err == nil {
 		t.Error("sub-header with non-NonceSize nonce accepted")
 	}
 
@@ -148,7 +148,7 @@ func TestGroupedHeaderRejectsCorruption(t *testing.T) {
 	w3.u32(1)
 	writeHeaderBody(&w3, g.Shards[0].Hdr)
 	w3.u64(^uint64(0))
-	if _, err := UnmarshalGroupedHeader(w3.buf.Bytes()); err == nil {
+	if _, err := UnmarshalGroupedHeader(w3.out()); err == nil {
 		t.Error("unreduced wrap accepted")
 	}
 
@@ -179,7 +179,7 @@ func TestGroupedHeaderBudgetClamp(t *testing.T) {
 	// (256 MiB of vector) — the reader errors with ErrOversize from the
 	// budget/clamp path, never attempting the allocation of all 64 shards.
 	w.u32(1 << 25)
-	data := w.buf.Bytes()
+	data := w.out()
 	// Pad with zero bytes so the first entries "exist".
 	data = append(data, make([]byte, 4096)...)
 	_, err := UnmarshalGroupedHeader(data)

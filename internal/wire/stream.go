@@ -61,7 +61,7 @@ func MarshalSnapshotFrame(b *pubsub.Broadcast) []byte {
 	w.u8(VersionStream)
 	w.u8(byte(FrameSnapshot))
 	writeBroadcastV3(&w, b)
-	return w.buf.Bytes()
+	return w.out()
 }
 
 // MarshalDeltaFrame encodes a broadcast delta as a v3 frame.
@@ -70,7 +70,7 @@ func MarshalDeltaFrame(d *pubsub.BroadcastDelta) []byte {
 	w.u8(VersionStream)
 	w.u8(byte(FrameDelta))
 	writeDelta(&w, d)
-	return w.buf.Bytes()
+	return w.out()
 }
 
 // MarshalHeartbeatFrame encodes a heartbeat frame for the given epoch.
@@ -79,7 +79,7 @@ func MarshalHeartbeatFrame(epoch uint64) []byte {
 	w.u8(VersionStream)
 	w.u8(byte(FrameHeartbeat))
 	w.u64(epoch)
-	return w.buf.Bytes()
+	return w.out()
 }
 
 // UnmarshalFrame decodes one v3 stream frame.

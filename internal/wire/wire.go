@@ -10,12 +10,11 @@
 package wire
 
 import (
-	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math/big"
 
+	"ppcd/internal/codec"
 	"ppcd/internal/core"
 	"ppcd/internal/ff64"
 	"ppcd/internal/idtoken"
@@ -57,92 +56,83 @@ const maxGroupShards = 1 << 16
 // transport-decoded one.
 const maxHeaderBudget = 64 << 20
 
+// writer and reader delegate to the shared codec primitives (the third and
+// last of the repo's hand-rolled codecs to land on them — the durable state
+// blobs and the store WAL records moved earlier). The wrappers keep wire's
+// historical method signatures so the v1–v3 encoders and decoders read
+// unchanged, translate codec's sentinels into wire's, and preserve the exact
+// byte formats — the round-trip tests pin them.
+
 type writer struct {
-	buf bytes.Buffer
+	w codec.Writer
 }
 
-func (w *writer) u8(v byte)    { w.buf.WriteByte(v) }
-func (w *writer) u32(v uint32) { var b [4]byte; binary.BigEndian.PutUint32(b[:], v); w.buf.Write(b[:]) }
-func (w *writer) u64(v uint64) { var b [8]byte; binary.BigEndian.PutUint64(b[:], v); w.buf.Write(b[:]) }
-func (w *writer) bytes(p []byte) {
-	w.u32(uint32(len(p)))
-	w.buf.Write(p)
-}
-func (w *writer) str(s string) { w.bytes([]byte(s)) }
+func (w *writer) u8(v byte)      { w.w.U8(v) }
+func (w *writer) u32(v uint32)   { w.w.U32(int(v)) }
+func (w *writer) u64(v uint64)   { w.w.U64(v) }
+func (w *writer) bytes(p []byte) { w.w.Bytes(p) }
+func (w *writer) str(s string)   { w.w.Str(s) }
+func (w *writer) out() []byte    { return w.w.Out() }
 
 type reader struct {
-	data []byte
-	off  int
-	// hdrBudget is the remaining cumulative grouped-sub-header allowance
-	// (maxHeaderBudget at the start of a message).
-	hdrBudget int
+	r *codec.Reader
 }
 
 func newReader(data []byte) *reader {
-	return &reader{data: data, hdrBudget: maxHeaderBudget}
+	// The codec budget carries the cumulative grouped-sub-header allowance
+	// (maxHeaderBudget per message).
+	return &reader{r: codec.NewReader(data, codec.NewBudget(maxHeaderBudget))}
+}
+
+// wireErr maps the codec sentinels onto wire's, keeping the package's
+// documented error contract (errors.Is against wire.ErrTruncated /
+// wire.ErrOversize) independent of the backing primitives.
+func wireErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, codec.ErrTruncated):
+		return ErrTruncated
+	case errors.Is(err, codec.ErrOversize):
+		return ErrOversize
+	}
+	return err
 }
 
 // takeHeaderBudget charges n bytes of decoded grouped-header material
 // against the message budget.
 func (r *reader) takeHeaderBudget(n int) error {
-	if n > r.hdrBudget {
-		return ErrOversize
-	}
-	r.hdrBudget -= n
-	return nil
+	return wireErr(r.r.Charge(n))
 }
 
 func (r *reader) u8() (byte, error) {
-	if r.off+1 > len(r.data) {
-		return 0, ErrTruncated
-	}
-	v := r.data[r.off]
-	r.off++
-	return v, nil
+	v, err := r.r.U8()
+	return v, wireErr(err)
 }
 
 func (r *reader) u32() (uint32, error) {
-	if r.off+4 > len(r.data) {
-		return 0, ErrTruncated
-	}
-	v := binary.BigEndian.Uint32(r.data[r.off:])
-	r.off += 4
-	return v, nil
+	v, err := r.r.U32()
+	return v, wireErr(err)
 }
 
 func (r *reader) u64() (uint64, error) {
-	if r.off+8 > len(r.data) {
-		return 0, ErrTruncated
-	}
-	v := binary.BigEndian.Uint64(r.data[r.off:])
-	r.off += 8
-	return v, nil
+	v, err := r.r.U64()
+	return v, wireErr(err)
 }
 
 func (r *reader) bytes() ([]byte, error) {
-	n, err := r.u32()
-	if err != nil {
-		return nil, err
-	}
-	if n > maxField {
-		return nil, ErrOversize
-	}
-	if r.off+int(n) > len(r.data) {
-		return nil, ErrTruncated
-	}
-	out := append([]byte(nil), r.data[r.off:r.off+int(n)]...)
-	r.off += int(n)
-	return out, nil
+	b, err := r.r.Bytes(maxField)
+	return b, wireErr(err)
 }
 
 func (r *reader) str() (string, error) {
-	b, err := r.bytes()
-	return string(b), err
+	s, err := r.r.Str(maxField)
+	return s, wireErr(err)
 }
 
 func (r *reader) done() error {
-	if r.off != len(r.data) {
-		return fmt.Errorf("wire: %d trailing bytes", len(r.data)-r.off)
+	if n := r.r.Remaining(); n != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", n)
 	}
 	return nil
 }
@@ -152,7 +142,7 @@ func MarshalHeader(h *core.Header) []byte {
 	var w writer
 	w.u8(Version)
 	writeHeaderBody(&w, h)
-	return w.buf.Bytes()
+	return w.out()
 }
 
 func writeHeaderBody(w *writer, h *core.Header) {
@@ -243,7 +233,7 @@ func MarshalGroupedHeader(g *core.GroupedHeader) []byte {
 	var w writer
 	w.u8(VersionGrouped)
 	writeGroupedBody(&w, g)
-	return w.buf.Bytes()
+	return w.out()
 }
 
 func writeGroupedBody(w *writer, g *core.GroupedHeader) {
@@ -376,7 +366,7 @@ func MarshalBroadcast(b *pubsub.Broadcast) []byte {
 		w.str(string(it.Config))
 		w.bytes(it.Ciphertext)
 	}
-	return w.buf.Bytes()
+	return w.out()
 }
 
 // maxEnvelopeDepth bounds the recursion of nested OCBE sub-envelopes. The
@@ -421,7 +411,7 @@ func MarshalRegistrationBatch(reqs []*pubsub.RegistrationRequest) []byte {
 		}
 		writeOCBERequest(&w, ocbeReq)
 	}
-	return w.buf.Bytes()
+	return w.out()
 }
 
 func writeOCBERequest(w *writer, req *ocbe.Request) {
@@ -536,7 +526,7 @@ func MarshalBatchReply(results []pubsub.BatchResult) []byte {
 		w.u8(1)
 		writeEnvelope(&w, res.Envelope)
 	}
-	return w.buf.Bytes()
+	return w.out()
 }
 
 func writeEnvelope(w *writer, env *ocbe.Envelope) {
