@@ -265,10 +265,17 @@ func (s *Store) openSegmentFile(f manFile) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: snapshot segment %s does not authenticate", ErrCorrupt, f.name)
 	}
-	if len(plain) < 5 || plain[0] != f.kind || binary.BigEndian.Uint32(plain[1:]) != uint32(f.index) {
+	r := codec.NewReader(plain, nil)
+	kind, kerr := r.U8()
+	index, ierr := r.U32()
+	if kerr != nil || ierr != nil || kind != f.kind || index != uint32(f.index) {
 		return nil, fmt.Errorf("%w: snapshot segment %s bound to a different identity", ErrCorrupt, f.name)
 	}
-	return plain[5:], nil
+	payload, err := r.Take(r.Remaining())
+	if err != nil {
+		return nil, fmt.Errorf("%w: snapshot segment %s truncated", ErrCorrupt, f.name)
+	}
+	return payload, nil
 }
 
 // writeSegmentFile seals one segment payload under a fresh random file name

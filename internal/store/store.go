@@ -72,7 +72,6 @@ package store
 import (
 	"bytes"
 	"crypto/rand"
-	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -83,6 +82,7 @@ import (
 	"sync"
 	"syscall"
 
+	"ppcd/internal/codec"
 	"ppcd/internal/core"
 	"ppcd/internal/pubsub"
 	"ppcd/internal/sym"
@@ -291,11 +291,16 @@ func (s *Store) loadSnapshot() (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%w: snapshot does not authenticate", ErrCorrupt)
 	}
-	if len(plain) < 8 {
+	r := codec.NewReader(plain, nil)
+	seq, err := r.U64()
+	if err != nil {
 		return 0, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
 	}
-	seq := binary.BigEndian.Uint64(plain)
-	s.snapState = plain[8:]
+	state, err := r.Take(r.Remaining())
+	if err != nil {
+		return 0, fmt.Errorf("%w: snapshot too short", ErrCorrupt)
+	}
+	s.snapState = state
 	return seq, nil
 }
 

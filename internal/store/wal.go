@@ -135,19 +135,23 @@ type walRecord struct {
 // record failing CRC or AEAD is corrupt — unless nothing follows it, where a
 // block-granular torn write is still possible and it is treated as torn.
 func parseRecord(buf []byte, key [sym.KeySize]byte) (walRecord, int, error) {
-	if len(buf) < 8 {
+	hdr := codec.NewReader(buf, nil)
+	n, err := hdr.Len(maxWALRecord)
+	if err != nil {
+		if errors.Is(err, codec.ErrTruncated) {
+			return walRecord{}, 0, errTorn
+		}
+		return walRecord{}, 0, fmt.Errorf("%w: WAL record length exceeds the %d-byte limit", ErrCorrupt, maxWALRecord)
+	}
+	sum, err := hdr.U32()
+	if err != nil {
 		return walRecord{}, 0, errTorn
 	}
-	n := binary.BigEndian.Uint32(buf)
-	if n > maxWALRecord {
-		return walRecord{}, 0, fmt.Errorf("%w: WAL record of %d bytes exceeds limits", ErrCorrupt, n)
-	}
-	if len(buf) < 8+int(n) {
+	sealed, err := hdr.Take(n)
+	if err != nil {
 		return walRecord{}, 0, errTorn
 	}
-	sum := binary.BigEndian.Uint32(buf[4:])
-	sealed := buf[8 : 8+n]
-	last := len(buf) == 8+int(n)
+	last := hdr.Remaining() == 0
 	if crc32.ChecksumIEEE(sealed) != sum {
 		if last {
 			return walRecord{}, 0, errTorn
@@ -163,14 +167,20 @@ func parseRecord(buf []byte, key [sym.KeySize]byte) (walRecord, int, error) {
 	if err != nil {
 		return walRecord{}, 0, fmt.Errorf("%w: WAL record does not authenticate", ErrCorrupt)
 	}
-	if len(plain) < 8 {
+	body := codec.NewReader(plain, nil)
+	seq, err := body.U64()
+	if err != nil {
 		return walRecord{}, 0, fmt.Errorf("%w: WAL record too short", ErrCorrupt)
 	}
-	ev, err := decodeEvent(plain[8:])
+	evBytes, err := body.Take(body.Remaining())
+	if err != nil {
+		return walRecord{}, 0, fmt.Errorf("%w: WAL record too short", ErrCorrupt)
+	}
+	ev, err := decodeEvent(evBytes)
 	if err != nil {
 		return walRecord{}, 0, err
 	}
-	return walRecord{seq: binary.BigEndian.Uint64(plain), ev: ev}, 8 + int(n), nil
+	return walRecord{seq: seq, ev: ev}, 8 + n, nil
 }
 
 // --- pipelined group commit ------------------------------------------------
