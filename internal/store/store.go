@@ -233,7 +233,7 @@ func Open(dir string, key [sym.KeySize]byte) (*Store, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		lock.Close()
+		_ = lock.Close()
 		return nil, fmt.Errorf("store: state directory %s is locked by another process: %w", dir, err)
 	}
 	s.lock = lock
@@ -244,7 +244,7 @@ func Open(dir string, key [sym.KeySize]byte) (*Store, error) {
 
 	snapSeq, err := s.loadManifest()
 	if err != nil {
-		s.lock.Close()
+		_ = s.lock.Close()
 		return nil, err
 	}
 	if s.man == nil {
@@ -253,7 +253,7 @@ func Open(dir string, key [sym.KeySize]byte) (*Store, error) {
 		// Snapshot migrates it: it writes the segmented layout and removes
 		// the blob.
 		if snapSeq, err = s.loadSnapshot(); err != nil {
-			s.lock.Close()
+			_ = s.lock.Close()
 			return nil, err
 		}
 	}
@@ -262,7 +262,7 @@ func Open(dir string, key [sym.KeySize]byte) (*Store, error) {
 	s.gcSegments()
 
 	if err := s.openWAL(snapSeq); err != nil {
-		s.lock.Close()
+		_ = s.lock.Close()
 		return nil, err
 	}
 	if s.seq < snapSeq {
@@ -441,7 +441,7 @@ func (s *Store) Close() error {
 		err = cerr
 	}
 	if s.lock != nil {
-		s.lock.Close() // releases the flock
+		_ = s.lock.Close() // releases the flock
 	}
 	return err
 }
@@ -450,8 +450,8 @@ func (s *Store) Close() error {
 // (some filesystems refuse directory fsync).
 func syncDir(dir string) {
 	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+		_ = d.Sync()
+		_ = d.Close()
 	}
 }
 

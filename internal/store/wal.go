@@ -32,11 +32,11 @@ func (s *Store) openWAL(snapSeq uint64) error {
 			return fmt.Errorf("store: %w", err)
 		}
 		if _, err := f.Write(walMagic); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("store: %w", err)
 		}
 		if err := f.Sync(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fmt.Errorf("store: %w", err)
 		}
 		s.wal = f
@@ -99,7 +99,7 @@ func (s *Store) openWAL(snapSeq uint64) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	if _, err := f.Seek(int64(goodEnd), 0); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("store: %w", err)
 	}
 	s.wal = f
