@@ -299,6 +299,8 @@ func (h *Hub) ServeConn(nc net.Conn, doc string, lastEpoch, lastGen uint64) {
 // syscall; the common steady-state case of a single frame takes the direct
 // Write path. All scratch state is preallocated on the Conn — the loop
 // allocates nothing.
+//
+//ppcd:hotpath
 func (h *Hub) writeLoop(c *Conn) {
 	defer func() {
 		h.drop(c)

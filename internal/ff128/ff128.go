@@ -153,6 +153,8 @@ func (f *Field) ToBig(e Elem) *big.Int {
 }
 
 // Add returns a + b.
+//
+//ppcd:hotpath
 func (f *Field) Add(a, b Elem) Elem {
 	lo, c := bits.Add64(a.lo, b.lo, 0)
 	hi, _ := bits.Add64(a.hi, b.hi, c) // no carry out: p < 2¹²⁷ so a+b < 2¹²⁸
@@ -165,6 +167,8 @@ func (f *Field) Add(a, b Elem) Elem {
 }
 
 // Sub returns a − b.
+//
+//ppcd:hotpath
 func (f *Field) Sub(a, b Elem) Elem {
 	lo, br := bits.Sub64(a.lo, b.lo, 0)
 	hi, br := bits.Sub64(a.hi, b.hi, br)
@@ -177,6 +181,8 @@ func (f *Field) Sub(a, b Elem) Elem {
 }
 
 // Neg returns −a.
+//
+//ppcd:hotpath
 func (f *Field) Neg(a Elem) Elem {
 	if a.IsZero() {
 		return a
@@ -191,6 +197,8 @@ func (f *Field) Double(a Elem) Elem { return f.Add(a, a) }
 
 // Mul returns a·b (Montgomery product: a·b/R, which on Montgomery residues
 // is exactly the field product in Montgomery form).
+//
+//ppcd:hotpath
 func (f *Field) Mul(a, b Elem) Elem {
 	h00, l00 := bits.Mul64(a.lo, b.lo)
 	h01, l01 := bits.Mul64(a.lo, b.hi)
@@ -214,6 +222,8 @@ func (f *Field) Sq(a Elem) Elem { return f.Mul(a, a) }
 // redc performs a two-round Montgomery reduction of the 256-bit value
 // (t0..t3, little-endian): it returns t/R mod p with the result < p. Valid
 // for any t < p·R (a fortiori for products of reduced operands).
+//
+//ppcd:hotpath
 func (f *Field) redc(t0, t1, t2, t3 uint64) Elem {
 	// Round 0: clear t0.
 	m := t0 * f.n0

@@ -92,6 +92,8 @@ func (ws *Workspace) accumulators(n int) (hi, lo []uint64) {
 // echelon form, which only ever look at row r from its own pivot column
 // rightward. The returned slice is workspace-owned and valid until the next
 // factorization through the same workspace.
+//
+//ppcd:hotpath
 func (m *Matrix) blockedEchelon(ws *Workspace) []int {
 	rows, cols := m.Rows, m.Cols
 	ws.pivots = ws.pivots[:0]
