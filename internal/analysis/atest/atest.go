@@ -1,0 +1,91 @@
+// Package atest is a small analysistest equivalent for the stdlib-only
+// analyzer framework in internal/analysis: it loads a fixture directory
+// (testdata/<analyzer>/), runs one analyzer over it with all gating
+// bypassed, and checks the reported diagnostics against `// want "regexp"`
+// comments, exactly like golang.org/x/tools/go/analysis/analysistest —
+// every diagnostic must match an expectation on its line, and every
+// expectation must be consumed. Fixture files may import stdlib and
+// module-internal packages (e.g. ppcd/internal/codec); the loader builds
+// real export data for them, so the conforming idioms in negative fixtures
+// exercise the same API production code uses.
+package atest
+
+import (
+	"fmt"
+	"regexp"
+	"testing"
+
+	"ppcd/internal/analysis"
+)
+
+// wantRe extracts the quoted regexps of one want comment; both double quotes
+// and backquotes are accepted, like analysistest.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one pending `want` pattern on a fixture line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture dir, applies the analyzer, and reports mismatches
+// through t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	lp, err := analysis.LoadFixtureDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+
+	// Gather expectations from every `// want` comment, keyed by file:line.
+	wants := make(map[string][]*expectation)
+	for _, f := range lp.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := lp.Fset.Position(c.Pos())
+				text := c.Text
+				if len(text) < 8 || text[:8] != "// want " {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(text[8:], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	pass := lp.NewPass(a, false)
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range pass.Diagnostics() {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		found := false
+		for _, exp := range wants[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Analyzer, d.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.re)
+			}
+		}
+	}
+}

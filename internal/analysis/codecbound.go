@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CodecBound enforces the bounded-decode discipline internal/codec was
+// extracted to provide (PRs 8–9): inside the hand-rolled binary formats
+// (internal/wire, internal/store, and the statev2* state codec of
+// internal/pubsub) it flags
+//
+//  1. raw decode primitives that bypass codec.Reader — binary.BigEndian /
+//     binary.LittleEndian integer reads, binary.Read, binary.ReadUvarint /
+//     ReadVarint, and io.ReadAll — each of which reads attacker-controlled
+//     bytes with none of the reader's clamping or budget charging; and
+//  2. allocations (make) or loops driving append whose size derives from a
+//     freshly-decoded integer (codec.Reader.U32/U64 or a raw byte-order
+//     read) with no intervening clamp: a crafted 4-byte length field must
+//     never pick the allocation size. The conforming idioms are
+//     codec.Reader.Len (clamped at the call) or an explicit comparison of
+//     the decoded value against a bound before it reaches make.
+//
+// A genuinely justified raw read (e.g. fixed-width framing validated by an
+// outer integrity layer) can be waived with a //ppcd:rawdecode comment on
+// the same line, which should carry the justification.
+var CodecBound = &Analyzer{
+	Name: "codecbound",
+	Doc: "flag binary decode paths that bypass codec.Reader and " +
+		"allocations sized by unclamped decoded integers",
+	Packages: []string{"internal/wire", "internal/store", "internal/pubsub"},
+	FileGate: func(pkgPath, filename string) bool {
+		if strings.Contains(pkgPath, "internal/pubsub") {
+			return strings.HasPrefix(filename, "statev2")
+		}
+		return true
+	},
+	Run: runCodecBound,
+}
+
+// rawDecodeNames are the encoding/binary entry points that read (not write)
+// multi-byte values.
+var rawDecodeNames = []string{
+	"Uint16", "Uint32", "Uint64",
+	"Read", "ReadUvarint", "ReadVarint", "Varint", "Uvarint",
+}
+
+func runCodecBound(pass *Pass) error {
+	for _, f := range pass.Checked {
+		waived := directiveLines(pass.Fset, f, "rawdecode")
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			line := pass.Fset.Position(call.Pos()).Line
+			if waived[line] {
+				return true
+			}
+			if name, ok := calleeIn(pass.Info, call, "encoding/binary", rawDecodeNames...); ok {
+				pass.Reportf(call.Pos(),
+					"raw binary.%s decode bypasses codec.Reader; use Reader.U16/U32/U64 (or //ppcd:rawdecode with a justification)",
+					name)
+			}
+			if _, ok := calleeIn(pass.Info, call, "io", "ReadAll"); ok {
+				pass.Reportf(call.Pos(),
+					"io.ReadAll on a decode path is unbounded; read a length-prefixed field through codec.Reader or apply an io.LimitReader")
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkUnclampedAllocs(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeTaint records where a variable was assigned from an unclamped decode
+// and where (if anywhere) it was first compared against a bound.
+type decodeTaint struct {
+	src   token.Pos // the tainting assignment
+	clamp token.Pos // earliest comparison mentioning the variable (0 = none)
+}
+
+// unclampedDecodeCall reports whether call yields an integer straight off the
+// wire with no clamp: codec.Reader.U32/U64, or a raw byte-order read.
+// codec.Reader.Len is the clamped counterpart and is deliberately absent.
+func unclampedDecodeCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	switch {
+	case strings.HasSuffix(f.Pkg().Path(), "internal/codec"):
+		return f.Name() == "U32" || f.Name() == "U64"
+	case f.Pkg().Path() == "encoding/binary":
+		switch f.Name() {
+		case "Uint16", "Uint32", "Uint64", "ReadUvarint", "ReadVarint", "Varint", "Uvarint":
+			return true
+		}
+	}
+	return false
+}
+
+func checkUnclampedAllocs(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	tainted := make(map[*types.Var]*decodeTaint)
+
+	// Pass 1: collect taint sources (v, err := r.U32() and friends) and
+	// clamp sites (any comparison mentioning a tainted variable). Source
+	// order holds within the single Inspect.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if len(node.Rhs) == 1 {
+				if call, ok := ast.Unparen(node.Rhs[0]).(*ast.CallExpr); ok && unclampedDecodeCall(info, call) {
+					if v := identObj(info, node.Lhs[0]); v != nil {
+						tainted[v] = &decodeTaint{src: node.Pos()}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			// A guard comparing the decoded value is the clamp idiom; loop
+			// conditions (for i < n) deliberately don't count — they prove
+			// progress, not a bound.
+			ast.Inspect(node.Cond, func(c ast.Node) bool {
+				cmp, ok := c.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch cmp.Op {
+				case token.LSS, token.GTR, token.LEQ, token.GEQ:
+					for _, v := range identVarsIn(info, cmp) {
+						if t, ok := tainted[v]; ok && t.clamp == token.NoPos {
+							t.clamp = node.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+
+	// clampedAt reports whether v had been compared against a bound before
+	// use (in source order).
+	clampedAt := func(v *types.Var, use token.Pos) bool {
+		t := tainted[v]
+		return t == nil || (t.clamp != token.NoPos && t.clamp < use)
+	}
+
+	// Pass 2: flag make calls and append-driving loops sized by still-
+	// unclamped decoded integers.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if !isBuiltin(info, node, "make") {
+				return true
+			}
+			for _, arg := range node.Args[1:] {
+				for _, v := range identVarsIn(info, arg) {
+					if t, ok := tainted[v]; ok && !clampedAt(v, node.Pos()) && t.src < node.Pos() {
+						pass.Reportf(node.Pos(),
+							"make sized by %s, an unclamped decoded length; decode it with codec.Reader.Len or compare it against a bound first",
+							v.Name())
+					}
+				}
+			}
+		case *ast.ForStmt:
+			cond, ok := node.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			reported := false
+			for _, v := range identVarsIn(info, cond) {
+				if reported {
+					break
+				}
+				if t, ok := tainted[v]; ok && !clampedAt(v, node.Pos()) && t.src < node.Pos() && loopGrowsSlice(info, node.Body) {
+					pass.Reportf(node.Pos(),
+						"loop bounded by %s, an unclamped decoded count, grows a slice; clamp the count (codec.Reader.Len) before allocating from it",
+						v.Name())
+					reported = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loopGrowsSlice reports whether a loop body allocates proportionally to its
+// trip count (append or make inside).
+func loopGrowsSlice(info *types.Info, body *ast.BlockStmt) bool {
+	grows := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isBuiltin(info, call, "append") || isBuiltin(info, call, "make") {
+				grows = true
+			}
+		}
+		return !grows
+	})
+	return grows
+}

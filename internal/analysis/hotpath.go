@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath checks functions carrying the //ppcd:hotpath directive — the
+// fan-out frame-write loop, the ff128 field operations, and the blocked-
+// elimination inner loops, each pinned today only by zero-alloc benchmark
+// probes — for constructs that are known to allocate:
+//
+//   - any call into fmt (Sprintf/Errorf/Println all allocate, and the
+//     variadic ...any boxes every argument);
+//   - non-constant string concatenation;
+//   - interface boxing of a concrete non-pointer-shaped value (call
+//     arguments, assignments and returns into interface-typed slots): the
+//     value is copied to the heap to fit behind the interface word;
+//   - address-of composite literals (&T{...}), which escape to the heap
+//     unless the compiler can prove otherwise — on a hot path, don't make
+//     it try.
+//
+// The check is a syntactic escape heuristic, not the compiler's escape
+// analysis: it is deliberately conservative in what it ALLOWS (append into
+// caller-owned scratch, value returns, pointer-shaped boxing) so the
+// annotated functions stay reviewable, and anything it flags would also show
+// up in `go build -gcflags=-m`.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "report known-allocating constructs inside functions marked " +
+		"//ppcd:hotpath",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Checked {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	var sig *types.Signature
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		sig = obj.Type().(*types.Signature)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := calleeIn(info, node, "fmt"); ok {
+				pass.Reportf(node.Pos(), "fmt.%s allocates on a //ppcd:hotpath function", name)
+			}
+			checkCallBoxing(pass, node)
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isNonConstString(info, node) {
+				pass.Reportf(node.Pos(), "string concatenation allocates on a //ppcd:hotpath function")
+			}
+		case *ast.AssignStmt:
+			if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 && isNonConstString(info, node.Lhs[0]) {
+				pass.Reportf(node.Pos(), "string concatenation allocates on a //ppcd:hotpath function")
+			}
+			for i, lhs := range node.Lhs {
+				if i >= len(node.Rhs) {
+					break
+				}
+				if lt, ok := info.Types[lhs]; ok && boxes(info, lt.Type, node.Rhs[i]) {
+					pass.Reportf(node.Rhs[i].Pos(),
+						"assignment boxes a concrete value into an interface on a //ppcd:hotpath function")
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig == nil || sig.Results() == nil || len(node.Results) != sig.Results().Len() {
+				return true
+			}
+			for i, res := range node.Results {
+				if boxes(info, sig.Results().At(i).Type(), res) {
+					pass.Reportf(res.Pos(),
+						"return boxes a concrete value into an interface on a //ppcd:hotpath function")
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					pass.Reportf(node.Pos(),
+						"address-of composite literal escapes to the heap on a //ppcd:hotpath function")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCallBoxing flags call arguments boxed into interface-typed
+// parameters.
+func checkCallBoxing(pass *Pass, call *ast.CallExpr) {
+	info := pass.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversion, not a call
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(info, pt, arg) {
+			pass.Reportf(arg.Pos(),
+				"argument boxes a concrete value into interface parameter on a //ppcd:hotpath function")
+		}
+	}
+}
+
+// boxes reports whether assigning src into a slot of type dst heap-boxes a
+// concrete value: dst is an interface, src's type is concrete, and the value
+// is not pointer-shaped (pointers, chans, maps and funcs fit in the
+// interface data word without allocating).
+func boxes(info *types.Info, dst types.Type, src ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[src]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	st := tv.Type
+	if types.IsInterface(st) {
+		return false
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	switch st.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	}
+	if b, ok := st.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+// isNonConstString reports whether expr has string type and is not a
+// compile-time constant (constant concatenation is folded, no allocation).
+func isNonConstString(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

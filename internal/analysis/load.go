@@ -1,0 +1,235 @@
+package analysis
+
+// Package loading without golang.org/x/tools/go/packages: `go list -export`
+// enumerates the packages and compiles export data for every dependency
+// (fully offline — the module has no external requirements), then each target
+// package is parsed with go/parser and type-checked with go/types against the
+// gc export data through importer.ForCompiler's lookup hook. This is the same
+// shape a minimal go/packages driver has, specialized to one module.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// LoadedPackage is one parsed, type-checked package ready for analysis.
+type LoadedPackage struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Filenames  []string
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` on the patterns from dir and
+// returns the decoded package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a types.Importer backed by the export-data files in
+// exports (import path → compiled export file from `go list -export`).
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// typeCheck parses nothing itself: it type-checks the already-parsed files as
+// the package at path, resolving imports through imp.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// LoadPatterns loads every non-dependency package matched by the go-list
+// patterns (e.g. "./..."), rooted at dir (the module root or any directory
+// inside it).
+func LoadPatterns(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		exports[p.ImportPath] = p.Export
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*LoadedPackage
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		lp := &LoadedPackage{ImportPath: p.ImportPath, Dir: p.Dir, Fset: fset}
+		for _, name := range p.GoFiles {
+			fn := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			lp.Files = append(lp.Files, f)
+			lp.Filenames = append(lp.Filenames, fn)
+		}
+		if lp.Pkg, lp.Info, err = typeCheck(fset, p.ImportPath, lp.Files, imp); err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadFixtureDir parses and type-checks every .go file under dir as one
+// package (the analysistest layout: testdata/<analyzer>/*.go). Imports —
+// stdlib and module-internal alike — resolve through freshly built export
+// data, so fixtures can exercise the real codec.Reader API.
+func LoadFixtureDir(dir string) (*LoadedPackage, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(matches) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s (%v)", dir, err)
+	}
+	fset := token.NewFileSet()
+	lp := &LoadedPackage{ImportPath: "fixture/" + filepath.Base(dir), Dir: dir, Fset: fset}
+	importSet := make(map[string]bool)
+	for _, fn := range matches {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		lp.Files = append(lp.Files, f)
+		lp.Filenames = append(lp.Filenames, fn)
+		for _, spec := range f.Imports {
+			if path, err := strconv.Unquote(spec.Path.Value); err == nil {
+				importSet[path] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(importSet) > 0 {
+		root, err := ModuleRoot(dir)
+		if err != nil {
+			return nil, err
+		}
+		paths := make([]string, 0, len(importSet))
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		listed, err := goList(root, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := exportImporter(fset, exports)
+	if lp.Pkg, lp.Info, err = typeCheck(fset, lp.ImportPath, lp.Files, imp); err != nil {
+		return nil, fmt.Errorf("fixture %s: %v", dir, err)
+	}
+	return lp, nil
+}
+
+// NewPass builds a Pass for one analyzer over one loaded package, applying
+// the analyzer's file gate. The test harness passes gate=false so fixtures
+// are always inspected in full.
+func (lp *LoadedPackage) NewPass(a *Analyzer, gate bool) *Pass {
+	p := &Pass{
+		Analyzer: a,
+		Fset:     lp.Fset,
+		PkgPath:  lp.ImportPath,
+		Pkg:      lp.Pkg,
+		Info:     lp.Info,
+		Files:    lp.Files,
+	}
+	for i, f := range lp.Files {
+		if gate && a.FileGate != nil && !a.FileGate(lp.ImportPath, filepath.Base(lp.Filenames[i])) {
+			continue
+		}
+		p.Checked = append(p.Checked, f)
+	}
+	return p
+}

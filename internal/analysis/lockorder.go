@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockOrder enforces the documented mutex discipline of internal/pubsub
+// (registry.go: "Lock order: grpMu → mu (never the reverse while holding
+// mu)"): within any function, acquiring a lower-ranked mutex while a
+// higher-ranked one is held is an inversion that can deadlock against the
+// conforming path. It also requires every Lock/RLock on a tracked mutex
+// field to have a paired Unlock/RUnlock or defer Unlock in the same
+// function.
+//
+// The analysis is intra-procedural and walks each function body in source
+// order, which is exactly how the package is written (no lock is passed
+// across function boundaries while held, except through the documented
+// "callers hold grpMu" helpers, which take no locks themselves).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "check the grpMu → mu acquisition order and Lock/Unlock pairing " +
+		"on the named mutex fields of internal/pubsub",
+	Packages: []string{"internal/pubsub"},
+	Run:      runLockOrder,
+}
+
+// lockRank orders the fields of the documented partial order: a mutex may
+// only be acquired while every held mutex has a strictly LOWER rank.
+// Unranked tracked fields (pubMu, mutMu) are leaf locks: pairing is checked,
+// ordering constraints don't apply to them.
+var lockRank = map[string]int{
+	"grpMu": 0,
+	"mu":    1,
+}
+
+// trackedMutexes are the named mutex fields the analyzer follows.
+var trackedMutexes = map[string]bool{
+	"grpMu": true, "mu": true, "pubMu": true, "mutMu": true,
+}
+
+// mutexEvent is one Lock/Unlock-shaped call site, in source order.
+type mutexEvent struct {
+	field    string
+	method   string // Lock, RLock, Unlock, RUnlock
+	deferred bool
+	pos      token.Pos
+}
+
+func runLockOrder(pass *Pass) error {
+	for _, f := range pass.Checked {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockDiscipline(pass, fd)
+		}
+	}
+	return nil
+}
+
+// mutexCallEvent decodes a call expression into a mutex event if it is a
+// sync.Mutex/RWMutex Lock-family method on a tracked named field.
+func mutexCallEvent(info *types.Info, call *ast.CallExpr) (mutexEvent, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return mutexEvent{}, false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return mutexEvent{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexEvent{}, false
+	}
+	var field string
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		field = recv.Sel.Name
+	case *ast.Ident:
+		field = recv.Name
+	default:
+		return mutexEvent{}, false
+	}
+	if !trackedMutexes[field] {
+		return mutexEvent{}, false
+	}
+	return mutexEvent{field: field, method: f.Name(), pos: call.Pos()}, true
+}
+
+func checkLockDiscipline(pass *Pass, fd *ast.FuncDecl) {
+	var events []mutexEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			if ev, ok := mutexCallEvent(pass.Info, node.Call); ok {
+				ev.deferred = true
+				events = append(events, ev)
+				return false
+			}
+		case *ast.CallExpr:
+			if ev, ok := mutexCallEvent(pass.Info, node); ok {
+				events = append(events, ev)
+				return false
+			}
+		case *ast.FuncLit:
+			// Closures get their own linear scan below; don't fold their
+			// events into the enclosing function's order.
+			return false
+		}
+		return true
+	})
+
+	held := make(map[string]token.Pos)
+	deferredUnlock := make(map[string]bool)
+	firstLock := make(map[string]token.Pos)
+	unlocks := make(map[string]int)
+
+	for _, ev := range events {
+		switch ev.method {
+		case "Lock", "RLock":
+			if ev.deferred {
+				continue // defer x.Lock() — nonsensical, but not this check
+			}
+			if rank, ranked := lockRank[ev.field]; ranked {
+				for heldField := range held {
+					if heldRank, ok := lockRank[heldField]; ok && rank < heldRank {
+						pass.Reportf(ev.pos,
+							"acquires %s while holding %s; the documented lock order is grpMu → mu (registry.go)",
+							ev.field, heldField)
+					}
+				}
+			}
+			held[ev.field] = ev.pos
+			if _, ok := firstLock[ev.field]; !ok {
+				firstLock[ev.field] = ev.pos
+			}
+		case "Unlock", "RUnlock":
+			if ev.deferred {
+				deferredUnlock[ev.field] = true
+			} else {
+				delete(held, ev.field)
+			}
+			unlocks[ev.field]++
+		}
+	}
+
+	for field, pos := range firstLock {
+		if unlocks[field] == 0 {
+			pass.Reportf(pos, "%s.Lock without a paired Unlock or defer Unlock in this function", field)
+			continue
+		}
+		// Linear-order residue: a lock acquired after its last unlock and
+		// not covered by a deferred unlock is still held on the fall-through
+		// return path.
+		if heldPos, stillHeld := held[field]; stillHeld && !deferredUnlock[field] {
+			pass.Reportf(heldPos, "%s may still be held at function exit (no Unlock after this Lock and no defer Unlock)", field)
+		}
+	}
+
+	// Recurse into closures as independent functions: each gets its own
+	// source-order scan.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkLockDiscipline(pass, &ast.FuncDecl{Name: fd.Name, Body: lit.Body})
+			return false
+		}
+		return true
+	})
+}

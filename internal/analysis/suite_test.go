@@ -1,0 +1,75 @@
+package analysis_test
+
+// analysistest-style coverage for every analyzer: each fixture directory
+// holds a violating file (bad.go, with `// want` expectations on every
+// seeded violation) and a conforming file (good.go, whose idioms must pass
+// clean) — so the tests pin both the detections and the waivers.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ppcd/internal/analysis"
+	"ppcd/internal/analysis/atest"
+)
+
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestLockOrder(t *testing.T) {
+	atest.Run(t, analysis.LockOrder, fixture(t, "lockorder"))
+}
+
+func TestCodecBound(t *testing.T) {
+	atest.Run(t, analysis.CodecBound, fixture(t, "codecbound"))
+}
+
+func TestCryptoRand(t *testing.T) {
+	atest.Run(t, analysis.CryptoRand, fixture(t, "cryptorand"))
+}
+
+func TestHotPath(t *testing.T) {
+	atest.Run(t, analysis.HotPath, fixture(t, "hotpath"))
+}
+
+func TestSyncErr(t *testing.T) {
+	atest.Run(t, analysis.SyncErr, fixture(t, "syncerr"))
+}
+
+// TestSuiteCleanOnRepo is the self-gate: the full suite over the whole
+// module must report nothing — the same bar CI's `go run ./cmd/ppcd-lint
+// ./...` step enforces, kept here too so a violating change fails `go test`
+// even before CI.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := analysis.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := analysis.LoadPatterns(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All() {
+			if !a.Applies(pkg.ImportPath) {
+				continue
+			}
+			pass := pkg.NewPass(a, true)
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.Diagnostics() {
+				t.Errorf("%s", d)
+			}
+		}
+	}
+}

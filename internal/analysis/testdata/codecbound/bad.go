@@ -1,0 +1,49 @@
+// Violating fixtures for the codecbound analyzer: raw decode primitives and
+// decode-sized allocations with no clamp.
+package fixtures
+
+import (
+	"encoding/binary"
+	"io"
+
+	"ppcd/internal/codec"
+)
+
+// rawReads uses encoding/binary directly on wire bytes.
+func rawReads(buf []byte) (uint32, uint64) {
+	a := binary.BigEndian.Uint32(buf) // want `raw binary\.Uint32 decode bypasses codec\.Reader`
+	b := binary.BigEndian.Uint64(buf) // want `raw binary\.Uint64 decode bypasses codec\.Reader`
+	return a, b
+}
+
+// slurp reads an unbounded stream on a decode path.
+func slurp(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r) // want `io\.ReadAll on a decode path is unbounded`
+}
+
+// unclampedMake sizes an allocation straight from a decoded u32.
+func unclampedMake(r *codec.Reader) ([]byte, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, int(n)) // want `make sized by n, an unclamped decoded length`
+	return out, nil
+}
+
+// unclampedLoop drives append from a decoded count with no bound.
+func unclampedLoop(r *codec.Reader) ([]uint64, error) {
+	count, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for i := uint64(0); i < count; i++ { // want `loop bounded by count, an unclamped decoded count`
+		v, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+// Conforming fixtures: the clamped idioms internal/codec exists to provide.
+package fixtures
+
+import (
+	"encoding/binary"
+
+	"ppcd/internal/codec"
+)
+
+const maxItems = 1 << 16
+
+// clampedLen decodes the count through Reader.Len, which clamps before
+// returning.
+func clampedLen(r *codec.Reader) ([]byte, error) {
+	n, err := r.Len(maxItems)
+	if err != nil {
+		return nil, err
+	}
+	return make([]byte, n), nil
+}
+
+// guardedRaw compares the decoded value against a bound before it drives the
+// allocation.
+func guardedRaw(r *codec.Reader) ([]uint64, error) {
+	n, err := r.U32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxItems {
+		return nil, codec.ErrOversize
+	}
+	out := make([]uint64, 0, int(n))
+	for i := uint32(0); i < n; i++ {
+		v, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// nonLength reads a u64 that never sizes anything (an epoch counter).
+func nonLength(r *codec.Reader) (uint64, error) {
+	return r.U64()
+}
+
+// waived carries the justification directive for a fixed-width framing read
+// validated by an outer CRC.
+func waived(hdr []byte) uint32 {
+	return binary.BigEndian.Uint32(hdr) //ppcd:rawdecode fixed 4-byte frame header, CRC-checked by the caller
+}
+
+// encodeSide: writers are not decode paths; PutUint32 stays legal.
+func encodeSide(buf []byte, v uint32) {
+	binary.BigEndian.PutUint32(buf, v)
+}

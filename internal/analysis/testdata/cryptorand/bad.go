@@ -1,0 +1,19 @@
+// Violating fixtures for the cryptorand analyzer.
+package fixtures
+
+import (
+	mrand "math/rand" // want `crypto package imports math/rand`
+	"time"
+)
+
+// predictableNonce draws key material from a time-seeded PRNG — the classic
+// nonce-reuse disaster.
+func predictableNonce() []byte {
+	src := mrand.NewSource(time.Now().UnixNano()) // want `time-seeded randomness`
+	rng := mrand.New(src)
+	nonce := make([]byte, 24)
+	for i := range nonce {
+		nonce[i] = byte(rng.Intn(256))
+	}
+	return nonce
+}

@@ -1,0 +1,21 @@
+// Conforming fixture: crypto/rand is the only entropy source.
+package fixtures
+
+import (
+	"crypto/rand"
+	"time"
+)
+
+// freshNonce reads from the kernel CSPRNG.
+func freshNonce() ([]byte, error) {
+	nonce := make([]byte, 24)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return nonce, nil
+}
+
+// timestamps are fine — the clock is only forbidden as a seed.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

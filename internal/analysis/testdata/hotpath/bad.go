@@ -1,0 +1,38 @@
+// Violating fixtures for the hotpath analyzer: allocating constructs inside
+// //ppcd:hotpath functions.
+package fixtures
+
+import "fmt"
+
+type pair struct{ x, y int }
+
+//ppcd:hotpath
+func hotFmt(id uint64) {
+	fmt.Printf("frame %d\n", id) // want `fmt\.Printf allocates` `boxes a concrete value`
+}
+
+//ppcd:hotpath
+func hotConcat(names []string) string {
+	out := ""
+	for _, n := range names {
+		out += n // want `string concatenation allocates`
+	}
+	return out
+}
+
+//ppcd:hotpath
+func hotBox(v int) any {
+	var sink any
+	sink = v // want `assignment boxes a concrete value`
+	return sink
+}
+
+//ppcd:hotpath
+func hotBoxReturn(p pair) any {
+	return p // want `return boxes a concrete value`
+}
+
+//ppcd:hotpath
+func hotEscape(x, y int) *pair {
+	return &pair{x, y} // want `address-of composite literal escapes`
+}

@@ -1,0 +1,38 @@
+// Conforming fixtures: allocation-free idioms under the directive, and
+// unmarked functions that may allocate freely.
+package fixtures
+
+import (
+	"fmt"
+	"io"
+)
+
+type vec struct{ hi, lo uint64 }
+
+//ppcd:hotpath
+func hotArith(a, b vec) vec {
+	// Value composite literals returned by value stay on the stack.
+	return vec{hi: a.hi + b.hi, lo: a.lo + b.lo}
+}
+
+//ppcd:hotpath
+func hotScratch(dst []uint64, src []uint64) []uint64 {
+	// Append into caller-owned scratch is the workspace idiom; the
+	// amortized growth is the caller's explicit business.
+	dst = dst[:0]
+	for _, v := range src {
+		dst = append(dst, v*3)
+	}
+	return dst
+}
+
+//ppcd:hotpath
+func hotWrite(w io.Writer, frame []byte) (int, error) {
+	// w is already an interface and []byte is pointer-backed: no boxing.
+	return w.Write(frame)
+}
+
+// coldPath has no directive: fmt and boxing are fine here.
+func coldPath(id uint64) string {
+	return fmt.Sprintf("frame %d", id)
+}

@@ -1,0 +1,28 @@
+// Violating fixtures for the syncerr analyzer: discarded fsync/close errors
+// on write paths.
+package fixtures
+
+import "os"
+
+func persist(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	f.Sync()  // want `\(\*os\.File\)\.Sync error discarded`
+	f.Close() // want `\(\*os\.File\)\.Close error discarded`
+	return nil
+}
+
+func deferredClose(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `defer discards the \(\*os\.File\)\.Close error`
+	_, err = f.Write([]byte("x"))
+	return err
+}

@@ -1,0 +1,30 @@
+// Conforming fixtures: errors handled, or the drop acknowledged with an
+// explicit blank assignment on best-effort paths.
+package fixtures
+
+import "os"
+
+func persistDurably(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close() // error path: the write error wins, drop acknowledged
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// bestEffortDirSync is the documented directory-fsync pattern: some
+// filesystems refuse it, so the drop is explicit.
+func bestEffortDirSync(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method a call invokes, or nil for
+// builtins, type conversions and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// calleeIn reports whether call invokes a function of the package with the
+// given import path whose name is one of names (empty names = any).
+func calleeIn(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return "", false
+	}
+	if len(names) == 0 {
+		return f.Name(), true
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// isBuiltin reports whether the call invokes the named universe builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// directiveLines collects the line numbers of every //ppcd:<name> directive
+// comment in a file.
+func directiveLines(fset *token.FileSet, f *ast.File, name string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//ppcd:"+name) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// hasDirective reports whether a function's doc group carries //ppcd:<name>.
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, "//ppcd:"+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// identVarsIn collects every variable referenced anywhere inside expr.
+func identVarsIn(info *types.Info, expr ast.Expr) []*types.Var {
+	var out []*types.Var
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// identObj resolves an identifier (possibly wrapped in conversions or
+// parentheses) to its variable object; nil when expr is not ident-rooted.
+func identObj(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.CallExpr:
+		// int(n)-style conversion: descend into the single operand.
+		if len(e.Args) == 1 {
+			if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+				return identObj(info, e.Args[0])
+			}
+		}
+	}
+	return nil
+}
